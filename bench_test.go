@@ -1,0 +1,94 @@
+package mobiletel_test
+
+// bench_test.go is the benchmark face of the reproduction harness: one
+// benchmark per experiment in DESIGN.md §4 (each regenerates its table in
+// quick mode), plus per-algorithm benchmarks of the facade. Regenerate the
+// full-scale tables with `go run ./cmd/mtmexp -run all`.
+
+import (
+	"testing"
+
+	"mobiletel"
+)
+
+// benchExperiment runs one registered experiment in quick mode per
+// iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := mobiletel.RunExperiment(id, mobiletel.ExperimentOptions{
+			Seed: 20170529, Trials: 2, Quick: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1BlindGossipScaling(b *testing.B)    { benchExperiment(b, "E1-blindgossip-scaling") }
+func BenchmarkE2LineOfStarsLowerBound(b *testing.B) { benchExperiment(b, "E2-blindgossip-lowerbound") }
+func BenchmarkE3PushPullBound(b *testing.B)         { benchExperiment(b, "E3-pushpull-bound") }
+func BenchmarkE4CutMatching(b *testing.B)           { benchExperiment(b, "E4-lemma-v1-gamma") }
+func BenchmarkE5PPushApprox(b *testing.B)           { benchExperiment(b, "E5-ppush-approx") }
+func BenchmarkE6BitConvTau(b *testing.B)            { benchExperiment(b, "E6-bitconv-tau") }
+func BenchmarkE7GapZeroOne(b *testing.B)            { benchExperiment(b, "E7-zero-vs-one-bit") }
+func BenchmarkE8AsyncBitConv(b *testing.B)          { benchExperiment(b, "E8-async-bitconv") }
+func BenchmarkE9SelfStabilize(b *testing.B)         { benchExperiment(b, "E9-self-stabilization") }
+func BenchmarkE10Churn(b *testing.B)                { benchExperiment(b, "E10-churn-robustness") }
+func BenchmarkE11GoodEdges(b *testing.B)            { benchExperiment(b, "E11-good-edge-probability") }
+func BenchmarkE12Classical(b *testing.B)            { benchExperiment(b, "E12-classical-vs-mobile") }
+func BenchmarkA1AblationGroupLen(b *testing.B)      { benchExperiment(b, "A1-ablation-grouplen") }
+func BenchmarkA2AblationTagBits(b *testing.B)       { benchExperiment(b, "A2-ablation-tagbits") }
+func BenchmarkA3AblationAccept(b *testing.B)        { benchExperiment(b, "A3-ablation-accept") }
+
+// Facade-level benchmarks: full elections end to end.
+
+func benchElect(b *testing.B, topo mobiletel.Topology, algo mobiletel.Algorithm) {
+	b.Helper()
+	sched := mobiletel.Static(topo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mobiletel.ElectLeader(sched, algo, mobiletel.Options{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElectBlindGossipMesh256(b *testing.B) {
+	benchElect(b, mobiletel.RandomRegular(256, 8, 1), mobiletel.BlindGossip)
+}
+
+func BenchmarkElectBitConvMesh256(b *testing.B) {
+	benchElect(b, mobiletel.RandomRegular(256, 8, 1), mobiletel.BitConv)
+}
+
+func BenchmarkElectAsyncBitConvMesh256(b *testing.B) {
+	benchElect(b, mobiletel.RandomRegular(256, 8, 1), mobiletel.AsyncBitConv)
+}
+
+func BenchmarkElectBlindGossipLineOfStars(b *testing.B) {
+	benchElect(b, mobiletel.SqrtLineOfStars(12), mobiletel.BlindGossip)
+}
+
+func BenchmarkElectBitConvLineOfStars(b *testing.B) {
+	benchElect(b, mobiletel.SqrtLineOfStars(12), mobiletel.BitConv)
+}
+
+func BenchmarkRumorPushPull(b *testing.B) {
+	sched := mobiletel.Static(mobiletel.RandomRegular(256, 8, 1))
+	for i := 0; i < b.N; i++ {
+		if _, err := mobiletel.SpreadRumor(sched, mobiletel.PushPull, []int{0},
+			mobiletel.Options{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRumorPPush(b *testing.B) {
+	sched := mobiletel.Static(mobiletel.RandomRegular(256, 8, 1))
+	for i := 0; i < b.N; i++ {
+		if _, err := mobiletel.SpreadRumor(sched, mobiletel.PPush, []int{0},
+			mobiletel.Options{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

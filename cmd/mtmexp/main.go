@@ -1,0 +1,89 @@
+// Command mtmexp regenerates the reproduction experiments: every theorem
+// and construction in the paper has a registered experiment that prints a
+// table (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Examples:
+//
+//	mtmexp -list
+//	mtmexp -run E1-blindgossip-scaling
+//	mtmexp -run all -quick
+//	mtmexp -run E4-lemma-v1-gamma -csv > e4.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mobiletel"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list registered experiments and exit")
+		run    = flag.String("run", "", "experiment ID to run, or 'all'")
+		seed   = flag.Uint64("seed", 20170529, "random seed")
+		trials = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+		quick  = flag.Bool("quick", false, "reduced problem sizes")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir = flag.String("out", "", "also write each experiment's CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Registered experiments (run with -run <ID> or -run all):")
+		for _, info := range mobiletel.Experiments() {
+			fmt.Printf("\n  %s\n      %s\n", info.ID, info.Claim)
+		}
+		return
+	}
+
+	opts := mobiletel.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, CSV: *csv}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = ids[:0]
+		for _, info := range mobiletel.Experiments() {
+			ids = append(ids, info.ID)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mtmexp:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		out, err := mobiletel.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtmexp: %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(out)
+		if !*csv {
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+		if *outDir != "" {
+			csvOpts := opts
+			csvOpts.CSV = true
+			csvOut, err := mobiletel.RunExperiment(id, csvOpts)
+			if err == nil {
+				path := filepath.Join(*outDir, id+".csv")
+				if werr := os.WriteFile(path, []byte(csvOut), 0o644); werr != nil {
+					fmt.Fprintf(os.Stderr, "mtmexp: writing %s: %v\n", path, werr)
+					failed++
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

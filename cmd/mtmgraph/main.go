@@ -1,0 +1,131 @@
+// Command mtmgraph inspects the structural quantities the paper's bounds
+// are stated in: maximum degree Δ, vertex expansion α, and cut matching
+// numbers ν(B(S)) / γ (Lemma V.1).
+//
+// Examples:
+//
+//	mtmgraph -topo lineofstars -side 10
+//	mtmgraph -topo ringofcliques -k 4 -s 5 -exact
+//	mtmgraph -topo regular -n 500 -deg 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobiletel/internal/bounds"
+	"mobiletel/internal/expansion"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/matching"
+)
+
+func main() {
+	var (
+		topo  = flag.String("topo", "lineofstars", "clique|path|cycle|star|lineofstars|ringofcliques|regular|hypercube|barbell|tree")
+		n     = flag.Int("n", 64, "node count (clique/path/cycle/star/regular)")
+		deg   = flag.Int("deg", 8, "degree (regular)")
+		side  = flag.Int("side", 6, "side (lineofstars)")
+		k     = flag.Int("k", 4, "clique count (ringofcliques)")
+		s     = flag.Int("s", 5, "clique size (ringofcliques) / barbell size")
+		d     = flag.Int("d", 5, "dimension (hypercube) / levels (tree)")
+		seed  = flag.Uint64("seed", 1, "seed (regular)")
+		exact = flag.Bool("exact", false, "force exact α and γ (n <= 20 only)")
+		dot   = flag.String("dot", "", "write the topology in Graphviz DOT format to this file")
+	)
+	flag.Parse()
+
+	f, err := build(*topo, *n, *deg, *side, *k, *s, *d, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtmgraph:", err)
+		os.Exit(1)
+	}
+
+	g := f.Graph
+	fmt.Printf("family:      %s\n", f.Name)
+	fmt.Printf("nodes:       %d\n", g.N())
+	fmt.Printf("edges:       %d\n", g.M())
+	fmt.Printf("max degree:  %d\n", g.MaxDegree())
+	fmt.Printf("connected:   %v\n", g.Connected())
+	if f.AlphaExact {
+		fmt.Printf("α (analytic, exact): %.6g\n", f.Alpha)
+	} else {
+		fmt.Printf("α (estimate):        %.6g\n", f.Alpha)
+	}
+
+	if *exact || g.N() <= 16 {
+		if g.N() <= expansion.MaxExactN {
+			alpha, set := expansion.Exact(g)
+			fmt.Printf("α (brute force):     %.6g  (minimizing cut %v)\n", alpha, set)
+		} else {
+			fmt.Fprintf(os.Stderr, "mtmgraph: -exact needs n <= %d\n", expansion.MaxExactN)
+		}
+		if g.N() <= 16 {
+			gamma := matching.GammaExact(g)
+			fmt.Printf("γ (brute force):     %.6g  (Lemma V.1 floor α/4 = %.6g)\n", gamma, f.Alpha/4)
+		}
+	}
+
+	sweep, set := expansion.SweepUpperBound(g)
+	fmt.Printf("α (sweep upper bound): %.6g  (cut size %d)\n", sweep, len(set))
+	if g.Connected() {
+		fmt.Printf("α (spectral estimate): %.6g  (λ₂ = %.6g)\n",
+			expansion.SpectralAlphaEstimate(g, 1500), expansion.SpectralGap(g, 1500))
+	}
+
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(g.DOT(f.Name)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mtmgraph:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dot)
+	}
+
+	if g.Connected() && g.N() <= 4096 {
+		fmt.Printf("diameter:    %d\n", g.Diameter())
+		fmt.Printf("avg path:    %.3f\n", g.AveragePathLength())
+	}
+	fmt.Printf("avg degree:  %.3f\n", g.AverageDegree())
+
+	// Predicted round bounds (shape only; constants set to 1).
+	alpha := f.Alpha
+	if !f.AlphaExact || alpha <= 0 {
+		alpha = sweep // fall back to the best-known upper bound
+	}
+	if alpha > 0 {
+		fmt.Println()
+		fmt.Printf("Theorem VI.1  blind gossip bound:     %.4g rounds\n",
+			bounds.BlindGossip(alpha, g.MaxDegree(), g.N()))
+		fmt.Printf("Theorem VII.2 bit convergence (τ=1):  %.4g rounds\n",
+			bounds.BitConvRounds(alpha, 1, g.MaxDegree(), g.N()))
+		fmt.Printf("Theorem VII.2 bit convergence (τ≥logΔ): %.4g rounds\n",
+			bounds.BitConvRounds(alpha, 1<<20, g.MaxDegree(), g.N()))
+	}
+}
+
+func build(topo string, n, deg, side, k, s, d int, seed uint64) (gen.Family, error) {
+	switch topo {
+	case "clique":
+		return gen.Clique(n), nil
+	case "path":
+		return gen.Path(n), nil
+	case "cycle":
+		return gen.Cycle(n), nil
+	case "star":
+		return gen.Star(n), nil
+	case "lineofstars":
+		return gen.SqrtLineOfStars(side), nil
+	case "ringofcliques":
+		return gen.RingOfCliques(k, s), nil
+	case "regular":
+		return gen.RandomRegular(n, deg, seed), nil
+	case "hypercube":
+		return gen.Hypercube(d), nil
+	case "barbell":
+		return gen.Barbell(s), nil
+	case "tree":
+		return gen.CompleteBinaryTree(d), nil
+	default:
+		return gen.Family{}, fmt.Errorf("unknown topology %q", topo)
+	}
+}

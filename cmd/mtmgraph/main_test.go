@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestBuildAllTopologies(t *testing.T) {
+	names := []string{"clique", "path", "cycle", "star", "lineofstars",
+		"ringofcliques", "regular", "hypercube", "barbell", "tree"}
+	for _, name := range names {
+		f, err := build(name, 16, 4, 3, 3, 4, 3, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if f.N() < 2 || !f.Graph.Connected() {
+			t.Errorf("%s: bad graph %v", name, f)
+		}
+	}
+	if _, err := build("bogus", 16, 4, 3, 3, 4, 3, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Command mtmsim runs a single leader election or rumor spreading
+// simulation in the mobile telephone model and reports the outcome.
+//
+// Examples:
+//
+//	mtmsim -topo clique -n 256 -algo blindgossip
+//	mtmsim -topo lineofstars -n 110 -algo bitconv -schedule permuted -tau 4
+//	mtmsim -topo regular -n 512 -deg 8 -rumor ppush
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mobiletel"
+	"mobiletel/internal/trace"
+)
+
+func main() {
+	var (
+		topoName  = flag.String("topo", "regular", "topology: clique|path|cycle|star|lineofstars|ringofcliques|regular|er|grid|hypercube|barbell|scalefree")
+		n         = flag.Int("n", 128, "number of devices (interpreted per topology)")
+		deg       = flag.Int("deg", 8, "degree for -topo regular")
+		algoName  = flag.String("algo", "blindgossip", "leader election algorithm: blindgossip|bitconv|asyncbitconv")
+		rumorName = flag.String("rumor", "", "run rumor spreading instead: pushpull|ppush")
+		schedName = flag.String("schedule", "static", "schedule: static|permuted|churn|waypoint")
+		tau       = flag.Int("tau", 4, "stability factor for dynamic schedules")
+		seed      = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
+		maxRounds = flag.Int("max-rounds", 10_000_000, "abort if not stabilized by this round")
+		spread    = flag.Int("activation-spread", 0, "stagger activations uniformly over this many rounds (asyncbitconv)")
+		verbose   = flag.Bool("v", false, "print topology metadata before running")
+		curve     = flag.Bool("curve", false, "print a sparkline of connections per round")
+		record    = flag.String("record", "", "write a JSON-lines execution recording to this file")
+		classical = flag.Bool("classical", false, "use classical telephone semantics (unbounded incoming connections; baseline, not the paper's model)")
+	)
+	flag.Parse()
+
+	topo, err := buildTopology(*topoName, *n, *deg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := buildSchedule(*schedName, topo, *tau, *seed+1)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		fmt.Printf("topology: %s n=%d Δ=%d α=%.4g (exact=%v)\n",
+			topo.Name(), topo.N(), topo.MaxDegree(), topo.Alpha(), topo.AlphaExact())
+		fmt.Printf("schedule: %s τ=%v\n", sched.Name(), sched.Tau())
+	}
+
+	opts := mobiletel.Options{Seed: *seed + 2, MaxRounds: *maxRounds, Classical: *classical}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.RecordTo = f
+	}
+	var connCurve []int
+	if *curve {
+		opts.OnRound = func(_, connections int) { connCurve = append(connCurve, connections) }
+	}
+	if *spread > 0 {
+		acts := make([]int, topo.N())
+		for i := range acts {
+			acts[i] = 1 + (i*2654435761)%*spread
+		}
+		opts.Activations = acts
+	}
+
+	if *rumorName != "" {
+		strategy := mobiletel.PushPull
+		switch *rumorName {
+		case "pushpull":
+		case "ppush":
+			strategy = mobiletel.PPush
+		default:
+			fatal(fmt.Errorf("unknown rumor strategy %q", *rumorName))
+		}
+		res, err := mobiletel.SpreadRumor(sched, strategy, []int{0}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rumor %s: informed all %d devices in %d rounds (%d connections)\n",
+			strategy, topo.N(), res.Rounds, res.Connections)
+		printCurve(*curve, connCurve)
+		return
+	}
+
+	algo, err := mobiletel.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := mobiletel.ElectLeader(sched, algo, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("leader election %s: stabilized to leader %#x in %d rounds (%d connections)\n",
+		algo, res.Leader, res.Rounds, res.Connections)
+	printCurve(*curve, connCurve)
+}
+
+// printCurve renders the per-round connection counts as a sparkline.
+func printCurve(enabled bool, connCurve []int) {
+	if !enabled || len(connCurve) == 0 {
+		return
+	}
+	fmt.Printf("connections/round: %s\n", trace.Sparkline(trace.Downsample(connCurve, 80)))
+}
+
+// buildTopology interprets (name, n, deg, seed) into a Topology.
+func buildTopology(name string, n, deg int, seed uint64) (mobiletel.Topology, error) {
+	switch strings.ToLower(name) {
+	case "clique":
+		return mobiletel.Clique(n), nil
+	case "path":
+		return mobiletel.Path(n), nil
+	case "cycle":
+		return mobiletel.Cycle(n), nil
+	case "star":
+		return mobiletel.Star(n), nil
+	case "lineofstars":
+		side := intSqrt(n)
+		return mobiletel.SqrtLineOfStars(side), nil
+	case "ringofcliques":
+		if n < 24 {
+			return mobiletel.Topology{}, fmt.Errorf("ringofcliques needs n >= 24")
+		}
+		return mobiletel.RingOfCliques(n/8, 8), nil
+	case "regular":
+		return mobiletel.RandomRegular(n, deg, seed), nil
+	case "er":
+		return mobiletel.ErdosRenyi(n, 4.0/float64(n)*logf(n), seed), nil
+	case "grid":
+		side := intSqrt(n)
+		return mobiletel.Grid(side, side), nil
+	case "hypercube":
+		d := 0
+		for (1 << (d + 1)) <= n {
+			d++
+		}
+		return mobiletel.Hypercube(d), nil
+	case "barbell":
+		return mobiletel.Barbell(n / 2), nil
+	case "scalefree":
+		return mobiletel.BarabasiAlbert(n, deg/2+1, seed), nil
+	default:
+		return mobiletel.Topology{}, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+// buildSchedule interprets the schedule flag.
+func buildSchedule(name string, topo mobiletel.Topology, tau int, seed uint64) (mobiletel.Schedule, error) {
+	switch strings.ToLower(name) {
+	case "static":
+		return mobiletel.Static(topo), nil
+	case "permuted":
+		return mobiletel.Permuted(topo, tau, seed), nil
+	case "churn":
+		return mobiletel.Churn(topo, tau, topo.N()/4, seed), nil
+	case "waypoint":
+		return mobiletel.Waypoint(topo.N(), 0.3, 0.05, tau, seed), nil
+	default:
+		return mobiletel.Schedule{}, fmt.Errorf("unknown schedule %q", name)
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func logf(n int) float64 {
+	l := 0.0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtmsim:", err)
+	os.Exit(1)
+}

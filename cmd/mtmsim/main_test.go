@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildTopologyAllNames(t *testing.T) {
+	names := []string{"clique", "path", "cycle", "star", "lineofstars",
+		"ringofcliques", "regular", "er", "grid", "hypercube", "barbell", "scalefree"}
+	for _, name := range names {
+		topo, err := buildTopology(name, 64, 4, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if topo.N() < 2 {
+			t.Errorf("%s: implausible size %d", name, topo.N())
+		}
+	}
+}
+
+func TestBuildTopologyUnknown(t *testing.T) {
+	if _, err := buildTopology("bogus", 10, 2, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestBuildTopologyCaseInsensitive(t *testing.T) {
+	if _, err := buildTopology("CLIQUE", 8, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildScheduleAllNames(t *testing.T) {
+	topo, err := buildTopology("regular", 32, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"static", "permuted", "churn", "waypoint"} {
+		sched, err := buildSchedule(name, topo, 3, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if name != "static" && sched.Tau() != 3 {
+			t.Errorf("%s: tau=%d", name, sched.Tau())
+		}
+	}
+	if _, err := buildSchedule("bogus", topo, 1, 1); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	cases := map[int]int{1: 1, 3: 1, 4: 2, 8: 2, 9: 3, 100: 10, 120: 10}
+	for in, want := range cases {
+		if got := intSqrt(in); got != want {
+			t.Errorf("intSqrt(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestRingOfCliquesMinimumSize(t *testing.T) {
+	if _, err := buildTopology("ringofcliques", 10, 2, 1); err == nil ||
+		!strings.Contains(err.Error(), "24") {
+		t.Fatalf("small ringofcliques not rejected properly: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package mobiletel_test
+
+// Runnable godoc examples for the public API. Outputs are deterministic
+// because every execution is a pure function of its seed.
+
+import (
+	"fmt"
+
+	"mobiletel"
+)
+
+func ExampleElectLeader() {
+	topo := mobiletel.Clique(16)
+	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+		mobiletel.Options{Seed: 1, UIDs: []uint64{16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("leader:", res.Leader)
+	// Output: leader: 1
+}
+
+func ExampleElectLeader_dynamicTopology() {
+	// The topology reshuffles every 2 rounds (stability factor τ = 2); the
+	// algorithms need no knowledge of τ.
+	topo := mobiletel.RingOfCliques(4, 8)
+	sched := mobiletel.Permuted(topo, 2, 99)
+	res, err := mobiletel.ElectLeader(sched, mobiletel.BitConv, mobiletel.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stabilized:", res.Rounds > 0)
+	// Output: stabilized: true
+}
+
+func ExampleSpreadRumor() {
+	topo := mobiletel.Cycle(12)
+	res, err := mobiletel.SpreadRumor(mobiletel.Static(topo), mobiletel.PushPull, []int{0},
+		mobiletel.Options{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("everyone informed:", res.Rounds > 0)
+	// Output: everyone informed: true
+}
+
+func ExampleDecide() {
+	topo := mobiletel.Clique(8)
+	proposals := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	res, err := mobiletel.Decide(mobiletel.Static(topo), proposals, mobiletel.Options{Seed: 4})
+	if err != nil {
+		panic(err)
+	}
+	// Validity: the decision is one of the proposals.
+	valid := false
+	for _, p := range proposals {
+		if p == res.Value {
+			valid = true
+		}
+	}
+	fmt.Println("valid decision:", valid)
+	// Output: valid decision: true
+}
+
+func ExampleAggregate() {
+	topo := mobiletel.Clique(10)
+	inputs := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	res, err := mobiletel.Aggregate(mobiletel.Static(topo), mobiletel.Min, inputs, 0, mobiletel.Options{Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("min everywhere:", res.Estimates[0], res.Estimates[9])
+	// Output: min everywhere: 0 0
+}
+
+func ExampleTopology() {
+	topo := mobiletel.SqrtLineOfStars(4)
+	fmt.Printf("%s: n=%d Δ=%d α exact=%v\n", topo.Name(), topo.N(), topo.MaxDegree(), topo.AlphaExact())
+	// Output: sqrt-line-of-stars: n=20 Δ=6 α exact=true
+}
+
+func ExampleExperiments() {
+	for _, info := range mobiletel.Experiments()[:3] {
+		fmt.Println(info.ID)
+	}
+	// Output:
+	// A1-ablation-grouplen
+	// A2-ablation-tagbits
+	// A3-ablation-accept
+}
+
+func ExampleRunSweep() {
+	topo := mobiletel.Clique(16)
+	rows, err := mobiletel.RunSweep([]string{"static", "permuted"}, 3, 1,
+		func(label string, seed uint64) (int, error) {
+			sched := mobiletel.Static(topo)
+			if label == "permuted" {
+				sched = mobiletel.Permuted(topo, 2, seed)
+			}
+			res, err := mobiletel.ElectLeader(sched, mobiletel.BlindGossip,
+				mobiletel.Options{Seed: seed})
+			return res.Rounds, err
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(rows), "rows;", rows[0].Label, "trials:", rows[0].Trials)
+	// Output: 2 rows; static trials: 3
+}

@@ -1,0 +1,53 @@
+// Protest: a censorship-resistant mesh-chat scenario (the paper's
+// introduction cites the Hong Kong protest use of phone-to-phone chat).
+//
+// A dense crowd of phones forms an ad-hoc mesh with no infrastructure. The
+// crowd moves constantly — the topology is adversarially re-shuffled every
+// round (τ = 1, the harshest mobility the model allows) — and the phones
+// must still agree on a coordinator to sequence messages. We compare blind
+// gossip (works on any phone: zero advertisement bits) against bit
+// convergence (needs one bit in the service advertisement string).
+//
+// Run with:
+//
+//	go run ./examples/protest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobiletel"
+)
+
+func main() {
+	const crowd = 200
+
+	// Each phone can hold direct connections to ~10 nearby phones; the crowd
+	// reshuffles who is near whom every single round.
+	topo := mobiletel.RandomRegular(crowd, 10, 99)
+	mobility := mobiletel.Permuted(topo, 1, 12345) // τ = 1: maximal churn
+
+	fmt.Printf("crowd of %d phones, %d neighbors each, topology reshuffled every round\n\n",
+		crowd, topo.MaxDegree())
+
+	for _, algo := range []mobiletel.Algorithm{mobiletel.BlindGossip, mobiletel.BitConv} {
+		res, err := mobiletel.ElectLeader(mobility, algo, mobiletel.Options{Seed: 3})
+		if err != nil {
+			log.Fatalf("%v: %v", algo, err)
+		}
+		// At ~4 peer-to-peer rounds per second (typical scan+connect latency
+		// for Multipeer Connectivity), convert rounds to wall-clock time.
+		seconds := float64(res.Rounds) / 4
+		fmt.Printf("%-13s coordinator agreed after %6d rounds (≈ %.0fs of real time)\n",
+			algo.String()+":", res.Rounds, seconds)
+	}
+
+	fmt.Println("\nEven under maximal mobility (τ=1) both algorithms stabilize — the")
+	fmt.Println("paper's guarantees require no knowledge of τ at all. At this crowd")
+	fmt.Println("density (Δ=10) blind gossip's Δ² contention cost is mild and its")
+	fmt.Println("light constants win; the advertisement bit becomes decisive on")
+	fmt.Println("high-degree bottleneck topologies (see examples/quickstart and the")
+	fmt.Println("E7 experiment). Notably, random crowd motion *helps* the zero-bit")
+	fmt.Println("algorithm: mixing carries small UIDs past static bottlenecks.")
+}

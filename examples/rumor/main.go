@@ -1,0 +1,47 @@
+// Rumor: disaster-zone alert dissemination (the paper's third motivating
+// scenario — networking where infrastructure is down).
+//
+// One phone learns an evacuation alert and must spread it to the whole
+// mesh. We compare the b = 0 PUSH-PULL strategy (Corollary VI.6 bounds it
+// at O((1/α)Δ²log²n) rounds) with the b = 1 PPUSH strategy, on a friendly
+// expander and on the paper's adversarial line-of-stars topology where the
+// Δ² cost of blind connections really bites.
+//
+// Run with:
+//
+//	go run ./examples/rumor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobiletel"
+)
+
+func main() {
+	scenarios := []struct {
+		label string
+		topo  mobiletel.Topology
+	}{
+		{"expander mesh (well-connected)", mobiletel.RandomRegular(210, 8, 4)},
+		{"line of stars (adversarial)", mobiletel.SqrtLineOfStars(14)}, // n = 210
+	}
+
+	for _, sc := range scenarios {
+		fmt.Printf("%s: n=%d Δ=%d α≈%.3g\n", sc.label, sc.topo.N(), sc.topo.MaxDegree(), sc.topo.Alpha())
+		for _, strat := range []mobiletel.RumorStrategy{mobiletel.PushPull, mobiletel.PPush} {
+			res, err := mobiletel.SpreadRumor(mobiletel.Static(sc.topo), strat, []int{0},
+				mobiletel.Options{Seed: 17})
+			if err != nil {
+				log.Fatalf("%v on %s: %v", strat, sc.label, err)
+			}
+			fmt.Printf("  %-9s alert reached all devices in %6d rounds\n", strat.String()+":", res.Rounds)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("On the expander both strategies are quick; on the line of stars the")
+	fmt.Println("one advertisement bit avoids wasted connection attempts and wins big —")
+	fmt.Println("the gap Section VI proves is inherent to b = 0.")
+}

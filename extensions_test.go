@@ -1,0 +1,244 @@
+package mobiletel_test
+
+// Tests for the facade's extension primitives — consensus (Decide) and data
+// aggregation (Aggregate) — which implement the "gossip, consensus, and
+// data aggregation" follow-on problems from the paper's conclusion.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobiletel"
+)
+
+func TestDecideAgreementAndValidity(t *testing.T) {
+	topo := mobiletel.RandomRegular(48, 6, 15)
+	proposals := make([]uint64, 48)
+	for i := range proposals {
+		proposals[i] = uint64(i * 11)
+	}
+	res, err := mobiletel.Decide(mobiletel.Static(topo), proposals, mobiletel.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range proposals {
+		if p == res.Value {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decided %d is nobody's proposal", res.Value)
+	}
+	if res.Rounds < 1 || res.Leader == 0 {
+		t.Fatalf("implausible result %+v", res)
+	}
+}
+
+func TestDecideUnderMobilityDeterministic(t *testing.T) {
+	topo := mobiletel.RandomRegular(32, 4, 8)
+	proposals := make([]uint64, 32)
+	for i := range proposals {
+		proposals[i] = uint64(1000 + i)
+	}
+	run := func() mobiletel.DecisionResult {
+		res, err := mobiletel.Decide(mobiletel.Permuted(topo, 2, 4), proposals, mobiletel.Options{Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic consensus: %+v vs %+v", a, b)
+	}
+}
+
+func TestDecideValidatesLength(t *testing.T) {
+	topo := mobiletel.Cycle(6)
+	if _, err := mobiletel.Decide(mobiletel.Static(topo), []uint64{1}, mobiletel.Options{}); err == nil {
+		t.Fatal("short proposals accepted")
+	}
+}
+
+func TestAggregateMinMaxExact(t *testing.T) {
+	topo := mobiletel.RandomRegular(40, 6, 21)
+	inputs := make([]float64, 40)
+	for i := range inputs {
+		inputs[i] = float64((i*7)%40) - 10
+	}
+	resMin, err := mobiletel.Aggregate(mobiletel.Static(topo), mobiletel.Min, inputs, 0, mobiletel.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMax, err := mobiletel.Aggregate(mobiletel.Static(topo), mobiletel.Max, inputs, 0, mobiletel.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		if resMin.Estimates[i] != -10 {
+			t.Fatalf("node %d min %v, want -10", i, resMin.Estimates[i])
+		}
+		if resMax.Estimates[i] != 29 {
+			t.Fatalf("node %d max %v, want 29", i, resMax.Estimates[i])
+		}
+	}
+}
+
+func TestAggregateMeanWithinTolerance(t *testing.T) {
+	topo := mobiletel.RandomRegular(64, 6, 33)
+	inputs := make([]float64, 64)
+	truth := 0.0
+	for i := range inputs {
+		inputs[i] = float64(i)
+		truth += inputs[i]
+	}
+	truth /= 64
+	res, err := mobiletel.Aggregate(mobiletel.Static(topo), mobiletel.Mean, inputs, 0.01, mobiletel.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, est := range res.Estimates {
+		if math.Abs(est-truth)/truth > 0.011 {
+			t.Fatalf("node %d mean estimate %v, want ~%v", i, est, truth)
+		}
+	}
+}
+
+func TestAggregateCountNilInputs(t *testing.T) {
+	topo := mobiletel.RandomRegular(80, 6, 44)
+	res, err := mobiletel.Aggregate(mobiletel.Static(topo), mobiletel.Count, nil, 0.05, mobiletel.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, est := range res.Estimates {
+		if math.Abs(est-80)/80 > 0.05 {
+			t.Fatalf("node %d count estimate %v, want ~80", i, est)
+		}
+	}
+}
+
+func TestAggregateSum(t *testing.T) {
+	topo := mobiletel.RandomRegular(32, 4, 55)
+	inputs := make([]float64, 32)
+	truth := 0.0
+	for i := range inputs {
+		inputs[i] = 2.5
+		truth += 2.5
+	}
+	res, err := mobiletel.Aggregate(mobiletel.Static(topo), mobiletel.Sum, inputs, 0.02, mobiletel.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, est := range res.Estimates {
+		if math.Abs(est-truth)/truth > 0.02 {
+			t.Fatalf("node %d sum estimate %v, want ~%v", i, est, truth)
+		}
+	}
+}
+
+func TestAggregateValidatesInputs(t *testing.T) {
+	topo := mobiletel.Cycle(6)
+	if _, err := mobiletel.Aggregate(mobiletel.Static(topo), mobiletel.Mean, []float64{1}, 0.1, mobiletel.Options{}); err == nil {
+		t.Fatal("short inputs accepted")
+	}
+}
+
+func TestAggregateKindString(t *testing.T) {
+	kinds := map[mobiletel.AggregateKind]string{
+		mobiletel.Min: "min", mobiletel.Max: "max", mobiletel.Mean: "mean",
+		mobiletel.Count: "count", mobiletel.Sum: "sum",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%v.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestGossipAllCompletes(t *testing.T) {
+	topo := mobiletel.RandomRegular(32, 4, 66)
+	res, err := mobiletel.GossipAll(mobiletel.Static(topo), mobiletel.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-to-all requires at least n-1 connections per node's rumor to
+	// reach everyone; the total must comfortably exceed n.
+	if res.Rounds < 1 || res.Connections < int64(topo.N()) {
+		t.Fatalf("implausible gossip result %+v", res)
+	}
+}
+
+func TestGossipAllDeterministic(t *testing.T) {
+	topo := mobiletel.Cycle(16)
+	run := func() mobiletel.GossipResult {
+		res, err := mobiletel.GossipAll(mobiletel.Permuted(topo, 2, 3), mobiletel.Options{Seed: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic gossip: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunSweepAggregates(t *testing.T) {
+	topo := mobiletel.RandomRegular(32, 4, 5)
+	rows, err := mobiletel.RunSweep([]string{"blindgossip", "bitconv"}, 4, 1,
+		func(label string, seed uint64) (int, error) {
+			algo := mobiletel.BlindGossip
+			if label == "bitconv" {
+				algo = mobiletel.BitConv
+			}
+			res, err := mobiletel.ElectLeader(mobiletel.Static(topo), algo, mobiletel.Options{Seed: seed})
+			return res.Rounds, err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Trials != 4 {
+		t.Fatalf("rows %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Min > r.Median || r.Median > r.Max || r.Mean <= 0 {
+			t.Fatalf("inconsistent row %+v", r)
+		}
+	}
+	text := mobiletel.FormatSweep("demo", rows)
+	if !strings.Contains(text, "blindgossip") || !strings.Contains(text, "median") {
+		t.Fatalf("table missing content:\n%s", text)
+	}
+}
+
+func TestRunSweepDeterministic(t *testing.T) {
+	topo := mobiletel.Cycle(16)
+	run := func() []mobiletel.SweepRow {
+		rows, err := mobiletel.RunSweep([]string{"a"}, 6, 3, func(_ string, seed uint64) (int, error) {
+			res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+				mobiletel.Options{Seed: seed})
+			return res.Rounds, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if a[0] != b[0] {
+		t.Fatalf("sweep nondeterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestRunSweepErrorPropagates(t *testing.T) {
+	_, err := mobiletel.RunSweep([]string{"x"}, 2, 1, func(string, uint64) (int, error) {
+		return 0, mobiletel.ErrNotStabilized
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if _, err := mobiletel.RunSweep(nil, 0, 1, nil); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}

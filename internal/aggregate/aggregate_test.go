@@ -1,0 +1,201 @@
+package aggregate_test
+
+import (
+	"math"
+	"testing"
+
+	"mobiletel/internal/aggregate"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+	"mobiletel/internal/xrand"
+)
+
+func inputs(n int, seed uint64) []float64 {
+	rng := xrand.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*100 - 50
+	}
+	return xs
+}
+
+func TestMinGossipExact(t *testing.T) {
+	xs := inputs(50, 3)
+	truth := xs[0]
+	for _, x := range xs {
+		if x < truth {
+			truth = x
+		}
+	}
+	protocols := make([]sim.Protocol, len(xs))
+	for i, x := range xs {
+		protocols[i] = aggregate.NewMin(x)
+	}
+	eng, err := sim.New(dyngraph.NewStatic(gen.RandomRegular(50, 6, 1)), protocols,
+		sim.Config{Seed: 2, MaxRounds: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(sim.AllLeadersEqual); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range protocols {
+		if got := p.(*aggregate.Extremum).Estimate(); got != truth {
+			t.Fatalf("node %d min %v, want %v", i, got, truth)
+		}
+	}
+}
+
+func TestMaxGossipExact(t *testing.T) {
+	xs := inputs(40, 7)
+	truth := xs[0]
+	for _, x := range xs {
+		if x > truth {
+			truth = x
+		}
+	}
+	protocols := make([]sim.Protocol, len(xs))
+	for i, x := range xs {
+		protocols[i] = aggregate.NewMax(x)
+	}
+	eng, err := sim.New(dyngraph.NewPermuted(gen.Cycle(40), 1, 9), protocols,
+		sim.Config{Seed: 5, MaxRounds: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(sim.AllLeadersEqual); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range protocols {
+		if got := p.(*aggregate.Extremum).Estimate(); got != truth {
+			t.Fatalf("node %d max %v, want %v", i, got, truth)
+		}
+	}
+}
+
+func TestMeanConvergesAndConservesMass(t *testing.T) {
+	xs := inputs(64, 11)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	truth := sum / float64(len(xs))
+
+	protocols := aggregate.NewMeanNetwork(xs)
+	v0, w0 := aggregate.TotalMass(protocols)
+
+	eng, err := sim.New(dyngraph.NewStatic(gen.RandomRegular(64, 6, 13)), protocols,
+		sim.Config{Seed: 6, MaxRounds: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(aggregate.WithinTolerance(truth, 0.01))
+	if err != nil {
+		t.Fatalf("mean did not converge: %v", err)
+	}
+	if res.StabilizedRound < 1 {
+		t.Fatal("no rounds recorded")
+	}
+
+	v1, w1 := aggregate.TotalMass(protocols)
+	if math.Abs(v1-v0) > 1e-6*math.Abs(v0)+1e-9 {
+		t.Fatalf("value mass drifted: %v -> %v", v0, v1)
+	}
+	if math.Abs(w1-w0) > 1e-9 {
+		t.Fatalf("weight mass drifted: %v -> %v", w0, w1)
+	}
+	if e := aggregate.MaxRelativeError(protocols, truth); e > 0.01 {
+		t.Fatalf("relative error %v after convergence", e)
+	}
+}
+
+func TestCountEstimatesNetworkSize(t *testing.T) {
+	const n = 100
+	protocols := aggregate.NewCountNetwork(n, 0)
+	eng, err := sim.New(dyngraph.NewStatic(gen.RandomRegular(n, 8, 17)), protocols,
+		sim.Config{Seed: 8, MaxRounds: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(aggregate.WithinTolerance(n, 0.02)); err != nil {
+		t.Fatalf("count did not converge: %v", err)
+	}
+	for i, p := range protocols {
+		est := p.(*aggregate.Averager).Estimate()
+		if math.Abs(est-n)/n > 0.02 {
+			t.Fatalf("node %d count estimate %v, want ~%d", i, est, n)
+		}
+	}
+}
+
+func TestSumEstimate(t *testing.T) {
+	xs := inputs(48, 19)
+	truth := 0.0
+	for _, x := range xs {
+		truth += x
+	}
+	protocols := aggregate.NewSumNetwork(xs, 5)
+	eng, err := sim.New(dyngraph.NewStatic(gen.RandomRegular(48, 6, 23)), protocols,
+		sim.Config{Seed: 10, MaxRounds: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(aggregate.WithinTolerance(truth, 0.02)); err != nil {
+		t.Fatalf("sum did not converge: %v", err)
+	}
+}
+
+func TestMeanUnderMobility(t *testing.T) {
+	xs := inputs(50, 29)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	truth := sum / float64(len(xs))
+	protocols := aggregate.NewMeanNetwork(xs)
+	sched := dyngraph.NewWaypoint(50, 0.3, 0.05, 2, 31)
+	eng, err := sim.New(sched, protocols, sim.Config{Seed: 12, MaxRounds: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(aggregate.WithinTolerance(truth, 0.02)); err != nil {
+		t.Fatalf("mean under mobility did not converge: %v", err)
+	}
+}
+
+func TestMassConservationProperty(t *testing.T) {
+	// Mass must be conserved after every single round, not just at the end.
+	xs := inputs(32, 37)
+	protocols := aggregate.NewMeanNetwork(xs)
+	v0, w0 := aggregate.TotalMass(protocols)
+	stop := func(round int, ps []sim.Protocol) bool {
+		v, w := aggregate.TotalMass(ps)
+		if math.Abs(v-v0) > 1e-6*math.Abs(v0)+1e-9 || math.Abs(w-w0) > 1e-9 {
+			t.Fatalf("round %d: mass drifted (%v,%v) -> (%v,%v)", round, v0, w0, v, w)
+		}
+		return round >= 2000
+	}
+	eng, err := sim.New(dyngraph.NewStatic(gen.RandomRegular(32, 4, 41)), protocols,
+		sim.Config{Seed: 14, MaxRounds: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(stop); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateNaNWithZeroWeight(t *testing.T) {
+	a := aggregate.NewAverager(1, 0)
+	if !math.IsNaN(a.Estimate()) {
+		t.Fatal("zero-weight estimate should be NaN")
+	}
+}
+
+func TestMaxRelativeErrorZeroWeightCountsAsOne(t *testing.T) {
+	protocols := []sim.Protocol{aggregate.NewAverager(1, 0)}
+	if e := aggregate.MaxRelativeError(protocols, 5); e != 1 {
+		t.Fatalf("error %v, want 1", e)
+	}
+}

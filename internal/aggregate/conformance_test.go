@@ -1,0 +1,27 @@
+package aggregate_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/aggregate"
+	"mobiletel/internal/sim"
+)
+
+func TestAggregateProtocolConformance(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory func(node int) sim.Protocol
+	}{
+		{"min", func(node int) sim.Protocol { return aggregate.NewMin(float64(node)) }},
+		{"max", func(node int) sim.Protocol { return aggregate.NewMax(float64(node)) }},
+		{"averager", func(node int) sim.Protocol { return aggregate.NewAverager(float64(node), 1) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if err := sim.CheckConformance(c.factory, sim.ConformanceConfig{Seed: 7}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

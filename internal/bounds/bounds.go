@@ -1,0 +1,137 @@
+// Package bounds encodes the paper's round-complexity formulas as
+// first-class functions, so experiments, documentation, and tests share one
+// authoritative implementation of each bound's *shape* (the paper leaves
+// all constants unspecified; every function here uses constant 1).
+//
+// All logarithms are base 2 and ceiling'd, matching the paper's convention
+// that log Δ is a whole number (Section II assumes Δ is a power of two; we
+// use ⌈log₂·⌉ to cover the rest).
+package bounds
+
+import (
+	"math"
+)
+
+// Log2 returns ⌈log₂ x⌉ for x >= 1, with Log2(1) = 0.
+func Log2(x int) int {
+	if x < 1 {
+		panic("bounds: Log2 needs x >= 1")
+	}
+	l := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// log2f is Log2 as a float64, floored at 1 so bounds never vanish.
+func log2f(x int) float64 {
+	l := Log2(x)
+	if l < 1 {
+		l = 1
+	}
+	return float64(l)
+}
+
+// TauHat returns τ̂ = min(τ, log Δ) — the effective stability (Section VII:
+// performance does not improve past τ = log Δ because groups are only
+// 2·log Δ rounds long).
+func TauHat(tau, maxDegree int) int {
+	logD := Log2(maxDegree)
+	if logD < 1 {
+		logD = 1
+	}
+	if tau < logD {
+		return tau
+	}
+	return logD
+}
+
+// BlindGossip evaluates Theorem VI.1's bound shape (1/α)·Δ²·log²n — the
+// stabilization rounds of blind gossip leader election (and, by Corollary
+// VI.6, PUSH-PULL rumor spreading) for any τ >= 1, b = 0.
+func BlindGossip(alpha float64, maxDegree, n int) float64 {
+	checkArgs(alpha, maxDegree, n)
+	l := log2f(n)
+	return (1 / alpha) * float64(maxDegree) * float64(maxDegree) * l * l
+}
+
+// BlindGossipLower evaluates the Section VI lower-bound shape Δ²·√n for the
+// line-of-stars construction (also expressible as Δ²/√α).
+func BlindGossipLower(maxDegree, n int) float64 {
+	if maxDegree < 1 || n < 1 {
+		panic("bounds: bad arguments")
+	}
+	return float64(maxDegree) * float64(maxDegree) * math.Sqrt(float64(n))
+}
+
+// F evaluates Theorem V.2's approximation factor f(r) = Δ^{1/r}·r·log n
+// (constant c = 1): over r stable rounds, PPUSH informs at least m/f(r)
+// nodes across a cut with an m-matching.
+func F(r, maxDegree, n int) float64 {
+	if r < 1 {
+		panic("bounds: F needs r >= 1")
+	}
+	checkArgs(1, maxDegree, n)
+	return math.Pow(float64(maxDegree), 1/float64(r)) * float64(r) * log2f(n)
+}
+
+// BitConvGoodPhases evaluates Lemma VII.4's t_max = (1/α)·8·f(τ̂)·log n —
+// the number of good phases needed to advance the maximum difference bit.
+func BitConvGoodPhases(alpha float64, tau, maxDegree, n int) float64 {
+	checkArgs(alpha, maxDegree, n)
+	return (1 / alpha) * 8 * F(TauHat(tau, maxDegree), maxDegree, n) * log2f(n)
+}
+
+// BitConvPhases evaluates the Theorem VII.2 phase count
+// O(t_max·log n) = O((1/α)·f(τ̂)·log²n).
+func BitConvPhases(alpha float64, tau, maxDegree, n int) float64 {
+	return BitConvGoodPhases(alpha, tau, maxDegree, n) * log2f(n)
+}
+
+// BitConvRounds evaluates Theorem VII.2's full round bound
+// (1/α)·Δ^{1/τ̂}·τ̂·log⁵n, assembled as phases × (2k·log Δ) rounds per phase
+// with k = 2·log n.
+func BitConvRounds(alpha float64, tau, maxDegree, n int) float64 {
+	phaseLen := 2 * (2 * log2f(n)) * log2f(maxDegree)
+	return BitConvPhases(alpha, tau, maxDegree, n) * phaseLen
+}
+
+// AsyncBitConvRounds evaluates Theorem VIII.2's bound
+// (1/α)·Δ^{1/τ̂}·τ̂·log⁸n: the synchronized bound times the k³-ish penalty
+// for random position matching (the paper's k⁴ in t_max and k in the union
+// bound, against one less log n factor in the group accounting).
+func AsyncBitConvRounds(alpha float64, tau, maxDegree, n int) float64 {
+	k := 2 * log2f(n)
+	return BitConvRounds(alpha, tau, maxDegree, n) * k * k * k / log2f(n)
+}
+
+// AsyncTagBits returns the advertisement width Theorem VIII.2 requires:
+// ⌈log k⌉ + 1 = log log n + O(1), for k = β·log n with β = 2.
+func AsyncTagBits(n int) int {
+	k := 2 * Log2(n+1)
+	if k < 2 {
+		k = 2
+	}
+	return Log2(k) + 1
+}
+
+// KuhnLynchOshman evaluates the O(n²) deterministic bound from [20]
+// (Kuhn, Lynch, Oshman; STOC 2010) that the related-work section compares
+// against: leader election in 1-interval-connected dynamic networks with
+// reliable O(1)-UID broadcast per round.
+func KuhnLynchOshman(n int) float64 {
+	if n < 1 {
+		panic("bounds: bad n")
+	}
+	return float64(n) * float64(n)
+}
+
+func checkArgs(alpha float64, maxDegree, n int) {
+	if alpha <= 0 || alpha > float64(maxDegree)+1 {
+		panic("bounds: alpha out of range")
+	}
+	if maxDegree < 1 || n < 1 {
+		panic("bounds: bad degree or size")
+	}
+}

@@ -1,0 +1,202 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 16: 4, 17: 5}
+	for in, want := range cases {
+		if got := Log2(in); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTauHatSaturates(t *testing.T) {
+	// τ̂ grows with τ up to log Δ and then flattens (Section VII).
+	maxDegree := 16 // log = 4
+	if TauHat(1, maxDegree) != 1 || TauHat(3, maxDegree) != 3 {
+		t.Fatal("TauHat should be identity below log Δ")
+	}
+	if TauHat(4, maxDegree) != 4 || TauHat(100, maxDegree) != 4 {
+		t.Fatal("TauHat should saturate at log Δ")
+	}
+}
+
+func TestBlindGossipMonotonicities(t *testing.T) {
+	// The bound must increase when α shrinks, Δ grows, or n grows.
+	base := BlindGossip(0.5, 8, 64)
+	if BlindGossip(0.25, 8, 64) <= base {
+		t.Fatal("not decreasing in α")
+	}
+	if BlindGossip(0.5, 16, 64) <= base {
+		t.Fatal("not increasing in Δ")
+	}
+	if BlindGossip(0.5, 8, 1024) <= base {
+		t.Fatal("not increasing in n")
+	}
+}
+
+func TestBlindGossipExactShape(t *testing.T) {
+	// (1/α)·Δ²·log²n with α=1, Δ=4, n=256: 1·16·64 = 1024.
+	if got := BlindGossip(1, 4, 256); got != 1024 {
+		t.Fatalf("got %v, want 1024", got)
+	}
+}
+
+func TestBlindGossipLower(t *testing.T) {
+	if got := BlindGossipLower(4, 16); got != 64 {
+		t.Fatalf("Δ²√n = %v, want 64", got)
+	}
+}
+
+func TestFDecreasingInR(t *testing.T) {
+	// f(r) = Δ^{1/r}·r·log n decreases while the Δ^{1/r} term dominates —
+	// i.e. up to its minimum at r = ln Δ — which is the whole point of
+	// stability. Beyond that the linear r term takes over mildly.
+	maxDegree, n := 1024, 1024
+	rMin := int(math.Log(float64(maxDegree))) // ⌊ln Δ⌋ = 6
+	prev := F(1, maxDegree, n)
+	for r := 2; r <= rMin; r++ {
+		cur := F(r, maxDegree, n)
+		if cur >= prev {
+			t.Fatalf("f(%d)=%v >= f(%d)=%v for Δ=%d", r, cur, r-1, prev, maxDegree)
+		}
+		prev = cur
+	}
+	// Across the whole stability range, f(logΔ) beats f(1) by ~Δ/(2·logΔ).
+	gain := F(1, maxDegree, n) / F(Log2(maxDegree), maxDegree, n)
+	want := float64(maxDegree) / (2 * float64(Log2(maxDegree)))
+	if math.Abs(gain-want) > 1e-9 {
+		t.Fatalf("f(1)/f(logΔ) = %v, want %v", gain, want)
+	}
+}
+
+func TestFAtExtremes(t *testing.T) {
+	// f(1) = Δ·log n exactly.
+	if got, want := F(1, 64, 256), 64.0*8; got != want {
+		t.Fatalf("f(1) = %v, want %v", got, want)
+	}
+	// f(log Δ) = 2·logΔ·log n (since Δ^{1/logΔ} = 2 for powers of two).
+	if got, want := F(6, 64, 256), 2.0*6*8; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("f(logΔ) = %v, want %v", got, want)
+	}
+}
+
+func TestBitConvRoundsBeatBlindGossipAsymptotically(t *testing.T) {
+	// For large Δ and τ >= log Δ, the Theorem VII.2 bound must be far below
+	// the Theorem VI.1 bound (the headline gap).
+	alpha, n := 0.01, 1<<20
+	maxDegree := 1 << 14
+	bg := BlindGossip(alpha, maxDegree, n)
+	bc := BitConvRounds(alpha, 100, maxDegree, n)
+	if bc >= bg {
+		t.Fatalf("bit convergence bound %v not below blind gossip %v at scale", bc, bg)
+	}
+}
+
+func TestBitConvRoundsDecreasingInTau(t *testing.T) {
+	// The bound tracks f(τ̂), so it decreases up to τ = ⌊ln Δ⌋ and is flat
+	// beyond log Δ.
+	alpha, maxDegree, n := 0.1, 1024, 4096
+	rMin := int(math.Log(float64(maxDegree)))
+	prev := BitConvRounds(alpha, 1, maxDegree, n)
+	for tau := 2; tau <= rMin; tau++ {
+		cur := BitConvRounds(alpha, tau, maxDegree, n)
+		if cur >= prev {
+			t.Fatalf("bound not decreasing at tau=%d: %v >= %v", tau, cur, prev)
+		}
+		prev = cur
+	}
+	atLog := BitConvRounds(alpha, Log2(maxDegree), maxDegree, n)
+	if BitConvRounds(alpha, 100, maxDegree, n) != atLog {
+		t.Fatal("bound not flat past log Δ")
+	}
+	if atLog >= BitConvRounds(alpha, 1, maxDegree, n) {
+		t.Fatal("τ = log Δ not better than τ = 1")
+	}
+}
+
+func TestAsyncWithinPolylogOfSync(t *testing.T) {
+	// Theorem VIII.2: the async bound is the sync bound times a polylog
+	// factor — here exactly k³/log n.
+	alpha, maxDegree, n := 0.1, 256, 1024
+	sync := BitConvRounds(alpha, 4, maxDegree, n)
+	async := AsyncBitConvRounds(alpha, 4, maxDegree, n)
+	ratio := async / sync
+	k := 2 * log2fTest(n)
+	want := k * k * k / log2fTest(n)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Fatalf("async/sync = %v, want %v", ratio, want)
+	}
+}
+
+func log2fTest(x int) float64 { return float64(Log2(x)) }
+
+func TestAsyncTagBits(t *testing.T) {
+	// b = ⌈log k⌉+1 with k = 2·log n: n=1024 -> k=22 -> ⌈log 22⌉=5 -> 6.
+	if got := AsyncTagBits(1024); got != 6 {
+		t.Fatalf("AsyncTagBits(1024) = %d, want 6", got)
+	}
+	// Must grow like log log n: doubling the exponent adds ~1 bit.
+	if AsyncTagBits(1<<20) > AsyncTagBits(1<<10)+2 {
+		t.Fatal("tag bits growing faster than loglog")
+	}
+}
+
+func TestKuhnLynchOshmanComparison(t *testing.T) {
+	// Related work: our bit convergence needs O(n·Δ·polylog n) under
+	// maximal mobility and worst-case α ~ 1/n; the [20] baseline is O(n²).
+	// For small Δ the mobile bound should be comparable or better in shape.
+	n := 1 << 16
+	klo := KuhnLynchOshman(n)
+	bc := BitConvRounds(2/float64(n), 1, 64, n) // α ~ 1/n, small Δ, τ=1
+	// Not asserting dominance (constants!), just that both formulas are
+	// finite, positive, and the mobile bound is within polylog·Δ of n².
+	if bc <= 0 || klo <= 0 {
+		t.Fatal("degenerate bounds")
+	}
+	polylog := math.Pow(log2fTest(n), 6) * 64
+	if bc > klo*polylog {
+		t.Fatalf("mobile bound %v exceeds n²·polylog·Δ = %v", bc, klo*polylog)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { Log2(0) },
+		func() { BlindGossip(0, 4, 16) },
+		func() { BlindGossip(0.5, 0, 16) },
+		func() { F(0, 4, 16) },
+		func() { BlindGossipLower(0, 4) },
+		func() { KuhnLynchOshman(0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBoundsAlwaysPositive(t *testing.T) {
+	err := quick.Check(func(a uint8, d, nn uint16) bool {
+		alpha := (float64(a%100) + 1) / 100
+		maxDegree := int(d%512) + 1
+		n := int(nn%4096) + maxDegree + 1
+		return BlindGossip(alpha, maxDegree, n) > 0 &&
+			BitConvRounds(alpha, 3, maxDegree, n) > 0 &&
+			AsyncBitConvRounds(alpha, 3, maxDegree, n) > 0 &&
+			F(2, maxDegree, n) > 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

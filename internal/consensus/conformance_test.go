@@ -1,0 +1,21 @@
+package consensus_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/consensus"
+	"mobiletel/internal/core"
+	"mobiletel/internal/sim"
+)
+
+func TestProposerConformance(t *testing.T) {
+	params := core.DefaultBitConvParams(32, 8)
+	uids := core.UniqueUIDs(32, 12)
+	tags := core.AssignTags(32, params.K, 13)
+	err := sim.CheckConformance(func(node int) sim.Protocol {
+		return consensus.NewProposer(uids[node], tags[node], uint64(node), params)
+	}, sim.ConformanceConfig{Seed: 6, TagBits: consensus.TagBits(params)})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+// Analysis helpers for the bit convergence progress measure of Section VII:
+// the maximum difference bit b_i and the zero-set S_i. These exist so tests
+// and traces can observe the exact quantities Lemma VII.1 and Theorem VII.2
+// reason about.
+
+// MaxDifferenceBit computes b_i for the given multiset of current smallest
+// tags (k bits each, bit 1 = most significant): the most significant
+// position at which two tags differ. converged is true (and bit 0) when all
+// tags are equal — the paper's b_i = ⊥ case.
+func MaxDifferenceBit(tags []uint64, k int) (bit int, converged bool) {
+	if len(tags) == 0 {
+		panic("core: MaxDifferenceBit on empty tag set")
+	}
+	if k < 1 || k > 63 {
+		panic("core: MaxDifferenceBit bit count out of range")
+	}
+	for i := 1; i <= k; i++ {
+		first := (tags[0] >> uint(k-i)) & 1
+		for _, tag := range tags[1:] {
+			if (tag>>uint(k-i))&1 != first {
+				return i, false
+			}
+		}
+	}
+	return 0, true
+}
+
+// ZeroSetSize returns |S_i|: the number of tags with a 0 in position bit
+// (1-based, most significant first).
+func ZeroSetSize(tags []uint64, k, bit int) int {
+	if bit < 1 || bit > k {
+		panic("core: ZeroSetSize position out of range")
+	}
+	count := 0
+	for _, tag := range tags {
+		if (tag>>uint(k-bit))&1 == 0 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+)
+
+func TestMaxDifferenceBit(t *testing.T) {
+	k := 4
+	cases := []struct {
+		tags      []uint64
+		bit       int
+		converged bool
+	}{
+		{[]uint64{0b1010, 0b1010}, 0, true},
+		{[]uint64{0b1010, 0b0010}, 1, false}, // differ at MSB
+		{[]uint64{0b1010, 0b1110}, 2, false},
+		{[]uint64{0b1010, 0b1011}, 4, false}, // differ at LSB
+		{[]uint64{0b1010, 0b1010, 0b1000}, 3, false},
+	}
+	for i, c := range cases {
+		bit, converged := core.MaxDifferenceBit(c.tags, k)
+		if bit != c.bit || converged != c.converged {
+			t.Errorf("case %d: got (%d,%v), want (%d,%v)", i, bit, converged, c.bit, c.converged)
+		}
+	}
+}
+
+func TestZeroSetSize(t *testing.T) {
+	k := 4
+	tags := []uint64{0b1010, 0b0010, 0b1110}
+	if got := core.ZeroSetSize(tags, k, 1); got != 1 {
+		t.Fatalf("MSB zero count %d, want 1", got)
+	}
+	if got := core.ZeroSetSize(tags, k, 4); got != 3 {
+		t.Fatalf("LSB zero count %d, want 3", got)
+	}
+}
+
+func TestAnalysisPanics(t *testing.T) {
+	cases := []func(){
+		func() { core.MaxDifferenceBit(nil, 4) },
+		func() { core.MaxDifferenceBit([]uint64{1}, 0) },
+		func() { core.ZeroSetSize([]uint64{1}, 4, 0) },
+		func() { core.ZeroSetSize([]uint64{1}, 4, 5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestLemmaVII1ProgressMeasure observes a full bit convergence execution
+// and checks the three properties of Lemma VII.1 at every phase boundary:
+// (1) once converged (b = ⊥), stays converged; (2) the maximum difference
+// bit never decreases; (3) while the bit is fixed, the zero set never
+// shrinks.
+func TestLemmaVII1ProgressMeasure(t *testing.T) {
+	n, d := 48, 8
+	f := gen.RandomRegular(n, d, 17)
+	uids := core.UniqueUIDs(n, 23)
+	params := core.DefaultBitConvParams(n, d)
+	protocols, _ := core.NewBitConvNetwork(uids, params, 29)
+
+	snapshot := func(ps []sim.Protocol) []uint64 {
+		tags := make([]uint64, len(ps))
+		for i, p := range ps {
+			tags[i] = p.(*core.BitConv).Best().Tag
+		}
+		return tags
+	}
+
+	prevBit, prevConverged := core.MaxDifferenceBit(snapshot(protocols), params.K)
+	prevZero := 0
+	if !prevConverged {
+		prevZero = core.ZeroSetSize(snapshot(protocols), params.K, prevBit)
+	}
+
+	phaseLen := params.PhaseLen()
+	stop := func(round int, ps []sim.Protocol) bool {
+		if round%phaseLen != 0 {
+			return false // observe only at phase boundaries
+		}
+		tags := snapshot(ps)
+		bit, converged := core.MaxDifferenceBit(tags, params.K)
+		switch {
+		case prevConverged && !converged:
+			t.Fatalf("round %d: un-converged after b_i = ⊥ (Lemma VII.1(1) violated)", round)
+		case !prevConverged && !converged && bit < prevBit:
+			t.Fatalf("round %d: max difference bit fell %d -> %d (Lemma VII.1(2) violated)",
+				round, prevBit, bit)
+		case !prevConverged && !converged && bit == prevBit:
+			if zero := core.ZeroSetSize(tags, params.K, bit); zero < prevZero {
+				t.Fatalf("round %d: |S_i| shrank %d -> %d at bit %d (Lemma VII.1(3) violated)",
+					round, prevZero, zero, bit)
+			} else {
+				prevZero = zero
+			}
+		case !converged:
+			prevZero = core.ZeroSetSize(tags, params.K, bit)
+		}
+		prevBit, prevConverged = bit, converged
+		return sim.AllLeadersEqual(round, ps)
+	}
+
+	eng, err := sim.New(dyngraph.NewPermuted(f, 2, 31), protocols,
+		sim.Config{Seed: 37, TagBits: 1, MaxRounds: 5_000_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(stop); err != nil {
+		t.Fatal(err)
+	}
+	// At stabilization all tags are equal, so the measure must be ⊥.
+	if _, converged := core.MaxDifferenceBit(snapshot(protocols), params.K); !converged {
+		t.Fatal("stabilized network with unconverged tags")
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+// Conformance battery: every leader election protocol must behave as a
+// well-formed mobile telephone model protocol across the sim package's
+// schedule scenarios (no panics, budgets respected, deterministic traces,
+// activation staggering tolerated).
+
+import (
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/sim"
+)
+
+func TestBlindGossipConformance(t *testing.T) {
+	uids := core.UniqueUIDs(32, 7)
+	err := sim.CheckConformance(func(node int) sim.Protocol {
+		return core.NewBlindGossip(uids[node])
+	}, sim.ConformanceConfig{Seed: 1, TagBits: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitConvConformance(t *testing.T) {
+	uids := core.UniqueUIDs(32, 8)
+	params := core.DefaultBitConvParams(32, 8)
+	tags := core.AssignTags(32, params.K, 9)
+	err := sim.CheckConformance(func(node int) sim.Protocol {
+		return core.NewBitConv(uids[node], tags[node], params)
+	}, sim.ConformanceConfig{Seed: 2, TagBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncBitConvConformance(t *testing.T) {
+	uids := core.UniqueUIDs(32, 10)
+	params := core.DefaultBitConvParams(32, 8)
+	tags := core.AssignTags(32, params.K, 11)
+	err := sim.CheckConformance(func(node int) sim.Protocol {
+		return core.NewAsyncBitConv(uids[node], tags[node], params)
+	}, sim.ConformanceConfig{Seed: 3, TagBits: core.TagBitsNeeded(params)})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package core implements the paper's contribution: three leader election
+// algorithms for the mobile telephone model.
+//
+//   - BlindGossip (Section VI): works with b = 0 and any τ >= 1. Stabilizes
+//     in O((1/α)Δ²log²n) rounds (Theorem VI.1); Ω(Δ²/√α) on the line of
+//     stars.
+//   - BitConv (Section VII): works with b = 1 and synchronized starts.
+//     Stabilizes in O((1/α)Δ^{1/τ̂}·τ̂·log⁵n) rounds, τ̂ = min(τ, log Δ)
+//     (Theorem VII.2).
+//   - AsyncBitConv (Section VIII): works with b = ⌈log k⌉ + 1 =
+//     log log n + O(1) and asynchronous activations; self-stabilizing under
+//     component merges. Stabilizes in O((1/α)Δ^{1/τ̂}·τ̂·log⁸n) rounds after
+//     the last activation (Theorem VIII.2).
+//
+// All three treat UIDs as opaque comparable values (uint64 here) exchanged
+// only through connections, per the problem statement in Section IV.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mobiletel/internal/sim"
+	"mobiletel/internal/xrand"
+)
+
+// IDPair is the (UID, tag) pair of the bit convergence algorithms. Pairs are
+// ordered by tag, with UID as tie-break; the network converges to the
+// globally smallest pair.
+type IDPair struct {
+	UID uint64
+	Tag uint64
+}
+
+// Less is the strict ordering on ID pairs: smaller tag first, then smaller
+// UID.
+func (p IDPair) Less(q IDPair) bool {
+	if p.Tag != q.Tag {
+		return p.Tag < q.Tag
+	}
+	return p.UID < q.UID
+}
+
+// Log2Ceil returns ⌈log₂ x⌉ for x >= 1.
+func Log2Ceil(x int) int {
+	if x < 1 {
+		panic("core: Log2Ceil needs x >= 1")
+	}
+	if x == 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// UniqueUIDs generates n distinct pseudo-random 64-bit UIDs from seed. The
+// algorithms treat UIDs as opaque black boxes; tests use this to avoid
+// accidentally encoding node indices into UID structure.
+func UniqueUIDs(n int, seed uint64) []uint64 {
+	rng := xrand.New(seed)
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		u := rng.Uint64()
+		if u != 0 && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// MinUID returns the smallest UID in the slice.
+func MinUID(uids []uint64) uint64 {
+	if len(uids) == 0 {
+		panic("core: MinUID on empty slice")
+	}
+	best := uids[0]
+	for _, u := range uids[1:] {
+		if u < best {
+			best = u
+		}
+	}
+	return best
+}
+
+// MinPair returns the smallest ID pair.
+func MinPair(pairs []IDPair) IDPair {
+	if len(pairs) == 0 {
+		panic("core: MinPair on empty slice")
+	}
+	best := pairs[0]
+	for _, p := range pairs[1:] {
+		if p.Less(best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// AssignTags draws one ID tag per node uniformly from [1, 2^k), matching the
+// paper's 1..n^β range with k = ⌈β·log n⌉ bits. Tags are not guaranteed
+// unique (collisions happen with probability ~n²/2^k; the algorithms
+// tolerate them via the UID tie-break, and experiments track the rate).
+func AssignTags(n, k int, seed uint64) []uint64 {
+	if k < 1 || k > 63 {
+		panic(fmt.Sprintf("core: tag bit count %d outside [1, 63]", k))
+	}
+	rng := xrand.New(seed)
+	tags := make([]uint64, n)
+	span := (uint64(1) << uint(k)) - 1 // tags 1..2^k-1
+	for i := range tags {
+		tags[i] = 1 + rng.Uint64n(span)
+	}
+	return tags
+}
+
+// leadersAllEqual is shared test plumbing: checks every protocol in the
+// slice reports the same leader.
+func leadersAllEqual(protocols []sim.Protocol) bool {
+	first := protocols[0].Leader()
+	for _, p := range protocols[1:] {
+		if p.Leader() != first {
+			return false
+		}
+	}
+	return true
+}

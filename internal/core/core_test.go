@@ -1,0 +1,293 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobiletel/internal/xrand"
+)
+
+func TestIDPairLess(t *testing.T) {
+	cases := []struct {
+		p, q IDPair
+		want bool
+	}{
+		{IDPair{1, 5}, IDPair{2, 6}, true},   // smaller tag wins
+		{IDPair{9, 5}, IDPair{2, 6}, true},   // tag dominates UID
+		{IDPair{1, 5}, IDPair{2, 5}, true},   // equal tags: smaller UID
+		{IDPair{2, 5}, IDPair{1, 5}, false},  // equal tags: larger UID
+		{IDPair{1, 5}, IDPair{1, 5}, false},  // equal pairs: strict
+		{IDPair{1, 7}, IDPair{99, 6}, false}, // larger tag loses
+	}
+	for i, c := range cases {
+		if got := c.p.Less(c.q); got != c.want {
+			t.Errorf("case %d: %v.Less(%v) = %v, want %v", i, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestIDPairLessIsStrictOrder(t *testing.T) {
+	err := quick.Check(func(a, b IDPair) bool {
+		// Antisymmetry and totality on distinct pairs.
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for x, want := range cases {
+		if got := Log2Ceil(x); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestLog2CeilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2Ceil(0) did not panic")
+		}
+	}()
+	Log2Ceil(0)
+}
+
+func TestUniqueUIDsDistinctAndNonzero(t *testing.T) {
+	uids := UniqueUIDs(5000, 3)
+	seen := make(map[uint64]bool, len(uids))
+	for _, u := range uids {
+		if u == 0 {
+			t.Fatal("zero UID generated")
+		}
+		if seen[u] {
+			t.Fatalf("duplicate UID %d", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestUniqueUIDsDeterministic(t *testing.T) {
+	a, b := UniqueUIDs(100, 9), UniqueUIDs(100, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("UniqueUIDs not deterministic")
+		}
+	}
+}
+
+func TestMinUIDAndMinPair(t *testing.T) {
+	if MinUID([]uint64{5, 3, 9}) != 3 {
+		t.Fatal("MinUID wrong")
+	}
+	got := MinPair([]IDPair{{UID: 1, Tag: 9}, {UID: 7, Tag: 2}, {UID: 3, Tag: 2}})
+	if got != (IDPair{UID: 3, Tag: 2}) {
+		t.Fatalf("MinPair = %v", got)
+	}
+}
+
+func TestAssignTagsInRange(t *testing.T) {
+	for _, k := range []int{1, 4, 20, 63} {
+		tags := AssignTags(200, k, 5)
+		limit := uint64(1) << uint(k)
+		for _, tag := range tags {
+			if tag == 0 || tag >= limit {
+				t.Fatalf("k=%d: tag %d outside [1, 2^%d)", k, tag, k)
+			}
+		}
+	}
+}
+
+func TestAssignTagsPanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AssignTags with k=%d did not panic", k)
+				}
+			}()
+			AssignTags(10, k, 1)
+		}()
+	}
+}
+
+func TestAssignTagsCollisionRate(t *testing.T) {
+	// With k = 2·log2(n) bits, expected collisions ~ n²/2^k = 1; with
+	// k = 2·log2(n)+6 they should be rare. Just verify the 2·log2(n) rule
+	// used by DefaultBitConvParams keeps duplicates to a small fraction.
+	n := 1024
+	k := 2 * Log2Ceil(n+1)
+	tags := AssignTags(n, k, 7)
+	seen := make(map[uint64]int)
+	dups := 0
+	for _, tag := range tags {
+		if seen[tag] > 0 {
+			dups++
+		}
+		seen[tag]++
+	}
+	if dups > n/50 {
+		t.Fatalf("too many tag collisions: %d of %d", dups, n)
+	}
+}
+
+func TestDefaultBitConvParams(t *testing.T) {
+	p := DefaultBitConvParams(1000, 16)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 2*Log2Ceil(1001) {
+		t.Fatalf("K = %d", p.K)
+	}
+	if p.GroupLen != 2*Log2Ceil(17) {
+		t.Fatalf("GroupLen = %d", p.GroupLen)
+	}
+	if p.PhaseLen() != p.K*p.GroupLen {
+		t.Fatal("PhaseLen inconsistent")
+	}
+	// Degenerate inputs still validate.
+	if err := DefaultBitConvParams(1, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitConvParamsValidate(t *testing.T) {
+	if err := (BitConvParams{K: 0, GroupLen: 2}).Validate(); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if err := (BitConvParams{K: 64, GroupLen: 2}).Validate(); err == nil {
+		t.Fatal("K=64 accepted")
+	}
+	if err := (BitConvParams{K: 4, GroupLen: 0}).Validate(); err == nil {
+		t.Fatal("GroupLen=0 accepted")
+	}
+}
+
+func TestEncodeDecodeTag(t *testing.T) {
+	for pos := 1; pos <= 20; pos++ {
+		for bit := uint64(0); bit <= 1; bit++ {
+			gotPos, gotBit := decodeTag(encodeTag(pos, bit))
+			if gotPos != pos || gotBit != bit {
+				t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", pos, bit, gotPos, gotBit)
+			}
+		}
+	}
+}
+
+func TestTagBitsNeeded(t *testing.T) {
+	// k=20 positions need ceil(log2 20)=5 bits + 1 value bit.
+	if got := TagBitsNeeded(BitConvParams{K: 20, GroupLen: 2}); got != 6 {
+		t.Fatalf("TagBitsNeeded(k=20) = %d, want 6", got)
+	}
+	// Largest encoded value must fit.
+	params := BitConvParams{K: 20, GroupLen: 2}
+	maxTag := encodeTag(params.K, 1)
+	if maxTag >= uint64(1)<<uint(TagBitsNeeded(params)) {
+		t.Fatalf("encoded tag %d does not fit in %d bits", maxTag, TagBitsNeeded(params))
+	}
+}
+
+func TestNewBitConvRejectsBadTag(t *testing.T) {
+	params := BitConvParams{K: 4, GroupLen: 2}
+	for _, tag := range []uint64{0, 16, 999} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("tag %d accepted", tag)
+				}
+			}()
+			NewBitConv(1, tag, params)
+		}()
+	}
+}
+
+func TestBitConvGroupBitExtraction(t *testing.T) {
+	params := BitConvParams{K: 4, GroupLen: 2}
+	// tag 0b1010 = 10: bit 1 (MSB) = 1, bit 2 = 0, bit 3 = 1, bit 4 = 0.
+	p := NewBitConv(1, 0b1010, params)
+	want := []uint64{1, 0, 1, 0}
+	for g := 1; g <= 4; g++ {
+		if got := p.groupBit(g); got != want[g-1] {
+			t.Fatalf("groupBit(%d) = %d, want %d", g, got, want[g-1])
+		}
+	}
+}
+
+func TestBitConvPhasePosition(t *testing.T) {
+	params := BitConvParams{K: 3, GroupLen: 4} // phase = 12 rounds
+	p := NewBitConv(1, 1, params)
+	cases := []struct {
+		round      int
+		group      int
+		phaseStart bool
+	}{
+		{1, 1, true}, {2, 1, false}, {4, 1, false},
+		{5, 2, false}, {8, 2, false}, {9, 3, false}, {12, 3, false},
+		{13, 1, true}, {25, 1, true},
+	}
+	for _, c := range cases {
+		g, ps := p.phasePosition(c.round)
+		if g != c.group || ps != c.phaseStart {
+			t.Errorf("round %d: got (group=%d, start=%v), want (%d, %v)", c.round, g, ps, c.group, c.phaseStart)
+		}
+	}
+}
+
+func TestBlindGossipInitialState(t *testing.T) {
+	p := NewBlindGossip(42)
+	if p.Leader() != 42 || p.UID() != 42 {
+		t.Fatal("initial leader must be own UID")
+	}
+}
+
+func TestNetworkFactories(t *testing.T) {
+	uids := UniqueUIDs(10, 1)
+	bg := NewBlindGossipNetwork(uids)
+	if len(bg) != 10 {
+		t.Fatal("wrong network size")
+	}
+	params := DefaultBitConvParams(10, 4)
+	bc, tags := NewBitConvNetwork(uids, params, 3)
+	if len(bc) != 10 || len(tags) != 10 {
+		t.Fatal("wrong bitconv network size")
+	}
+	abc, tags2 := NewAsyncBitConvNetwork(uids, params, 3)
+	if len(abc) != 10 || len(tags2) != 10 {
+		t.Fatal("wrong async network size")
+	}
+	// Each node's initial leader is its own UID.
+	for i := range uids {
+		if bg[i].Leader() != uids[i] || bc[i].Leader() != uids[i] || abc[i].Leader() != uids[i] {
+			t.Fatalf("node %d initial leader wrong", i)
+		}
+	}
+}
+
+func TestLeadersAllEqualHelper(t *testing.T) {
+	uids := []uint64{3, 3, 3}
+	if !leadersAllEqual(NewBlindGossipNetwork(uids)) {
+		t.Fatal("equal leaders not detected")
+	}
+	if leadersAllEqual(NewBlindGossipNetwork([]uint64{3, 4, 3})) {
+		t.Fatal("unequal leaders not detected")
+	}
+}
+
+func TestAssignTagsSeedSensitivity(t *testing.T) {
+	a := AssignTags(50, 20, 1)
+	b := AssignTags(50, 20, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/50 tags identical across seeds", same)
+	}
+	_ = xrand.Mix3 // keep import in use if counts change
+}

@@ -1,0 +1,275 @@
+package expansion
+
+import (
+	"math"
+	"testing"
+
+	"mobiletel/internal/graph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/xrand"
+)
+
+func TestExactClique(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 9} {
+		f := gen.Clique(n)
+		alpha, set := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("K_%d: exact α=%v, analytic %v", n, alpha, f.Alpha)
+		}
+		if !Verify(f.Graph, set, alpha) {
+			t.Errorf("K_%d: minimizing set %v does not attain %v", n, set, alpha)
+		}
+	}
+}
+
+func TestExactPath(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 10, 11} {
+		f := gen.Path(n)
+		alpha, _ := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("path(%d): exact α=%v, analytic %v", n, alpha, f.Alpha)
+		}
+	}
+}
+
+func TestExactCycle(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 12} {
+		f := gen.Cycle(n)
+		alpha, _ := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("cycle(%d): exact α=%v, analytic %v", n, alpha, f.Alpha)
+		}
+	}
+}
+
+func TestExactStar(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 9, 12} {
+		f := gen.Star(n)
+		alpha, _ := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("star(%d): exact α=%v, analytic %v", n, alpha, f.Alpha)
+		}
+	}
+}
+
+func TestExactLineOfStars(t *testing.T) {
+	cases := []struct{ stars, points int }{{2, 2}, {3, 2}, {4, 3}, {3, 4}}
+	for _, c := range cases {
+		f := gen.LineOfStars(c.stars, c.points)
+		if f.N() > MaxExactN {
+			continue
+		}
+		alpha, set := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("line-of-stars(%d,%d): exact α=%v, analytic %v (set %v)",
+				c.stars, c.points, alpha, f.Alpha, set)
+		}
+	}
+}
+
+func TestExactBarbell(t *testing.T) {
+	for _, s := range []int{2, 3, 5, 8} {
+		f := gen.Barbell(s)
+		if f.N() > MaxExactN {
+			continue
+		}
+		alpha, _ := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("barbell(%d): exact α=%v, analytic %v", s, alpha, f.Alpha)
+		}
+	}
+}
+
+func TestExactBinaryTree(t *testing.T) {
+	for _, levels := range []int{2, 3, 4} {
+		f := gen.CompleteBinaryTree(levels)
+		alpha, _ := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("binary-tree(%d levels): exact α=%v, analytic %v", levels, alpha, f.Alpha)
+		}
+	}
+}
+
+func TestExactRingOfCliques(t *testing.T) {
+	cases := []struct{ k, s int }{{3, 3}, {4, 3}, {4, 4}, {5, 4}, {6, 3}}
+	for _, c := range cases {
+		f := gen.RingOfCliques(c.k, c.s)
+		if f.N() > MaxExactN {
+			continue
+		}
+		alpha, set := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("ring-of-cliques(%d,%d): exact α=%v, analytic %v (set %v)",
+				c.k, c.s, alpha, f.Alpha, set)
+		}
+	}
+}
+
+func TestExactRejectsLargeGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exact on oversized graph did not panic")
+		}
+	}()
+	Exact(gen.Cycle(MaxExactN + 1).Graph)
+}
+
+func TestExactRejectsTinyGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exact on 1-node graph did not panic")
+		}
+	}()
+	Exact(graph.NewBuilder(1).MustBuild())
+}
+
+func TestSweepIsUpperBound(t *testing.T) {
+	// On every small random connected graph, the sweep bound must be >= the
+	// exact α and must be attained by a valid cut.
+	rng := xrand.New(42)
+	for trial := 0; trial < 40; trial++ {
+		g := randomConnected(rng, 6+trial%8, 0.35)
+		exact, _ := Exact(g)
+		sweep, set := SweepUpperBound(g)
+		if sweep < exact-1e-12 {
+			t.Fatalf("sweep %v below exact %v on %v", sweep, exact, g)
+		}
+		if !Verify(g, set, sweep) {
+			t.Fatalf("sweep set %v does not attain %v on %v", set, sweep, g)
+		}
+	}
+}
+
+func TestSweepExactOnLineFamilies(t *testing.T) {
+	// For path-like families, a BFS sweep from an endpoint finds the true
+	// minimum cut, so the bound should be tight.
+	for _, n := range []int{8, 13, 20, 51} {
+		f := gen.Path(n)
+		sweep, _ := SweepUpperBound(f.Graph)
+		if sweep != f.Alpha {
+			t.Errorf("path(%d): sweep α=%v, want exact %v", n, sweep, f.Alpha)
+		}
+	}
+	for _, side := range []int{3, 5, 8} {
+		f := gen.SqrtLineOfStars(side)
+		sweep, _ := SweepUpperBound(f.Graph)
+		if sweep > f.Alpha*1.0000001 {
+			t.Errorf("sqrt-line-of-stars(%d): sweep α=%v, want <= analytic %v", side, sweep, f.Alpha)
+		}
+	}
+}
+
+func TestSweepOnRandomRegularIsConstantish(t *testing.T) {
+	// Random regular graphs are expanders w.h.p.; the sweep upper bound
+	// should not collapse to o(1) values.
+	f := gen.RandomRegular(200, 6, 7)
+	sweep, _ := SweepUpperBound(f.Graph)
+	if sweep < 0.05 {
+		t.Fatalf("random-regular sweep α=%v suspiciously small for an expander", sweep)
+	}
+}
+
+func TestVerifyRejectsBadSets(t *testing.T) {
+	g := gen.Cycle(8).Graph
+	if Verify(g, nil, 0.5) {
+		t.Fatal("Verify accepted empty set")
+	}
+	if Verify(g, []int{0, 1, 2, 3, 4}, 0.5) {
+		t.Fatal("Verify accepted oversized set")
+	}
+	if Verify(g, []int{0, 0}, 0.5) {
+		t.Fatal("Verify accepted duplicate nodes")
+	}
+	if Verify(g, []int{99}, 0.5) {
+		t.Fatal("Verify accepted out-of-range node")
+	}
+	if Verify(g, []int{0, 1}, 0.123) {
+		t.Fatal("Verify accepted wrong claimed value")
+	}
+}
+
+func TestAlphaAlwaysAtMostOne(t *testing.T) {
+	// The paper notes α <= 1 always (taking |S| = n/2 gives |∂S| <= |S|).
+	rng := xrand.New(99)
+	for trial := 0; trial < 30; trial++ {
+		g := randomConnected(rng, 8+trial%6, 0.4)
+		alpha, _ := Exact(g)
+		if alpha > 1 {
+			t.Fatalf("exact α=%v > 1 on %v", alpha, g)
+		}
+		if math.IsInf(alpha, 0) || math.IsNaN(alpha) {
+			t.Fatalf("exact α=%v invalid", alpha)
+		}
+	}
+}
+
+// randomConnected samples G(n, p) until connected.
+func randomConnected(rng *xrand.RNG, n int, p float64) *graph.Graph {
+	for {
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		if g.Connected() {
+			return g
+		}
+	}
+}
+
+func BenchmarkExact16(b *testing.B) {
+	g := gen.RingOfCliques(4, 4).Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g)
+	}
+}
+
+func BenchmarkSweep10000(b *testing.B) {
+	g := gen.RingOfCliques(100, 100).Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SweepUpperBound(g)
+	}
+}
+
+func TestExactCompleteBipartite(t *testing.T) {
+	cases := [][2]int{{2, 3}, {3, 3}, {3, 5}, {4, 6}, {2, 8}}
+	for _, c := range cases {
+		f := gen.CompleteBipartite(c[0], c[1])
+		alpha, _ := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("K_{%d,%d}: exact α=%v, analytic %v", c[0], c[1], alpha, f.Alpha)
+		}
+	}
+}
+
+func TestExactPetersen(t *testing.T) {
+	f := gen.Petersen()
+	alpha, _ := Exact(f.Graph)
+	if alpha != f.Alpha {
+		t.Errorf("petersen: exact α=%v, family %v", alpha, f.Alpha)
+	}
+}
+
+func TestExactWheel(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 9, 12} {
+		f := gen.Wheel(n)
+		alpha, _ := Exact(f.Graph)
+		if alpha != f.Alpha {
+			t.Errorf("wheel(%d): exact α=%v, analytic %v", n, alpha, f.Alpha)
+		}
+	}
+}
+
+func TestExactCirculant(t *testing.T) {
+	f := gen.Circulant(12, []int{1, 3})
+	alpha, _ := Exact(f.Graph)
+	if alpha != f.Alpha {
+		t.Errorf("circulant: exact α=%v, family %v", alpha, f.Alpha)
+	}
+}

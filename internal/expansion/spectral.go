@@ -1,0 +1,130 @@
+package expansion
+
+import (
+	"math"
+
+	"mobiletel/internal/graph"
+)
+
+// SpectralGap estimates λ₂, the second-smallest eigenvalue of the
+// normalized Laplacian L = I − D^{−1/2}·A·D^{−1/2}, by deflated power
+// iteration on M = 2I − L (whose top eigenvector D^{1/2}·1 is known in
+// closed form). The estimate converges to λ₂ from below in μ-space, i.e.
+// the returned value approaches λ₂ from above; iters controls accuracy
+// (a few hundred iterations give ~1e-6 on well-conditioned graphs).
+//
+// It panics on graphs with isolated nodes (degree 0), where the normalized
+// Laplacian is undefined.
+func SpectralGap(g *graph.Graph, iters int) float64 {
+	n := g.N()
+	if n < 2 {
+		panic("expansion: SpectralGap needs n >= 2")
+	}
+	if iters < 1 {
+		panic("expansion: SpectralGap needs iters >= 1")
+	}
+	sqrtDeg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		if d == 0 {
+			panic("expansion: SpectralGap on graph with isolated node")
+		}
+		sqrtDeg[u] = math.Sqrt(float64(d))
+	}
+	// Top eigenvector of M (eigenvalue 2): v1 ∝ D^{1/2}·1.
+	v1 := make([]float64, n)
+	norm := 0.0
+	for u := 0; u < n; u++ {
+		v1[u] = sqrtDeg[u]
+		norm += v1[u] * v1[u]
+	}
+	norm = math.Sqrt(norm)
+	for u := range v1 {
+		v1[u] /= norm
+	}
+
+	// Deterministic, non-degenerate start vector, deflated against v1.
+	x := make([]float64, n)
+	for u := range x {
+		x[u] = math.Sin(float64(u+1)) + 0.5
+	}
+	y := make([]float64, n)
+
+	deflate := func(v []float64) {
+		dot := 0.0
+		for u := range v {
+			dot += v[u] * v1[u]
+		}
+		for u := range v {
+			v[u] -= dot * v1[u]
+		}
+	}
+	normalize := func(v []float64) float64 {
+		s := 0.0
+		for _, val := range v {
+			s += val * val
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return 0
+		}
+		for u := range v {
+			v[u] /= s
+		}
+		return s
+	}
+
+	deflate(x)
+	if normalize(x) == 0 {
+		// The start vector was (numerically) parallel to v1; perturb.
+		for u := range x {
+			x[u] = float64((u*2654435761)%1000) / 1000.0
+		}
+		deflate(x)
+		normalize(x)
+	}
+
+	mu := 0.0
+	for it := 0; it < iters; it++ {
+		// y = M·x = 2x − L·x = x + D^{-1/2} A D^{-1/2} x.
+		for u := 0; u < n; u++ {
+			sum := 0.0
+			for _, v := range g.Neighbors(u) {
+				sum += x[v] / sqrtDeg[v]
+			}
+			y[u] = x[u] + sum/sqrtDeg[u]
+		}
+		deflate(y)
+		// Rayleigh quotient μ ≈ x·Mx (x is unit length).
+		mu = 0.0
+		for u := 0; u < n; u++ {
+			mu += x[u] * y[u]
+		}
+		if normalize(y) == 0 {
+			break
+		}
+		x, y = y, x
+	}
+	lambda2 := 2 - mu
+	if lambda2 < 0 {
+		lambda2 = 0
+	}
+	return lambda2
+}
+
+// SpectralAlphaEstimate converts the spectral gap into an (approximate)
+// lower-bound estimate on vertex expansion via Cheeger's inequality:
+// edge conductance h ≥ λ₂/2, |∂S| ≥ |E(S, S̄)|/Δ, and vol(S) ≥ δ_min·|S|,
+// giving α ≳ (λ₂/2)·δ_min/Δ. Approximate because λ₂ itself is estimated
+// (from above), so treat the result as a heuristic companion to the
+// certified SweepUpperBound: together they sandwich α in practice.
+func SpectralAlphaEstimate(g *graph.Graph, iters int) float64 {
+	lambda2 := SpectralGap(g, iters)
+	minDeg := g.N()
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d < minDeg {
+			minDeg = d
+		}
+	}
+	return lambda2 / 2 * float64(minDeg) / float64(g.MaxDegree())
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+	"mobiletel/internal/stats"
+	"mobiletel/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID: "A1-ablation-grouplen",
+		Claim: "Design choice (Lemma VII.5): groups of 2·logΔ rounds guarantee " +
+			"a τ̂-stable stretch inside every group. Shorter groups shrink phases " +
+			"but lose stable stretches under churn; longer groups waste rounds.",
+		Run: runA1,
+	})
+	register(Experiment{
+		ID: "A2-ablation-tagbits",
+		Claim: "Design choice (Section VII): ID tags of k = β·log n bits are " +
+			"unique w.h.p. for β ≥ 2 — and uniqueness is load-bearing: if two " +
+			"nodes draw the same *minimum* tag, the UID tie-break cannot " +
+			"propagate (advertisements carry only tag bits) and the network " +
+			"never stabilizes. Small β must show convergence failures.",
+		Run: runA2,
+	})
+	register(Experiment{
+		ID: "A3-ablation-accept",
+		Claim: "Model choice (Section III): uniform-random acceptance is what " +
+			"the analysis assumes. Deterministic lowest-id acceptance biases " +
+			"contention but leader election remains correct; round counts shift.",
+		Run: runA3,
+	})
+}
+
+func runA1(cfg Config) (*trace.Table, error) {
+	trials := pickTrials(cfg, 5, 15)
+	n := pick(cfg.Quick, 48, 96)
+	d := 16
+	logDelta := core.Log2Ceil(d + 1)
+	base := gen.RandomRegular(n, d, cfg.Seed+7000)
+	tau := logDelta // churn at the knee
+
+	table := trace.NewTable(
+		fmt.Sprintf("A1 group length ablation (bit convergence), n=%d d=%d τ=%d", n, d, tau),
+		"group length", "phase length", "median rounds", "p90")
+
+	k := core.DefaultBitConvParams(n, d).K
+	for _, mult := range []int{1, 2, 4} {
+		mult := mult
+		params := core.BitConvParams{K: k, GroupLen: mult * logDelta}
+		rounds, err := runTrials(trials, trialSpec{
+			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
+				seed := trialSeed(cfg.Seed, 1100+mult, trial)
+				uids := core.UniqueUIDs(n, seed)
+				protocols, _ := core.NewBitConvNetwork(uids, params, seed+1)
+				return dyngraph.NewPermuted(base, tau, seed+2), protocols,
+					sim.Config{Seed: seed + 3, TagBits: 1, MaxRounds: 50_000_000}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := stats.IntSummary(rounds)
+		table.AddRow(fmt.Sprintf("%d·logΔ = %d", mult, params.GroupLen), params.PhaseLen(), s.Median, s.P90)
+	}
+	return table, nil
+}
+
+func runA2(cfg Config) (*trace.Table, error) {
+	trials := pickTrials(cfg, 5, 15)
+	n := pick(cfg.Quick, 48, 96)
+	d := 8
+	base := gen.RandomRegular(n, d, cfg.Seed+8000)
+	logN := core.Log2Ceil(n + 1)
+
+	table := trace.NewTable(
+		fmt.Sprintf("A2 ID tag length ablation (bit convergence), n=%d", n),
+		"β", "k bits", "collision rate", "min-tag collided", "stabilized", "median rounds (ok trials)")
+
+	// A trial whose *minimum* tag is shared by two nodes cannot stabilize
+	// (the UID tie-break never propagates through 1-bit advertisements), so
+	// cap those trials instead of running forever.
+	cap := pick(cfg.Quick, 100_000, 400_000)
+
+	for _, beta := range []float64{0.5, 1, 2, 3} {
+		k := int(beta * float64(logN))
+		if k < 1 {
+			k = 1
+		}
+		params := core.BitConvParams{K: k, GroupLen: 2 * core.Log2Ceil(d+1)}
+
+		collisions, minTagCollided, stabilized := 0, 0, 0
+		var okRounds []int
+		for trial := 0; trial < trials; trial++ {
+			seed := trialSeed(cfg.Seed, 1200+int(beta*10), trial)
+			uids := core.UniqueUIDs(n, seed)
+			protocols, tags := core.NewBitConvNetwork(uids, params, seed+1)
+
+			seen := map[uint64]bool{}
+			minTag := tags[0]
+			minCount := 0
+			for _, tag := range tags {
+				if seen[tag] {
+					collisions++
+				}
+				seen[tag] = true
+				if tag < minTag {
+					minTag = tag
+				}
+			}
+			for _, tag := range tags {
+				if tag == minTag {
+					minCount++
+				}
+			}
+			if minCount > 1 {
+				minTagCollided++
+			}
+
+			eng, err := sim.New(dyngraph.NewStatic(base), protocols,
+				sim.Config{Seed: seed + 2, TagBits: 1, MaxRounds: cap, Workers: 1})
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Run(sim.AllLeadersEqual)
+			if err == nil {
+				stabilized++
+				okRounds = append(okRounds, res.StabilizedRound)
+				if err := checkMinPair(uids, tags, protocols); err != nil {
+					return nil, fmt.Errorf("beta=%v trial %d: %w", beta, trial, err)
+				}
+			} else if minCount == 1 {
+				// Unique minimum but no convergence within the cap: a real
+				// failure, not the expected collision deadlock.
+				return nil, fmt.Errorf("beta=%v trial %d: unique min tag yet no stabilization: %w", beta, trial, err)
+			}
+		}
+		med := "—"
+		if len(okRounds) > 0 {
+			med = fmt.Sprintf("%.0f", stats.IntSummary(okRounds).Median)
+		}
+		table.AddRow(beta, k, float64(collisions)/float64(n*trials),
+			fmt.Sprintf("%d/%d", minTagCollided, trials),
+			fmt.Sprintf("%d/%d", stabilized, trials), med)
+	}
+	return table, nil
+}
+
+func runA3(cfg Config) (*trace.Table, error) {
+	trials := pickTrials(cfg, 5, 15)
+	side := pick(cfg.Quick, 6, 9)
+	f := gen.SqrtLineOfStars(side) // acceptance contention is the bottleneck here
+
+	table := trace.NewTable(
+		fmt.Sprintf("A3 acceptance policy ablation (blind gossip on %s, n=%d)", f.Name, f.N()),
+		"policy", "median rounds", "p90", "all correct")
+
+	policies := []struct {
+		name   string
+		policy sim.AcceptPolicy
+	}{
+		{"uniform (model)", sim.AcceptUniform},
+		{"lowest-id", sim.AcceptLowestID},
+		{"highest-id", sim.AcceptHighestID},
+	}
+	for pi, pol := range policies {
+		pol := pol
+		rounds, err := runTrials(trials, trialSpec{
+			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
+				seed := trialSeed(cfg.Seed, 1300+pi, trial)
+				uids := core.UniqueUIDs(f.N(), seed)
+				return dyngraph.NewStatic(f), core.NewBlindGossipNetwork(uids),
+					sim.Config{Seed: seed + 1, TagBits: 0, MaxRounds: 100_000_000, Accept: pol.policy}
+			},
+			Check: func(trial int, protocols []sim.Protocol) error {
+				seed := trialSeed(cfg.Seed, 1300+pi, trial)
+				if protocols[0].Leader() != core.MinUID(core.UniqueUIDs(f.N(), seed)) {
+					return fmt.Errorf("wrong leader under %s", pol.name)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := stats.IntSummary(rounds)
+		table.AddRow(pol.name, s.Median, s.P90, "yes")
+	}
+	return table, nil
+}

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobiletel/internal/bounds"
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+	"mobiletel/internal/stats"
+	"mobiletel/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID: "E1-blindgossip-scaling",
+		Claim: "Theorem VI.1: blind gossip leader election stabilizes in " +
+			"O((1/α)Δ²log²n) rounds for any τ >= 1 and b = 0. The measured-to-" +
+			"predicted ratio should stay roughly flat within each family as n grows.",
+		Run: runE1,
+	})
+	register(Experiment{
+		ID: "E2-blindgossip-lowerbound",
+		Claim: "Section VI lower bound: on the line of √n stars of √n points, " +
+			"blind gossip needs Ω(Δ²√n) rounds; measured rounds should grow like " +
+			"side³ (log-log slope ≈ 3 in the star side length).",
+		Run: runE2,
+	})
+	register(Experiment{
+		ID: "E3-pushpull-bound",
+		Claim: "Corollary VI.6: PUSH-PULL rumor spreading completes in " +
+			"O((1/α)Δ²log²n) rounds in the mobile telephone model with b = 0, τ >= 1.",
+		Run: runE3,
+	})
+}
+
+// e1Point is one (family, n) cell of the E1/E3 sweeps.
+type e1Point struct {
+	family gen.Family
+	tau    int // 0 = static
+}
+
+// e1Families builds the sweep grid: one constant-α family (clique), one
+// shrinking-α family (ring of cliques), one expander (random regular).
+func e1Families(quick bool, seed uint64) []e1Point {
+	var sizes []int
+	if quick {
+		sizes = []int{24, 48}
+	} else {
+		sizes = []int{32, 64, 128}
+	}
+	var points []e1Point
+	for _, n := range sizes {
+		points = append(points, e1Point{family: gen.Clique(n)})
+		points = append(points, e1Point{family: gen.RingOfCliques(n/8, 8)})
+		points = append(points, e1Point{family: gen.RandomRegular(n, 8, seed)})
+	}
+	// Also one dynamic row per size: the adversarial τ=1 permuted expander.
+	for _, n := range sizes {
+		points = append(points, e1Point{family: gen.RandomRegular(n, 8, seed+1), tau: 1})
+	}
+	return points
+}
+
+// predictedBlindGossip evaluates the Theorem VI.1 bound shape via the
+// shared bounds package.
+func predictedBlindGossip(alpha float64, maxDeg, n int) float64 {
+	return bounds.BlindGossip(alpha, maxDeg, n)
+}
+
+func runE1(cfg Config) (*trace.Table, error) {
+	trials := pickTrials(cfg, 5, 15)
+	table := trace.NewTable("E1 blind gossip scaling (Theorem VI.1)",
+		"family", "n", "Δ", "α", "τ", "median", "p90", "bound", "median/bound")
+
+	for pi, pt := range e1Families(cfg.Quick, cfg.Seed+1000) {
+		pt := pt
+		rounds, err := runTrials(trials, trialSpec{
+			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
+				seed := trialSeed(cfg.Seed, pi, trial)
+				uids := core.UniqueUIDs(pt.family.N(), seed)
+				var sched dyngraph.Schedule
+				if pt.tau > 0 {
+					sched = dyngraph.NewPermuted(pt.family, pt.tau, seed+1)
+				} else {
+					sched = dyngraph.NewStatic(pt.family)
+				}
+				return sched, core.NewBlindGossipNetwork(uids),
+					sim.Config{Seed: seed + 2, TagBits: 0, MaxRounds: 50_000_000}
+			},
+			Check: func(trial int, protocols []sim.Protocol) error {
+				seed := trialSeed(cfg.Seed, pi, trial)
+				want := core.MinUID(core.UniqueUIDs(pt.family.N(), seed))
+				if got := protocols[0].Leader(); got != want {
+					return fmt.Errorf("elected %d, want %d", got, want)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := stats.IntSummary(rounds)
+		bound := predictedBlindGossip(pt.family.Alpha, pt.family.MaxDegree(), pt.family.N())
+		tau := "inf"
+		if pt.tau > 0 {
+			tau = fmt.Sprintf("%d", pt.tau)
+		}
+		table.AddRow(pt.family.Name, pt.family.N(), pt.family.MaxDegree(), pt.family.Alpha,
+			tau, s.Median, s.P90, bound, s.Median/bound)
+	}
+	return table, nil
+}
+
+func runE2(cfg Config) (*trace.Table, error) {
+	trials := pickTrials(cfg, 5, 15)
+	var sides []int
+	if cfg.Quick {
+		sides = []int{4, 6}
+	} else {
+		sides = []int{4, 6, 8, 11}
+	}
+	table := trace.NewTable("E2 blind gossip lower bound on the line of stars (Section VI)",
+		"side", "n", "Δ", "median", "p90", "Δ²·side", "median/(Δ²·side)")
+
+	var xs, ys []float64
+	for pi, side := range sides {
+		f := gen.SqrtLineOfStars(side)
+		rounds, err := runTrials(trials, trialSpec{
+			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
+				seed := trialSeed(cfg.Seed, pi, trial)
+				uids := core.UniqueUIDs(f.N(), seed)
+				// Plant the minimum UID at the head-of-line star center
+				// (node 0), the paper's worst-case initialization.
+				minIdx := 0
+				for i, u := range uids {
+					if u < uids[minIdx] {
+						minIdx = i
+					}
+				}
+				uids[0], uids[minIdx] = uids[minIdx], uids[0]
+				return dyngraph.NewStatic(f), core.NewBlindGossipNetwork(uids),
+					sim.Config{Seed: seed + 2, TagBits: 0, MaxRounds: 100_000_000}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := stats.IntSummary(rounds)
+		pred := float64(f.MaxDegree()*f.MaxDegree()) * float64(side)
+		table.AddRow(side, f.N(), f.MaxDegree(), s.Median, s.P90, pred, s.Median/pred)
+		xs = append(xs, float64(side))
+		ys = append(ys, s.Median)
+	}
+	fit := stats.LogLogFit(xs, ys)
+	table.AddRow("fit", "", "", "", "", "slope(side)", fmt.Sprintf("%.2f (R²=%.3f)", fit.Slope, fit.R2))
+	return table, nil
+}
+
+func runE3(cfg Config) (*trace.Table, error) {
+	trials := pickTrials(cfg, 5, 15)
+	table := trace.NewTable("E3 PUSH-PULL rumor spreading bound (Corollary VI.6)",
+		"family", "n", "Δ", "α", "τ", "median", "p90", "bound", "median/bound")
+
+	// Reuse the E1 grid; the corollary claims the same bound shape.
+	for pi, pt := range e1Families(cfg.Quick, cfg.Seed+2000) {
+		pt := pt
+		rounds, err := runTrialsRumor(trials, cfg.Seed, pi+100, pt, false)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.IntSummary(rounds)
+		bound := predictedBlindGossip(pt.family.Alpha, pt.family.MaxDegree(), pt.family.N())
+		tau := "inf"
+		if pt.tau > 0 {
+			tau = fmt.Sprintf("%d", pt.tau)
+		}
+		table.AddRow(pt.family.Name, pt.family.N(), pt.family.MaxDegree(), pt.family.Alpha,
+			tau, s.Median, s.P90, bound, s.Median/bound)
+	}
+	return table, nil
+}

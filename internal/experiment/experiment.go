@@ -1,0 +1,182 @@
+// Package experiment is the reproduction harness: every theorem and
+// construction in the paper is turned into a registered, regenerable
+// experiment that prints a table (the paper has no empirical tables or
+// figures of its own — it is a theory paper — so the experiment IDs index
+// its theorems; see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Run experiments via `go run ./cmd/mtmexp -run <ID>` or the corresponding
+// benchmarks in bench_test.go. Each experiment supports a Quick mode with
+// reduced scales for CI.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/sim"
+	"mobiletel/internal/trace"
+	"mobiletel/internal/xrand"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives all randomness; every experiment is deterministic in it.
+	Seed uint64
+	// Trials is the number of independent repetitions per data point.
+	// Zero selects each experiment's default.
+	Trials int
+	// Quick reduces problem sizes for fast CI runs.
+	Quick bool
+}
+
+// Experiment is one registered reproduction target.
+type Experiment struct {
+	// ID is the stable identifier used by the CLI and benchmarks (e.g.
+	// "E1-blindgossip-scaling").
+	ID string
+	// Claim cites what in the paper this experiment validates.
+	Claim string
+	// Run executes the experiment and returns its result table.
+	Run func(cfg Config) (*trace.Table, error)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   []Experiment
+)
+
+// register adds an experiment at package init time.
+func register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	for _, old := range registry {
+		if old.ID == e.ID {
+			panic("experiment: duplicate ID " + e.ID)
+		}
+	}
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// trialSpec describes one simulation trial for the parallel runner.
+type trialSpec struct {
+	// Build creates the schedule, protocols, and engine config for the
+	// trial. Called once, in the trial's own goroutine.
+	Build func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config)
+	// Stop is the stop condition (defaults to sim.AllLeadersEqual).
+	Stop sim.StopCondition
+	// Check, if non-nil, validates the converged state (e.g. elected leader
+	// equals the true minimum); failures become errors.
+	Check func(trial int, protocols []sim.Protocol) error
+}
+
+// runTrials executes `trials` independent simulations in parallel and
+// returns the stabilization round of each. Any engine error or failed Check
+// aborts with that error.
+func runTrials(trials int, spec trialSpec) ([]int, error) {
+	if spec.Stop == nil {
+		spec.Stop = sim.AllLeadersEqual
+	}
+	rounds := make([]int, trials)
+	errs := make([]error, trials)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				sched, protocols, cfg := spec.Build(trial)
+				// Inner engine steps stay sequential: parallelism lives at
+				// the trial level here.
+				cfg.Workers = 1
+				eng, err := sim.New(sched, protocols, cfg)
+				if err != nil {
+					errs[trial] = err
+					continue
+				}
+				res, err := eng.Run(spec.Stop)
+				if err != nil {
+					errs[trial] = err
+					continue
+				}
+				rounds[trial] = res.StabilizedRound
+				if spec.Check != nil {
+					errs[trial] = spec.Check(trial, protocols)
+				}
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+
+	for trial, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+	}
+	return rounds, nil
+}
+
+// trialSeed derives a per-(experiment, point, trial) seed.
+func trialSeed(base uint64, point, trial int) uint64 {
+	return xrand.Mix3(base, uint64(point), uint64(trial))
+}
+
+// log2 returns ⌈log₂ x⌉ as float64 for bound formulas (x >= 2).
+func log2f(x int) float64 {
+	l := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return float64(l)
+}
+
+// pick returns a if quick, else b.
+func pick(quick bool, a, b int) int {
+	if quick {
+		return a
+	}
+	return b
+}
+
+// pickTrials resolves the trial count: explicit config wins, else quick/full
+// defaults.
+func pickTrials(cfg Config, quickDefault, fullDefault int) int {
+	if cfg.Trials > 0 {
+		return cfg.Trials
+	}
+	return pick(cfg.Quick, quickDefault, fullDefault)
+}

@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobiletel/internal/xrand"
+)
+
+func mustPath(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if g.N() != 0 || g.M() != 0 || g.MaxDegree() != 0 {
+		t.Fatalf("empty graph wrong: %v", g)
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := NewBuilder(1).MustBuild()
+	if !g.Connected() || g.Degree(0) != 0 {
+		t.Fatalf("single-node graph wrong: %v", g)
+	}
+}
+
+func TestPathBasics(t *testing.T) {
+	g := mustPath(t, 5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("path(5): n=%d m=%d", g.N(), g.M())
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("path(5): Δ=%d, want 2", g.MaxDegree())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Fatal("path(5): wrong degrees")
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("path(5): missing edge 1-2")
+	}
+	if g.HasEdge(0, 4) {
+		t.Fatal("path(5): phantom edge 0-4")
+	}
+	if !g.Connected() {
+		t.Fatal("path(5): should be connected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if g.Connected() {
+		t.Fatal("two components reported connected")
+	}
+}
+
+func TestDuplicateEdgeRejected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // same undirected edge
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate edge not rejected")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(3, 5)
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(3, 1)
+	g := b.MustBuild()
+	nbrs := g.Neighbors(3)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("neighbors of 3 not sorted: %v", nbrs)
+		}
+	}
+}
+
+func TestHandshakeLemmaProperty(t *testing.T) {
+	// Sum of degrees equals 2m, on random graphs.
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 30, 0.2)
+		sum := 0
+		for u := 0; u < g.N(); u++ {
+			sum += g.Degree(u)
+		}
+		return sum == 2*g.M()
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencySymmetryProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 25, 0.3)
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(int(v), u) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesEnumeratesEachOnce(t *testing.T) {
+	g := randomGraph(11, 40, 0.15)
+	seen := make(map[[2]int]bool)
+	g.Edges(func(u, v int) {
+		if u >= v {
+			t.Fatalf("Edges yielded non-canonical pair (%d,%d)", u, v)
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			t.Fatalf("Edges yielded (%d,%d) twice", u, v)
+		}
+		seen[key] = true
+	})
+	if len(seen) != g.M() {
+		t.Fatalf("Edges yielded %d edges, want %d", len(seen), g.M())
+	}
+}
+
+func TestEdgeListMatchesHasEdge(t *testing.T) {
+	g := randomGraph(5, 20, 0.25)
+	for _, e := range g.EdgeList() {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("EdgeList contains non-edge %v", e)
+		}
+	}
+}
+
+func TestBoundaryPath(t *testing.T) {
+	g := mustPath(t, 6)
+	inSet := make([]bool, 6)
+	inSet[0], inSet[1] = true, true
+	b := g.Boundary(inSet)
+	if len(b) != 1 || b[0] != 2 {
+		t.Fatalf("boundary of {0,1} on path(6) = %v, want [2]", b)
+	}
+}
+
+func TestBoundaryWholeGraphEmpty(t *testing.T) {
+	g := mustPath(t, 4)
+	inSet := []bool{true, true, true, true}
+	if b := g.Boundary(inSet); len(b) != 0 {
+		t.Fatalf("boundary of V = %v, want empty", b)
+	}
+}
+
+func TestBoundaryLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Boundary with wrong-length set did not panic")
+		}
+	}()
+	mustPath(t, 4).Boundary([]bool{true})
+}
+
+func TestAlphaOfMiddleOfPath(t *testing.T) {
+	g := mustPath(t, 5)
+	inSet := make([]bool, 5)
+	inSet[2] = true
+	if a := g.AlphaOf(inSet); a != 2.0 {
+		t.Fatalf("α({middle}) = %v, want 2", a)
+	}
+}
+
+func TestAlphaOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AlphaOf(empty) did not panic")
+		}
+	}()
+	mustPath(t, 3).AlphaOf(make([]bool, 3))
+}
+
+func TestBFSOrderCoversComponent(t *testing.T) {
+	g := mustPath(t, 7)
+	order := g.BFSOrder(3)
+	if len(order) != 7 {
+		t.Fatalf("BFS from 3 visited %d nodes, want 7", len(order))
+	}
+	if order[0] != 3 {
+		t.Fatalf("BFS order starts at %d, want 3", order[0])
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mustPath(t, 4)
+	b := mustPath(t, 4)
+	if !a.Equal(b) {
+		t.Fatal("identical paths not Equal")
+	}
+	c := NewBuilder(4).AddEdge(0, 1).AddEdge(1, 2).AddEdge(0, 3).MustBuild()
+	if a.Equal(c) {
+		t.Fatal("different graphs reported Equal")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || !g.Connected() {
+		t.Fatalf("FromEdges produced %v", g)
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 1}, {0, 1}}); err == nil {
+		t.Fatal("FromEdges accepted duplicate edge")
+	}
+}
+
+// randomGraph builds a connected-ish Erdős–Rényi graph for property tests
+// (connectivity is not required by the properties above).
+func randomGraph(seed uint64, n int, p float64) *Graph {
+	rng := xrand.New(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func BenchmarkBuild1000(b *testing.B) {
+	edges := make([][2]int, 0, 5000)
+	rng := xrand.New(1)
+	for len(edges) < 5000 {
+		u, v := rng.Intn(1000), rng.Intn(1000)
+		if u != v {
+			edges = append(edges, [2]int{min(u, v), max(u, v)})
+		}
+	}
+	// Deduplicate to keep Build happy.
+	seen := map[[2]int]bool{}
+	uniq := edges[:0]
+	for _, e := range edges {
+		if !seen[e] {
+			seen[e] = true
+			uniq = append(uniq, e)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(1000, uniq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := randomGraph(2, 1000, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HasEdge(i%1000, (i*7)%1000)
+	}
+}

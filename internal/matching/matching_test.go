@@ -1,0 +1,257 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobiletel/internal/expansion"
+	"mobiletel/internal/graph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/xrand"
+)
+
+func TestPerfectMatchingOnCompleteBipartite(t *testing.T) {
+	b := NewBipartite(5, 5)
+	for l := 0; l < 5; l++ {
+		for r := 0; r < 5; r++ {
+			b.AddEdge(l, r)
+		}
+	}
+	size, mL, mR := b.MaxMatching()
+	if size != 5 {
+		t.Fatalf("K_{5,5} matching size %d, want 5", size)
+	}
+	if err := ValidateMatching(b, mL, mR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyBipartite(t *testing.T) {
+	b := NewBipartite(3, 4)
+	size, mL, mR := b.MaxMatching()
+	if size != 0 {
+		t.Fatalf("edgeless graph matching size %d", size)
+	}
+	if err := ValidateMatching(b, mL, mR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSides(t *testing.T) {
+	b := NewBipartite(0, 0)
+	if size, _, _ := b.MaxMatching(); size != 0 {
+		t.Fatalf("empty graph matching size %d", size)
+	}
+}
+
+func TestKnownSmallInstance(t *testing.T) {
+	// Left 0 connects to right {0}, left 1 to {0,1}, left 2 to {1}.
+	// Maximum matching is 3: 0-0 forces 1-1 forces 2 unmatched? No:
+	// 0-0, 1-1... then 2-? 2 only likes 1. Max = 2? Try 0-0, 2-1, 1 unmatched
+	// => 2. Augment: 1-0? taken. Actually: edges 0-0,1-0,1-1,2-1; a matching
+	// of size 2 is maximum (vertex cover {0R,1R} has size 2).
+	b := NewBipartite(3, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 1)
+	size, _, _ := b.MaxMatching()
+	if size != 2 {
+		t.Fatalf("matching size %d, want 2", size)
+	}
+}
+
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		l, r := 1+rng.Intn(8), 1+rng.Intn(8)
+		b := NewBipartite(l, r)
+		for i := 0; i < l; i++ {
+			for j := 0; j < r; j++ {
+				if rng.Float64() < 0.3 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		fast, mL, mR := b.MaxMatching()
+		if err := ValidateMatching(b, mL, mR); err != nil {
+			return false
+		}
+		return fast == b.MaxMatchingBrute()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateEdgesTolerated(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 1)
+	size, _, _ := b.MaxMatching()
+	if size != 2 {
+		t.Fatalf("size %d, want 2", size)
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AddEdge did not panic")
+		}
+	}()
+	NewBipartite(2, 2).AddEdge(0, 5)
+}
+
+func TestCutGraphPath(t *testing.T) {
+	f := gen.Path(6)
+	inSet := []bool{true, true, true, false, false, false}
+	b, left, right := CutGraph(f.Graph, inSet)
+	if b.L != 3 || b.R != 3 {
+		t.Fatalf("cut sides %d,%d", b.L, b.R)
+	}
+	if b.Edges() != 1 {
+		t.Fatalf("cut edges %d, want 1 (the 2-3 edge)", b.Edges())
+	}
+	if left[2] != 2 || right[0] != 3 {
+		t.Fatalf("translation tables wrong: left=%v right=%v", left, right)
+	}
+	if Nu(f.Graph, inSet) != 1 {
+		t.Fatalf("ν = %d, want 1", Nu(f.Graph, inSet))
+	}
+}
+
+func TestNuOnCliqueHalfCut(t *testing.T) {
+	f := gen.Clique(8)
+	inSet := make([]bool, 8)
+	for i := 0; i < 4; i++ {
+		inSet[i] = true
+	}
+	if nu := Nu(f.Graph, inSet); nu != 4 {
+		t.Fatalf("K_8 half-cut ν = %d, want 4", nu)
+	}
+}
+
+func TestLemmaV1OnKnownFamilies(t *testing.T) {
+	// Lemma V.1: γ >= α/4. This is a theorem — a violation indicates a bug
+	// in our matching or expansion code.
+	families := []gen.Family{
+		gen.Clique(8),
+		gen.Path(10),
+		gen.Cycle(12),
+		gen.Star(9),
+		gen.LineOfStars(3, 3),
+		gen.RingOfCliques(3, 4),
+		gen.Barbell(5),
+		gen.CompleteBinaryTree(3),
+	}
+	for _, f := range families {
+		gamma := GammaExact(f.Graph)
+		alpha, _ := expansion.Exact(f.Graph)
+		if gamma < alpha/4 {
+			t.Errorf("%s: γ=%.4f < α/4=%.4f — Lemma V.1 violated", f.Name, gamma, alpha/4)
+		}
+	}
+}
+
+func TestLemmaV1OnRandomGraphs(t *testing.T) {
+	rng := xrand.New(2024)
+	for trial := 0; trial < 25; trial++ {
+		g := randomConnected(rng, 7+trial%6, 0.4)
+		gamma := GammaExact(g)
+		alpha, _ := expansion.Exact(g)
+		if gamma < alpha/4 {
+			t.Fatalf("random graph %v: γ=%.4f < α/4=%.4f — Lemma V.1 violated", g, gamma, alpha/4)
+		}
+	}
+}
+
+func TestGammaAtMostOne(t *testing.T) {
+	// ν(B(S)) ≤ |S| so γ ≤ 1 for any graph.
+	rng := xrand.New(5)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(rng, 8, 0.5)
+		if gamma := GammaExact(g); gamma > 1 {
+			t.Fatalf("γ=%v > 1", gamma)
+		}
+	}
+}
+
+func TestGammaExactBoundsChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized GammaExact did not panic")
+		}
+	}()
+	GammaExact(gen.Cycle(21).Graph)
+}
+
+func TestValidateMatchingCatchesCorruption(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 1)
+	_, mL, mR := b.MaxMatching()
+
+	// Corrupt: break partner symmetry.
+	badR := append([]int32(nil), mR...)
+	badR[0] = -1
+	if err := ValidateMatching(b, mL, badR); err == nil {
+		t.Fatal("asymmetric pairing not caught")
+	}
+
+	// Corrupt: claim a non-edge.
+	badL := []int32{1, 0}
+	badR2 := []int32{1, 0}
+	if err := ValidateMatching(b, badL, badR2); err == nil {
+		t.Fatal("non-edge pair not caught")
+	}
+
+	// Corrupt: wrong lengths.
+	if err := ValidateMatching(b, mL[:1], mR); err == nil {
+		t.Fatal("length mismatch not caught")
+	}
+}
+
+func randomConnected(rng *xrand.RNG, n int, p float64) *graph.Graph {
+	for {
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		if g.Connected() {
+			return g
+		}
+	}
+}
+
+func BenchmarkMaxMatching1000(b *testing.B) {
+	rng := xrand.New(1)
+	bp := NewBipartite(1000, 1000)
+	for l := 0; l < 1000; l++ {
+		for k := 0; k < 5; k++ {
+			bp.AddEdge(l, rng.Intn(1000))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.MaxMatching()
+	}
+}
+
+func BenchmarkCutMatching(b *testing.B) {
+	f := gen.RingOfCliques(20, 10)
+	inSet := make([]bool, f.N())
+	for i := 0; i < f.N()/2; i++ {
+		inSet[i] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Nu(f.Graph, inSet)
+	}
+}

@@ -1,0 +1,111 @@
+package matching
+
+import (
+	"mobiletel/internal/xrand"
+)
+
+// Random matching strategies. Theorem V.2's proof "analyzes PPUSH as a
+// random matching strategy": each left node proposes to a random right
+// neighbor, each right node accepts one proposal — one round of that
+// process builds a matching, and the theorem bounds how quickly repetition
+// approaches a maximum matching. The functions here isolate that process
+// from the full simulator so its approximation behavior can be measured and
+// tested directly against Hopcroft–Karp optima.
+
+// RandomGreedyMatching builds a maximal matching by scanning edges in
+// random order and keeping every edge whose endpoints are both free. By the
+// classic maximal-matching bound it is at least half the optimum.
+// It returns the matched pairs as (left, right) index pairs.
+func (b *Bipartite) RandomGreedyMatching(rng *xrand.RNG) [][2]int32 {
+	type edge struct{ l, r int32 }
+	edges := make([]edge, 0, b.Edges())
+	for l, nbrs := range b.Adj {
+		for _, r := range nbrs {
+			edges = append(edges, edge{int32(l), r})
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	usedL := make([]bool, b.L)
+	usedR := make([]bool, b.R)
+	var out [][2]int32
+	for _, e := range edges {
+		if !usedL[e.l] && !usedR[e.r] {
+			usedL[e.l] = true
+			usedR[e.r] = true
+			out = append(out, [2]int32{e.l, e.r})
+		}
+	}
+	return out
+}
+
+// ProposalRoundMatching simulates one round of the PPUSH proposal process
+// on the bipartite graph: every free left node proposes to a uniformly
+// random free right neighbor; every right node with proposals accepts one
+// uniformly. freeL/freeR mark nodes still unmatched (nil means all free).
+// It returns the pairs matched in this round.
+func (b *Bipartite) ProposalRoundMatching(freeL, freeR []bool, rng *xrand.RNG) [][2]int32 {
+	proposals := make(map[int32][]int32) // right -> proposing lefts
+	var rightOrder []int32
+	for l := 0; l < b.L; l++ {
+		if freeL != nil && !freeL[l] {
+			continue
+		}
+		// Count free right neighbors, then pick uniformly.
+		count := 0
+		for _, r := range b.Adj[l] {
+			if freeR == nil || freeR[r] {
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		pick := rng.Intn(count)
+		for _, r := range b.Adj[l] {
+			if freeR == nil || freeR[r] {
+				if pick == 0 {
+					if len(proposals[r]) == 0 {
+						rightOrder = append(rightOrder, r)
+					}
+					proposals[r] = append(proposals[r], int32(l))
+					break
+				}
+				pick--
+			}
+		}
+	}
+	var out [][2]int32
+	for _, r := range rightOrder {
+		candidates := proposals[r]
+		chosen := candidates[0]
+		if len(candidates) > 1 {
+			chosen = candidates[rng.Intn(len(candidates))]
+		}
+		out = append(out, [2]int32{chosen, r})
+	}
+	return out
+}
+
+// ProposalProcessMatching iterates ProposalRoundMatching for rounds rounds
+// with PPUSH's pool semantics: right nodes leave the pool once matched
+// (an informed node stops being a target), but left nodes keep proposing
+// every round (informed nodes never stop pushing). This is exactly the
+// process Theorem V.2 analyzes; unlike both-sides-greedy accumulation it
+// converges to covering every reachable right node, not merely to a maximal
+// matching. It returns the number of right nodes covered.
+func (b *Bipartite) ProposalProcessMatching(rounds int, rng *xrand.RNG) int {
+	freeR := make([]bool, b.R)
+	for i := range freeR {
+		freeR[i] = true
+	}
+	total := 0
+	for round := 0; round < rounds; round++ {
+		pairs := b.ProposalRoundMatching(nil, freeR, rng)
+		for _, p := range pairs {
+			freeR[p[1]] = false
+		}
+		total += len(pairs)
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package matching
+
+import (
+	"testing"
+
+	"mobiletel/internal/xrand"
+)
+
+// validatePairs checks a pair list is a matching on b.
+func validatePairs(t *testing.T, b *Bipartite, pairs [][2]int32) {
+	t.Helper()
+	usedL := make(map[int32]bool)
+	usedR := make(map[int32]bool)
+	for _, p := range pairs {
+		if usedL[p[0]] || usedR[p[1]] {
+			t.Fatalf("node reused in %v", pairs)
+		}
+		usedL[p[0]] = true
+		usedR[p[1]] = true
+		found := false
+		for _, r := range b.Adj[p[0]] {
+			if r == p[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pair %v is not an edge", p)
+		}
+	}
+}
+
+func randomBipartite(rng *xrand.RNG, l, r int, p float64) *Bipartite {
+	b := NewBipartite(l, r)
+	for i := 0; i < l; i++ {
+		for j := 0; j < r; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b
+}
+
+func TestRandomGreedyIsValidAndHalfOptimal(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		b := randomBipartite(rng, 3+rng.Intn(10), 3+rng.Intn(10), 0.3)
+		pairs := b.RandomGreedyMatching(rng)
+		validatePairs(t, b, pairs)
+		opt, _, _ := b.MaxMatching()
+		if 2*len(pairs) < opt {
+			t.Fatalf("greedy %d below half of optimum %d", len(pairs), opt)
+		}
+	}
+}
+
+func TestRandomGreedyMaximal(t *testing.T) {
+	// A greedy matching must be maximal: no edge with both endpoints free.
+	rng := xrand.New(9)
+	b := randomBipartite(rng, 12, 12, 0.25)
+	pairs := b.RandomGreedyMatching(rng)
+	usedL := make([]bool, b.L)
+	usedR := make([]bool, b.R)
+	for _, p := range pairs {
+		usedL[p[0]] = true
+		usedR[p[1]] = true
+	}
+	for l, nbrs := range b.Adj {
+		for _, r := range nbrs {
+			if !usedL[l] && !usedR[r] {
+				t.Fatalf("edge (%d,%d) has both endpoints free; not maximal", l, r)
+			}
+		}
+	}
+}
+
+func TestProposalRoundIsValidMatching(t *testing.T) {
+	rng := xrand.New(11)
+	b := randomBipartite(rng, 20, 20, 0.2)
+	pairs := b.ProposalRoundMatching(nil, nil, rng)
+	validatePairs(t, b, pairs)
+}
+
+func TestProposalProcessConvergesToOptimum(t *testing.T) {
+	// On a perfect-matching instance (identity + noise), enough proposal
+	// rounds must reach the optimum — the Theorem V.2 limit behavior.
+	rng := xrand.New(13)
+	m := 64
+	b := NewBipartite(m, m)
+	for i := 0; i < m; i++ {
+		b.AddEdge(i, i)
+		for k := 0; k < 4; k++ {
+			b.AddEdge(i, rng.Intn(m))
+		}
+	}
+	opt, _, _ := b.MaxMatching()
+	if opt != m {
+		t.Fatalf("planted instance optimum %d, want %d", opt, m)
+	}
+	got := b.ProposalProcessMatching(200, rng)
+	if got != m {
+		t.Fatalf("proposal process covered %d of %d right nodes after 200 rounds", got, m)
+	}
+}
+
+func TestProposalProcessMonotoneInRounds(t *testing.T) {
+	// More rounds can only help (matched nodes never unmatch).
+	build := func() *Bipartite {
+		rng := xrand.New(17)
+		return randomBipartite(rng, 40, 40, 0.1)
+	}
+	prev := 0
+	for _, rounds := range []int{1, 2, 4, 8, 16} {
+		got := build().ProposalProcessMatching(rounds, xrand.New(19))
+		if got < prev {
+			t.Fatalf("matching shrank from %d to %d at %d rounds", prev, got, rounds)
+		}
+		prev = got
+	}
+}
+
+func TestProposalProcessSingleRoundContention(t *testing.T) {
+	// Star contention: all left nodes see one right node plus their planted
+	// partner. One round must match at most (1 attractor + planted hits).
+	m := 32
+	b := NewBipartite(m, m+1)
+	for i := 0; i < m; i++ {
+		b.AddEdge(i, m) // shared attractor
+		b.AddEdge(i, i) // planted partner
+	}
+	rng := xrand.New(23)
+	got := b.ProposalProcessMatching(1, rng)
+	// Expected ~1 + m/2 (half propose to their planted partner). Assert the
+	// contention really bites: far below m.
+	if got > 3*m/4 {
+		t.Fatalf("one contended round matched %d of %d; contention not modeled", got, m)
+	}
+	// And that repetition covers every right node (m planted + attractor).
+	if full := b.ProposalProcessMatching(100, xrand.New(29)); full != m+1 {
+		t.Fatalf("repetition covered %d of %d right nodes", full, m+1)
+	}
+}

@@ -1,0 +1,124 @@
+package rumor_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/rumor"
+	"mobiletel/internal/sim"
+)
+
+func TestPushSpreads(t *testing.T) {
+	f := gen.RandomRegular(48, 6, 3)
+	protocols := rumor.NewPushNetwork(48, map[int]bool{0: true})
+	runSpread(t, dyngraph.NewStatic(f), protocols, 0, 21)
+	if rumor.CountInformed(protocols) != 48 {
+		t.Fatal("PUSH did not inform everyone")
+	}
+}
+
+func TestPullSpreads(t *testing.T) {
+	f := gen.RandomRegular(48, 6, 3)
+	protocols := rumor.NewPullNetwork(48, map[int]bool{0: true})
+	runSpread(t, dyngraph.NewStatic(f), protocols, 0, 22)
+	if rumor.CountInformed(protocols) != 48 {
+		t.Fatal("PULL did not inform everyone")
+	}
+}
+
+func TestPushOnlyInformedPropose(t *testing.T) {
+	// With zero informed nodes, a PUSH network makes zero proposals.
+	f := gen.Clique(10)
+	protocols := rumor.NewPushNetwork(10, nil)
+	var proposals int
+	eng, err := sim.New(dyngraph.NewStatic(f), protocols, sim.Config{
+		Seed: 1, MaxRounds: 50,
+		Observer: func(s sim.RoundStats) { proposals += s.Proposals },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = eng.Run(nil)
+	if proposals != 0 {
+		t.Fatalf("uninformed PUSH network made %d proposals", proposals)
+	}
+}
+
+func TestPullOnlyUninformedPropose(t *testing.T) {
+	// With everyone informed, a PULL network makes zero proposals.
+	f := gen.Clique(10)
+	all := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		all[i] = true
+	}
+	protocols := rumor.NewPullNetwork(10, all)
+	var proposals int
+	eng, err := sim.New(dyngraph.NewStatic(f), protocols, sim.Config{
+		Seed: 1, MaxRounds: 50,
+		Observer: func(s sim.RoundStats) { proposals += s.Proposals },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = eng.Run(nil)
+	if proposals != 0 {
+		t.Fatalf("fully informed PULL network made %d proposals", proposals)
+	}
+}
+
+func TestPushBottleneckOnStar(t *testing.T) {
+	// A single informed hub can push to only one leaf per round (the
+	// one-connection restriction), so PUSH on a star needs >= n-1 rounds —
+	// linear, vs PUSH-PULL's logarithmic-ish behavior where leaves pull.
+	n := 64
+	f := gen.Star(n)
+	push := rumor.NewPushNetwork(n, map[int]bool{0: true}) // hub informed
+	resPush := runSpread(t, dyngraph.NewStatic(f), push, 0, 9)
+	if resPush.StabilizedRound < n-1 {
+		t.Fatalf("PUSH on star finished in %d < n-1 rounds; engine allowed >1 connection?", resPush.StabilizedRound)
+	}
+
+	pp := rumor.NewPushPullNetwork(n, map[int]bool{0: true})
+	resPP := runSpread(t, dyngraph.NewStatic(f), pp, 0, 9)
+	// PUSH-PULL lets leaves pull concurrently... but the hub still accepts
+	// only one connection per round, so it is also Ω(n). The real winner is
+	// PPUSH? No — with one rumor holder at the hub, every strategy is Ω(n)
+	// on a star. The instructive comparison is a leaf-seeded rumor:
+	leafPush := rumor.NewPushNetwork(n, map[int]bool{1: true})
+	resLeafPush := runSpread(t, dyngraph.NewStatic(f), leafPush, 0, 9)
+	leafPP := rumor.NewPushPullNetwork(n, map[int]bool{1: true})
+	resLeafPP := runSpread(t, dyngraph.NewStatic(f), leafPP, 0, 9)
+	// Both remain Ω(n) through the hub; sanity-check they complete and that
+	// the engine's contention semantics are consistent.
+	if resLeafPush.StabilizedRound < n-1 || resLeafPP.StabilizedRound < n-1 {
+		t.Fatalf("star dissemination beat the n-1 hub bottleneck: push=%d pushpull=%d",
+			resLeafPush.StabilizedRound, resLeafPP.StabilizedRound)
+	}
+	_ = resPP
+}
+
+func TestBaselinesComparableOnExpander(t *testing.T) {
+	// On an expander all four strategies complete; PPUSH (b=1) should be
+	// the fastest since it never wastes a proposal on informed nodes.
+	f := gen.RandomRegular(96, 8, 5)
+	strategies := map[string][]sim.Protocol{
+		"push":     rumor.NewPushNetwork(96, map[int]bool{0: true}),
+		"pull":     rumor.NewPullNetwork(96, map[int]bool{0: true}),
+		"pushpull": rumor.NewPushPullNetwork(96, map[int]bool{0: true}),
+		"ppush":    rumor.NewPPushNetwork(96, map[int]bool{0: true}),
+	}
+	rounds := map[string]int{}
+	for name, protocols := range strategies {
+		tagBits := 0
+		if name == "ppush" {
+			tagBits = 1
+		}
+		res := runSpread(t, dyngraph.NewStatic(f), protocols, tagBits, 31)
+		rounds[name] = res.StabilizedRound
+	}
+	if rounds["ppush"] > rounds["push"] || rounds["ppush"] > rounds["pull"] {
+		t.Fatalf("PPUSH (%d) slower than blind baselines (push=%d pull=%d)",
+			rounds["ppush"], rounds["push"], rounds["pull"])
+	}
+}

@@ -1,0 +1,29 @@
+package rumor_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/rumor"
+	"mobiletel/internal/sim"
+)
+
+func TestRumorProtocolConformance(t *testing.T) {
+	cases := []struct {
+		name    string
+		tagBits int
+		factory func(node int) sim.Protocol
+	}{
+		{"pushpull", 0, func(node int) sim.Protocol { return rumor.NewPushPull(node == 0) }},
+		{"ppush", 1, func(node int) sim.Protocol { return rumor.NewPPush(node == 0) }},
+		{"push", 0, func(node int) sim.Protocol { return rumor.NewPush(node == 0) }},
+		{"pull", 0, func(node int) sim.Protocol { return rumor.NewPull(node == 0) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if err := sim.CheckConformance(c.factory, sim.ConformanceConfig{Seed: 5, TagBits: c.tagBits}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

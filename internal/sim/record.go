@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Recording captures the observable behavior of an execution: the exact
+// connections of every round plus identifying metadata. Because executions
+// are pure functions of (seed, schedule, protocol, config), a recording is
+// both a debugging artifact and a determinism proof: replaying the same
+// configuration must reproduce it bit for bit (see VerifyReplay).
+type Recording struct {
+	// Seed and Schedule identify the run.
+	Seed     uint64 `json:"seed"`
+	Schedule string `json:"schedule"`
+	N        int    `json:"n"`
+
+	// Rounds holds one entry per executed round.
+	Rounds []RoundRecord `json:"rounds"`
+
+	// Leaders holds the final leader variable of every node.
+	Leaders []uint64 `json:"leaders"`
+}
+
+// RoundRecord is the connection set of one round.
+type RoundRecord struct {
+	Round int        `json:"round"`
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+// Recorder accumulates a Recording; attach via Attach before running.
+type Recorder struct {
+	rec Recording
+}
+
+// NewRecorder creates a recorder with identifying metadata.
+func NewRecorder(seed uint64, schedule string, n int) *Recorder {
+	return &Recorder{rec: Recording{Seed: seed, Schedule: schedule, N: n}}
+}
+
+// Attach wires the recorder into an engine config (setting OnConnections).
+// It must be called before sim.New.
+func (r *Recorder) Attach(cfg *Config) {
+	cfg.OnConnections = func(round int, pairs [][2]int32) {
+		copied := make([][2]int32, len(pairs))
+		copy(copied, pairs)
+		r.rec.Rounds = append(r.rec.Rounds, RoundRecord{Round: round, Pairs: copied})
+	}
+}
+
+// Finish snapshots the final leaders and returns the completed recording.
+func (r *Recorder) Finish(protocols []Protocol) *Recording {
+	r.rec.Leaders = make([]uint64, len(protocols))
+	for i, p := range protocols {
+		r.rec.Leaders[i] = p.Leader()
+	}
+	return &r.rec
+}
+
+// WriteJSONL serializes the recording as JSON lines: a header object
+// followed by one object per round.
+func (rec *Recording) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		Seed     uint64   `json:"seed"`
+		Schedule string   `json:"schedule"`
+		N        int      `json:"n"`
+		Leaders  []uint64 `json:"leaders"`
+	}{rec.Seed, rec.Schedule, rec.N, rec.Leaders}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, round := range rec.Rounds {
+		if err := enc.Encode(round); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a recording written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Recording, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header struct {
+		Seed     uint64   `json:"seed"`
+		Schedule string   `json:"schedule"`
+		N        int      `json:"n"`
+		Leaders  []uint64 `json:"leaders"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("sim: recording header: %w", err)
+	}
+	rec := &Recording{Seed: header.Seed, Schedule: header.Schedule, N: header.N, Leaders: header.Leaders}
+	for {
+		var round RoundRecord
+		if err := dec.Decode(&round); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("sim: recording round: %w", err)
+		}
+		rec.Rounds = append(rec.Rounds, round)
+	}
+	return rec, nil
+}
+
+// Equal compares two recordings event by event, returning a descriptive
+// error at the first divergence (nil when identical).
+func (rec *Recording) Equal(other *Recording) error {
+	if rec.Seed != other.Seed || rec.Schedule != other.Schedule || rec.N != other.N {
+		return fmt.Errorf("sim: recording metadata differs: (%d,%q,%d) vs (%d,%q,%d)",
+			rec.Seed, rec.Schedule, rec.N, other.Seed, other.Schedule, other.N)
+	}
+	if len(rec.Rounds) != len(other.Rounds) {
+		return fmt.Errorf("sim: recordings have %d vs %d rounds", len(rec.Rounds), len(other.Rounds))
+	}
+	for i := range rec.Rounds {
+		a, b := rec.Rounds[i], other.Rounds[i]
+		if a.Round != b.Round || len(a.Pairs) != len(b.Pairs) {
+			return fmt.Errorf("sim: round %d differs: %d pairs vs %d pairs", a.Round, len(a.Pairs), len(b.Pairs))
+		}
+		for j := range a.Pairs {
+			if a.Pairs[j] != b.Pairs[j] {
+				return fmt.Errorf("sim: round %d pair %d differs: %v vs %v", a.Round, j, a.Pairs[j], b.Pairs[j])
+			}
+		}
+	}
+	if len(rec.Leaders) != len(other.Leaders) {
+		return fmt.Errorf("sim: leader snapshots differ in length")
+	}
+	for i := range rec.Leaders {
+		if rec.Leaders[i] != other.Leaders[i] {
+			return fmt.Errorf("sim: node %d final leader differs: %d vs %d", i, rec.Leaders[i], other.Leaders[i])
+		}
+	}
+	return nil
+}
+
+// Connections returns the total connection count across all rounds.
+func (rec *Recording) Connections() int {
+	total := 0
+	for _, round := range rec.Rounds {
+		total += len(round.Pairs)
+	}
+	return total
+}

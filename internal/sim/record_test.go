@@ -1,0 +1,143 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+)
+
+// recordRun executes a blind gossip election with a recorder attached.
+func recordRun(t *testing.T, seed uint64) *sim.Recording {
+	t.Helper()
+	f := gen.RandomRegular(32, 4, 3)
+	sched := dyngraph.NewPermuted(f, 2, 5)
+	uids := core.UniqueUIDs(32, 9)
+	protocols := core.NewBlindGossipNetwork(uids)
+	rec := sim.NewRecorder(seed, sched.Name(), 32)
+	cfg := sim.Config{Seed: seed, MaxRounds: 500_000}
+	rec.Attach(&cfg)
+	eng, err := sim.New(sched, protocols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(sim.AllLeadersEqual); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Finish(protocols)
+}
+
+func TestRecordingReplayIdentical(t *testing.T) {
+	a := recordRun(t, 7)
+	b := recordRun(t, 7)
+	if err := a.Equal(b); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+	if a.Connections() == 0 || len(a.Rounds) == 0 {
+		t.Fatal("empty recording")
+	}
+}
+
+func TestRecordingDifferentSeedsDiffer(t *testing.T) {
+	a := recordRun(t, 7)
+	b := recordRun(t, 8)
+	if err := a.Equal(b); err == nil {
+		t.Fatal("different seeds produced identical recordings (suspicious)")
+	}
+}
+
+func TestRecordingJSONLRoundtrip(t *testing.T) {
+	a := recordRun(t, 11)
+	var buf bytes.Buffer
+	if err := a.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Equal(b); err != nil {
+		t.Fatalf("JSONL roundtrip lost information: %v", err)
+	}
+}
+
+func TestRecordingEqualCatchesCorruption(t *testing.T) {
+	a := recordRun(t, 13)
+	var buf bytes.Buffer
+	if err := a.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	b, err := sim.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rounds) > 0 && len(b.Rounds[0].Pairs) > 0 {
+		b.Rounds[0].Pairs[0][0]++
+		if err := a.Equal(b); err == nil {
+			t.Fatal("pair corruption not detected")
+		}
+	}
+	c, err := sim.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Leaders[0]++
+	if err := a.Equal(c); err == nil {
+		t.Fatal("leader corruption not detected")
+	}
+	d, err := sim.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Rounds = d.Rounds[:len(d.Rounds)-1]
+	if err := a.Equal(d); err == nil {
+		t.Fatal("truncation not detected")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := sim.ReadJSONL(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRecordingPairsSortedAndValid(t *testing.T) {
+	rec := recordRun(t, 17)
+	for _, round := range rec.Rounds {
+		for i, p := range round.Pairs {
+			if p[0] >= p[1] {
+				t.Fatalf("round %d pair %v not canonical", round.Round, p)
+			}
+			if i > 0 && round.Pairs[i-1][0] >= p[0] {
+				t.Fatalf("round %d pairs not ascending: %v", round.Round, round.Pairs)
+			}
+			if p[0] < 0 || int(p[1]) >= rec.N {
+				t.Fatalf("round %d pair %v out of range", round.Round, p)
+			}
+		}
+	}
+}
+
+func TestRecordingClassicalMode(t *testing.T) {
+	f := gen.Star(16)
+	sched := dyngraph.NewStatic(f)
+	protocols := core.NewBlindGossipNetwork(core.UniqueUIDs(16, 4))
+	rec := sim.NewRecorder(1, sched.Name(), 16)
+	cfg := sim.Config{Seed: 1, MaxRounds: 100_000, Classical: true}
+	rec.Attach(&cfg)
+	eng, err := sim.New(sched, protocols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(sim.AllLeadersEqual); err != nil {
+		t.Fatal(err)
+	}
+	recording := rec.Finish(protocols)
+	if recording.Connections() == 0 {
+		t.Fatal("classical recording captured no connections")
+	}
+}

@@ -1,0 +1,729 @@
+// Package sim is the mobile telephone model engine — an executable,
+// bit-faithful implementation of the abstract model of Section III of the
+// paper.
+//
+// Each synchronous round proceeds in five steps:
+//
+//  1. Topology: the round's graph G_r comes from a dyngraph.Schedule.
+//  2. Advertise: every active node chooses a b-bit tag (before seeing its
+//     neighbors, matching the model: tags are chosen at the beginning of the
+//     round; scanning then reveals neighbor ids and tags).
+//  3. Decide: every active node either sends one connection proposal to one
+//     neighbor or elects to receive. A sender can never accept.
+//  4. Accept: a receiver with at least one incoming proposal accepts one,
+//     chosen uniformly at random (distributionally identical to the paper's
+//     selection-permutation device).
+//  5. Exchange: each connected pair trades one bounded message — at most
+//     MaxUIDs UIDs plus 64 auxiliary bits, enforcing the problem statement's
+//     O(1)-UIDs / O(polylog N)-bits connection budget.
+//
+// The engine is deterministic: an execution is a pure function of (seed,
+// schedule, protocol, config). Per-node per-round randomness streams are
+// derived independently (xrand.Derive), so the parallel executor is
+// bit-identical to the sequential one.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph"
+	"mobiletel/internal/xrand"
+)
+
+// Message is the bounded payload exchanged over one connection: at most
+// Config.MaxUIDs opaque UIDs plus 64 auxiliary bits.
+type Message struct {
+	UIDs []uint64
+	Aux  uint64
+}
+
+// Context is the per-node view the engine passes to protocol callbacks. It
+// exposes the node's identity, its private randomness for the round, and the
+// scan results (neighbor ids and tags). Contexts are only valid during the
+// callback they are passed to.
+type Context struct {
+	Round int
+	Node  int32
+	RNG   *xrand.RNG
+
+	g    *graph.Graph
+	tags []uint64
+	act  []bool // activity per node (nil means all active)
+}
+
+// Degree returns the number of active neighbors visible in this round's scan.
+func (c *Context) Degree() int {
+	if c.act == nil {
+		return c.g.Degree(int(c.Node))
+	}
+	d := 0
+	for _, v := range c.g.Neighbors(int(c.Node)) {
+		if c.act[v] {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors iterates over the active neighbors, invoking fn with each
+// neighbor's id and advertised tag. Iteration is in ascending id order.
+func (c *Context) Neighbors(fn func(id int32, tag uint64)) {
+	for _, v := range c.g.Neighbors(int(c.Node)) {
+		if c.act == nil || c.act[v] {
+			fn(v, c.tags[v])
+		}
+	}
+}
+
+// RandomNeighbor returns a uniformly random active neighbor, or ok=false if
+// the node has none this round.
+func (c *Context) RandomNeighbor() (id int32, ok bool) {
+	return c.RandomNeighborMatching(func(int32, uint64) bool { return true })
+}
+
+// RandomNeighborMatching returns a uniformly random active neighbor whose
+// (id, tag) satisfies pred, or ok=false if none does. It uses two passes
+// over the adjacency list (count, then index) and consumes exactly one RNG
+// draw when at least one neighbor matches.
+func (c *Context) RandomNeighborMatching(pred func(id int32, tag uint64) bool) (id int32, ok bool) {
+	count := 0
+	for _, v := range c.g.Neighbors(int(c.Node)) {
+		if (c.act == nil || c.act[v]) && pred(v, c.tags[v]) {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, false
+	}
+	idx := c.RNG.Intn(count)
+	for _, v := range c.g.Neighbors(int(c.Node)) {
+		if (c.act == nil || c.act[v]) && pred(v, c.tags[v]) {
+			if idx == 0 {
+				return v, true
+			}
+			idx--
+		}
+	}
+	panic("sim: unreachable neighbor selection state")
+}
+
+// Protocol is the per-node state machine an algorithm implements. The engine
+// owns one Protocol instance per node and invokes the callbacks in a fixed
+// order each round; all randomness must come from ctx.RNG for determinism.
+type Protocol interface {
+	// Advertise returns the node's tag for the round. The engine verifies it
+	// fits in Config.TagBits. Called before the node can see its neighbors,
+	// so implementations must not call ctx.Neighbors here.
+	Advertise(ctx *Context) uint64
+
+	// Decide inspects the scan (ctx.Neighbors/ctx.Degree) and either returns
+	// (target, true) to propose a connection to neighbor `target`, or
+	// (_, false) to receive. Proposing to a non-neighbor is an engine error.
+	Decide(ctx *Context) (target int32, propose bool)
+
+	// Outgoing produces the message for a connection with peer. It is called
+	// exactly once per established connection, before any Deliver.
+	Outgoing(ctx *Context, peer int32) Message
+
+	// Deliver hands the node the peer's message for an established
+	// connection.
+	Deliver(ctx *Context, peer int32, msg Message)
+
+	// EndRound is called once per round after all exchanges complete.
+	EndRound(ctx *Context)
+
+	// Leader returns the node's current leader variable (a UID).
+	Leader() uint64
+}
+
+// Config parameterizes an execution.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+
+	// TagBits is b, the advertisement tag length in bits (0..64).
+	TagBits int
+
+	// MaxUIDs bounds the number of UIDs per message (the paper's O(1)).
+	// Zero means the default of 2.
+	MaxUIDs int
+
+	// MaxRounds aborts the run if no stop condition fires earlier.
+	// Zero means the default of 10 million.
+	MaxRounds int
+
+	// Activations[u] is the first round node u participates (1-based).
+	// nil means every node activates in round 1.
+	Activations []int
+
+	// Departures[u], when positive, is the last round node u participates:
+	// from round Departures[u]+1 on, the node is invisible to its neighbors
+	// and its callbacks stop — failure injection for robustness tests. The
+	// paper does not model departures; see the limitation tests for what
+	// breaks (a departed minimum still wins blind gossip elections).
+	// nil (or zero entries) means nobody departs.
+	Departures []int
+
+	// Workers sets the parallelism of the engine's bulk-synchronous steps.
+	// Zero means GOMAXPROCS; 1 forces sequential execution. Results are
+	// identical for any worker count.
+	Workers int
+
+	// Accept selects how a receiver picks among incoming proposals.
+	// The model (and every analysis in the paper) uses AcceptUniform;
+	// the alternatives exist for the A3 ablation experiment.
+	Accept AcceptPolicy
+
+	// Classical switches the engine to the *classical* telephone model
+	// baseline: every proposal is answered, so a node can serve an
+	// unbounded number of incoming connections per round (and a sender can
+	// also be called). This deliberately violates the mobile telephone
+	// model's defining restriction — the paper's related-work section
+	// contrasts the two models, and experiment E12 reproduces that gap.
+	Classical bool
+
+	// Observer, when non-nil, receives per-round statistics.
+	Observer func(RoundStats)
+
+	// OnConnections, when non-nil, receives the exact set of connections
+	// established each round as (smaller, larger) node pairs in ascending
+	// order — the hook behind execution recording (see Recorder in
+	// record.go). The slice is reused across rounds; copy it to retain.
+	OnConnections func(round int, pairs [][2]int32)
+}
+
+// AcceptPolicy selects how a receiver chooses among incoming proposals.
+type AcceptPolicy int
+
+const (
+	// AcceptUniform picks uniformly at random — the model's semantics
+	// (Section III), equivalent to the paper's selection permutation.
+	AcceptUniform AcceptPolicy = iota
+	// AcceptLowestID always picks the proposer with the smallest id
+	// (a deterministic, biased policy; ablation only).
+	AcceptLowestID
+	// AcceptHighestID always picks the proposer with the largest id
+	// (ablation only).
+	AcceptHighestID
+)
+
+// RoundStats summarizes one executed round.
+type RoundStats struct {
+	Round       int
+	Proposals   int
+	Connections int
+	ActiveNodes int
+}
+
+// Result summarizes an execution.
+type Result struct {
+	// StabilizedRound is the first round at whose end the stop condition
+	// held, or 0 if it never fired within MaxRounds.
+	StabilizedRound int
+	// RoundsExecuted is the total number of rounds run.
+	RoundsExecuted int
+	// Connections and Proposals are totals across all rounds.
+	Connections int64
+	Proposals   int64
+}
+
+// Stopped reports whether the stop condition fired.
+func (r Result) Stopped() bool { return r.StabilizedRound > 0 }
+
+// StopCondition is evaluated at the end of every round; returning true ends
+// the run. For the leader-election protocols in this repository, "all leader
+// variables equal" is a correct stabilization detector: each node's
+// candidate only ever improves toward the unique global minimum, and the
+// minimum's owner never changes, so all-equal implies equal-to-minimum,
+// which is permanent.
+type StopCondition func(round int, protocols []Protocol) bool
+
+// AllLeadersEqual is the standard stop condition for leader election.
+func AllLeadersEqual(round int, protocols []Protocol) bool {
+	first := protocols[0].Leader()
+	for _, p := range protocols[1:] {
+		if p.Leader() != first {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNotStabilized is wrapped by Run when MaxRounds elapses without the stop
+// condition firing.
+var ErrNotStabilized = errors.New("sim: run did not stabilize within MaxRounds")
+
+const (
+	defaultMaxUIDs   = 2
+	defaultMaxRounds = 10_000_000
+)
+
+// Engine executes protocols over a schedule. Create with New, run with Run.
+type Engine struct {
+	sched dyngraph.Schedule
+	cfg   Config
+	n     int
+
+	protocols []Protocol
+
+	// Per-round working state, reused across rounds.
+	rngs    []xrand.RNG
+	tags    []uint64
+	actions []int32 // >=0: proposal target; -1: receive; -2: inactive
+	active  []bool
+	inboxTo []int32 // flattened proposals grouped per receiver
+	inboxAt []int32 // offsets per receiver (n+1)
+	partner []int32 // accepted connection partner or -1
+	cursor  []int32 // scratch for the per-round counting sort
+	workers int
+
+	// stopGate is the first round at which the stop condition may fire: the
+	// last activation round, so partial networks cannot "stabilize" early.
+	stopGate int
+
+	pairScratch [][2]int32 // reused buffer for Config.OnConnections
+
+	connCount []int64 // lifetime connections per node (battery accounting)
+}
+
+const (
+	actionReceive  = int32(-1)
+	actionInactive = int32(-2)
+	noPartner      = int32(-1)
+)
+
+// New validates the configuration and builds an engine. protocols must have
+// one entry per node of the schedule.
+func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, error) {
+	n := sched.N()
+	if len(protocols) != n {
+		return nil, fmt.Errorf("sim: %d protocols for %d nodes", len(protocols), n)
+	}
+	if n == 0 {
+		return nil, errors.New("sim: empty network")
+	}
+	if cfg.TagBits < 0 || cfg.TagBits > 64 {
+		return nil, fmt.Errorf("sim: TagBits %d outside [0, 64]", cfg.TagBits)
+	}
+	if cfg.MaxUIDs == 0 {
+		cfg.MaxUIDs = defaultMaxUIDs
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = defaultMaxRounds
+	}
+	if cfg.Activations != nil {
+		if len(cfg.Activations) != n {
+			return nil, fmt.Errorf("sim: %d activations for %d nodes", len(cfg.Activations), n)
+		}
+		for u, a := range cfg.Activations {
+			if a < 1 {
+				return nil, fmt.Errorf("sim: node %d activation round %d < 1", u, a)
+			}
+		}
+	}
+	if cfg.Departures != nil {
+		if len(cfg.Departures) != n {
+			return nil, fmt.Errorf("sim: %d departures for %d nodes", len(cfg.Departures), n)
+		}
+		for u, d := range cfg.Departures {
+			if d < 0 {
+				return nil, fmt.Errorf("sim: node %d departure round %d < 0", u, d)
+			}
+			if d > 0 && cfg.Activations != nil && d < cfg.Activations[u] {
+				return nil, fmt.Errorf("sim: node %d departs (round %d) before activating (round %d)", u, d, cfg.Activations[u])
+			}
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stopGate := 1
+	for _, a := range cfg.Activations {
+		if a > stopGate {
+			stopGate = a
+		}
+	}
+	e := &Engine{
+		sched:     sched,
+		cfg:       cfg,
+		n:         n,
+		protocols: protocols,
+		rngs:      make([]xrand.RNG, n),
+		tags:      make([]uint64, n),
+		actions:   make([]int32, n),
+		active:    make([]bool, n),
+		inboxTo:   make([]int32, 0, n),
+		inboxAt:   make([]int32, n+1),
+		partner:   make([]int32, n),
+		cursor:    make([]int32, n),
+		workers:   workers,
+		stopGate:  stopGate,
+		connCount: make([]int64, n),
+	}
+	return e, nil
+}
+
+// Run executes rounds until the stop condition fires or MaxRounds elapses.
+// On timeout it returns the partial result and an error wrapping
+// ErrNotStabilized.
+func (e *Engine) Run(stop StopCondition) (Result, error) {
+	var res Result
+	for r := 1; r <= e.cfg.MaxRounds; r++ {
+		stats := e.step(r)
+		res.RoundsExecuted = r
+		res.Proposals += int64(stats.Proposals)
+		res.Connections += int64(stats.Connections)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer(stats)
+		}
+		if stop != nil && r >= e.stopGate && stop(r, e.protocols) {
+			res.StabilizedRound = r
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w (MaxRounds=%d, schedule=%s)", ErrNotStabilized, e.cfg.MaxRounds, e.sched.Name())
+}
+
+// RunRounds executes exactly k more rounds regardless of any condition,
+// continuing the round counter from previous calls to Run/RunRounds.
+// It is used by stability-validation tests.
+func (e *Engine) RunRounds(startRound, k int) {
+	for r := startRound; r < startRound+k; r++ {
+		e.step(r)
+	}
+}
+
+// Protocols exposes the engine's protocol instances (for inspection).
+func (e *Engine) Protocols() []Protocol { return e.protocols }
+
+// step runs one full round and returns its statistics.
+func (e *Engine) step(r int) RoundStats {
+	g := e.sched.GraphAt(r)
+	activeCount := 0
+	for u := 0; u < e.n; u++ {
+		a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
+		if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
+			a = false
+		}
+		e.active[u] = a
+		if a {
+			activeCount++
+		}
+	}
+	var act []bool
+	if activeCount != e.n {
+		act = e.active
+	}
+
+	tagLimit := uint64(0)
+	if e.cfg.TagBits < 64 {
+		tagLimit = uint64(1) << uint(e.cfg.TagBits)
+	}
+
+	// Steps 2-3: advertise then decide, in parallel over nodes. Each node's
+	// RNG is derived from (seed, node, round) so ordering is irrelevant.
+	e.parallelFor(func(lo, hi int) {
+		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
+		for u := lo; u < hi; u++ {
+			if !e.active[u] {
+				e.actions[u] = actionInactive
+				e.tags[u] = 0
+				continue
+			}
+			e.rngs[u].Reseed(e.cfg.Seed, uint64(u), uint64(r))
+			ctx.Node = int32(u)
+			ctx.RNG = &e.rngs[u]
+			tag := e.protocols[u].Advertise(&ctx)
+			if tagLimit != 0 && tag >= tagLimit {
+				panic(fmt.Sprintf("sim: node %d advertised tag %d exceeding b=%d bits", u, tag, e.cfg.TagBits))
+			}
+			e.tags[u] = tag
+		}
+	})
+	e.parallelFor(func(lo, hi int) {
+		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
+		for u := lo; u < hi; u++ {
+			if !e.active[u] {
+				continue
+			}
+			ctx.Node = int32(u)
+			ctx.RNG = &e.rngs[u]
+			target, propose := e.protocols[u].Decide(&ctx)
+			if !propose {
+				e.actions[u] = actionReceive
+				continue
+			}
+			if target < 0 || int(target) >= e.n || !g.HasEdge(u, int(target)) {
+				panic(fmt.Sprintf("sim: node %d proposed to non-neighbor %d in round %d", u, target, r))
+			}
+			if !e.active[target] {
+				panic(fmt.Sprintf("sim: node %d proposed to inactive node %d in round %d", u, target, r))
+			}
+			e.actions[u] = target
+		}
+	})
+
+	if e.cfg.Classical {
+		return e.classicalFinish(r, g, act, activeCount)
+	}
+
+	// Step 4: group proposals by receiver (counting sort keeps per-receiver
+	// inboxes ordered by sender id), then accept uniformly.
+	proposals := 0
+	for u := range e.inboxAt {
+		e.inboxAt[u] = 0
+	}
+	for u := 0; u < e.n; u++ {
+		if t := e.actions[u]; t >= 0 {
+			// A proposal to a node that itself proposed is lost (the model:
+			// a node that sends cannot also receive).
+			if e.actions[t] == actionReceive {
+				e.inboxAt[t+1]++
+			}
+			proposals++
+		}
+	}
+	for u := 0; u < e.n; u++ {
+		e.inboxAt[u+1] += e.inboxAt[u]
+	}
+	total := int(e.inboxAt[e.n])
+	e.inboxTo = e.inboxTo[:0]
+	if cap(e.inboxTo) < total {
+		e.inboxTo = make([]int32, total)
+	} else {
+		e.inboxTo = e.inboxTo[:total]
+	}
+	copy(e.cursor, e.inboxAt[:e.n])
+	for u := 0; u < e.n; u++ {
+		if t := e.actions[u]; t >= 0 && e.actions[t] == actionReceive {
+			e.inboxTo[e.cursor[t]] = int32(u)
+			e.cursor[t]++
+		}
+	}
+
+	connections := 0
+	for u := 0; u < e.n; u++ {
+		e.partner[u] = noPartner
+	}
+	for v := 0; v < e.n; v++ {
+		if e.actions[v] != actionReceive {
+			continue
+		}
+		inbox := e.inboxTo[e.inboxAt[v]:e.inboxAt[v+1]]
+		if len(inbox) == 0 {
+			continue
+		}
+		chosen := inbox[0] // inbox is sorted by sender id
+		switch e.cfg.Accept {
+		case AcceptUniform:
+			if len(inbox) > 1 {
+				chosen = inbox[e.rngs[v].Intn(len(inbox))]
+			}
+		case AcceptLowestID:
+			// inbox[0] already.
+		case AcceptHighestID:
+			chosen = inbox[len(inbox)-1]
+		default:
+			panic(fmt.Sprintf("sim: unknown accept policy %d", e.cfg.Accept))
+		}
+		e.partner[v] = chosen
+		e.partner[chosen] = int32(v)
+		e.connCount[v]++
+		e.connCount[chosen]++
+		connections++
+	}
+
+	if e.cfg.OnConnections != nil {
+		e.pairScratch = e.pairScratch[:0]
+		for u := 0; u < e.n; u++ {
+			if v := e.partner[u]; v != noPartner && int(v) > u {
+				e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
+			}
+		}
+		e.cfg.OnConnections(r, e.pairScratch)
+	}
+
+	// Step 5: exchange over established connections, in parallel over pairs
+	// (pairs are node-disjoint, so this is race-free).
+	e.parallelFor(func(lo, hi int) {
+		ctxU := Context{Round: r, g: g, tags: e.tags, act: act}
+		ctxV := Context{Round: r, g: g, tags: e.tags, act: act}
+		for u := lo; u < hi; u++ {
+			v := e.partner[u]
+			if v == noPartner || int(v) < u {
+				continue // each pair handled once, by its smaller endpoint
+			}
+			ctxU.Node = int32(u)
+			ctxU.RNG = &e.rngs[u]
+			ctxV.Node = v
+			ctxV.RNG = &e.rngs[v]
+			mu := e.protocols[u].Outgoing(&ctxU, v)
+			mv := e.protocols[v].Outgoing(&ctxV, int32(u))
+			e.checkMessage(u, mu)
+			e.checkMessage(int(v), mv)
+			e.protocols[u].Deliver(&ctxU, v, mv)
+			e.protocols[v].Deliver(&ctxV, int32(u), mu)
+		}
+	})
+
+	// End of round.
+	e.parallelFor(func(lo, hi int) {
+		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
+		for u := lo; u < hi; u++ {
+			if !e.active[u] {
+				continue
+			}
+			ctx.Node = int32(u)
+			ctx.RNG = &e.rngs[u]
+			e.protocols[u].EndRound(&ctx)
+		}
+	})
+
+	return RoundStats{Round: r, Proposals: proposals, Connections: connections, ActiveNodes: activeCount}
+}
+
+// classicalFinish completes a round under classical telephone semantics:
+// every proposal is answered (receivers serve unboundedly many incoming
+// connections, and senders can also be called). Exchanges run sequentially
+// in sender order for determinism — a receiver's protocol may be delivered
+// to many times per round.
+func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount int) RoundStats {
+	ctxU := Context{Round: r, g: g, tags: e.tags, act: act}
+	ctxV := Context{Round: r, g: g, tags: e.tags, act: act}
+	connections := 0
+	proposals := 0
+	if e.cfg.OnConnections != nil {
+		e.pairScratch = e.pairScratch[:0]
+		for u := 0; u < e.n; u++ {
+			if v := e.actions[u]; v >= 0 {
+				e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
+			}
+		}
+		e.cfg.OnConnections(r, e.pairScratch)
+	}
+	for u := 0; u < e.n; u++ {
+		v := e.actions[u]
+		if v < 0 {
+			continue
+		}
+		proposals++
+		connections++
+		e.connCount[u]++
+		e.connCount[v]++
+		ctxU.Node = int32(u)
+		ctxU.RNG = &e.rngs[u]
+		ctxV.Node = v
+		ctxV.RNG = &e.rngs[v]
+		mu := e.protocols[u].Outgoing(&ctxU, v)
+		mv := e.protocols[v].Outgoing(&ctxV, int32(u))
+		e.checkMessage(u, mu)
+		e.checkMessage(int(v), mv)
+		e.protocols[u].Deliver(&ctxU, v, mv)
+		e.protocols[v].Deliver(&ctxV, int32(u), mu)
+	}
+
+	e.parallelFor(func(lo, hi int) {
+		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
+		for u := lo; u < hi; u++ {
+			if !e.active[u] {
+				continue
+			}
+			ctx.Node = int32(u)
+			ctx.RNG = &e.rngs[u]
+			e.protocols[u].EndRound(&ctx)
+		}
+	})
+	return RoundStats{Round: r, Proposals: proposals, Connections: connections, ActiveNodes: activeCount}
+}
+
+func (e *Engine) checkMessage(u int, m Message) {
+	if len(m.UIDs) > e.cfg.MaxUIDs {
+		panic(fmt.Sprintf("sim: node %d sent %d UIDs, budget is %d", u, len(m.UIDs), e.cfg.MaxUIDs))
+	}
+}
+
+// parallelFor splits [0, n) into contiguous chunks across the configured
+// workers. With Workers == 1 it runs inline.
+func (e *Engine) parallelFor(fn func(lo, hi int)) {
+	if e.workers == 1 || e.n < 256 {
+		fn(0, e.n)
+		return
+	}
+	chunk := (e.n + e.workers - 1) / e.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < e.n; lo += chunk {
+		hi := lo + chunk
+		if hi > e.n {
+			hi = e.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// StableFor wraps a stop condition with a realistic stabilization detector:
+// it fires only after inner has held continuously for k consecutive rounds.
+// AllLeadersEqual is a correct instant detector for this repository's
+// protocols (candidates only improve toward a unique minimum), but StableFor
+// models what a deployment without that structural knowledge would measure.
+func StableFor(inner StopCondition, k int) StopCondition {
+	if k < 1 {
+		panic("sim: StableFor needs k >= 1")
+	}
+	streak := 0
+	return func(round int, protocols []Protocol) bool {
+		if inner(round, protocols) {
+			streak++
+		} else {
+			streak = 0
+		}
+		return streak >= k
+	}
+}
+
+// NodeLoad reports per-node lifetime connection counts — the simulator's
+// proxy for radio/battery cost, the practical resource the paper's
+// introduction motivates conserving. The returned slice is a copy.
+func (e *Engine) NodeLoad() []int64 {
+	out := make([]int64, len(e.connCount))
+	copy(out, e.connCount)
+	return out
+}
+
+// LoadStats summarizes per-node connection load.
+type LoadStats struct {
+	Min, Max int64
+	Mean     float64
+	// Imbalance is Max/Mean (1 = perfectly even; large = hot spots).
+	Imbalance float64
+}
+
+// Load computes LoadStats over the engine's lifetime connection counts.
+func (e *Engine) Load() LoadStats {
+	var total, maxLoad int64
+	minLoad := int64(1<<62 - 1)
+	for _, c := range e.connCount {
+		total += c
+		if c > maxLoad {
+			maxLoad = c
+		}
+		if c < minLoad {
+			minLoad = c
+		}
+	}
+	mean := float64(total) / float64(len(e.connCount))
+	imb := 0.0
+	if mean > 0 {
+		imb = float64(maxLoad) / mean
+	}
+	return LoadStats{Min: minLoad, Max: maxLoad, Mean: mean, Imbalance: imb}
+}

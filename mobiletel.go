@@ -1,0 +1,690 @@
+// Package mobiletel is a simulation and algorithms library for the mobile
+// telephone model — the abstraction of smartphone peer-to-peer networks
+// (Bluetooth LE, Wi-Fi Direct, Multipeer Connectivity) introduced by
+// Ghaffari and Newport and studied in Newport's "Leader Election in a
+// Smartphone Peer-to-Peer Network" (IPDPS 2017), which this repository
+// reproduces.
+//
+// The package is a facade over the internal engine. It exposes:
+//
+//   - Topology constructors (Clique, LineOfStars, RandomRegular, ...) with
+//     analytic Δ and vertex-expansion metadata;
+//   - Schedule constructors describing how the topology evolves over time
+//     under a stability factor τ (Static, Permuted, Churn, Waypoint, Merge);
+//   - ElectLeader, running any of the paper's three leader election
+//     algorithms (BlindGossip, BitConv, AsyncBitConv) to stabilization;
+//   - SpreadRumor, running PUSH-PULL or PPUSH rumor spreading;
+//   - Experiments / RunExperiment, regenerating every table in
+//     EXPERIMENTS.md.
+//
+// A minimal election:
+//
+//	topo := mobiletel.RandomRegular(256, 8, 42)
+//	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+//	    mobiletel.Options{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println(res.Leader, res.Rounds)
+package mobiletel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"mobiletel/internal/aggregate"
+	"mobiletel/internal/consensus"
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/experiment"
+	"mobiletel/internal/gossip"
+	"mobiletel/internal/graph/gen"
+	"strings"
+
+	"mobiletel/internal/rumor"
+	"mobiletel/internal/sim"
+	"mobiletel/internal/stats"
+	"mobiletel/internal/trace"
+	"mobiletel/internal/xrand"
+)
+
+// Topology is a static network graph with analytic metadata.
+type Topology struct {
+	family gen.Family
+}
+
+// N returns the number of devices.
+func (t Topology) N() int { return t.family.N() }
+
+// MaxDegree returns Δ.
+func (t Topology) MaxDegree() int { return t.family.MaxDegree() }
+
+// Alpha returns the vertex expansion (exact for structured families,
+// heuristic or NaN otherwise — see AlphaExact).
+func (t Topology) Alpha() float64 { return t.family.Alpha }
+
+// AlphaExact reports whether Alpha is an exact analytic value.
+func (t Topology) AlphaExact() bool { return t.family.AlphaExact }
+
+// Name returns the family name.
+func (t Topology) Name() string { return t.family.Name }
+
+// Topology constructors (see internal/graph/gen for the full semantics).
+
+// Clique is the complete graph on n devices.
+func Clique(n int) Topology { return Topology{gen.Clique(n)} }
+
+// Path is the path graph on n devices.
+func Path(n int) Topology { return Topology{gen.Path(n)} }
+
+// Cycle is the cycle on n devices.
+func Cycle(n int) Topology { return Topology{gen.Cycle(n)} }
+
+// Star is the star with one hub and n-1 leaves.
+func Star(n int) Topology { return Topology{gen.Star(n)} }
+
+// LineOfStars is the paper's Section VI lower-bound construction.
+func LineOfStars(stars, points int) Topology { return Topology{gen.LineOfStars(stars, points)} }
+
+// SqrtLineOfStars is the canonical √n × √n instantiation.
+func SqrtLineOfStars(side int) Topology { return Topology{gen.SqrtLineOfStars(side)} }
+
+// RingOfCliques joins k cliques of size s in a ring.
+func RingOfCliques(k, s int) Topology { return Topology{gen.RingOfCliques(k, s)} }
+
+// RandomRegular is a random connected d-regular graph.
+func RandomRegular(n, d int, seed uint64) Topology { return Topology{gen.RandomRegular(n, d, seed)} }
+
+// ErdosRenyi is a connected G(n, p) sample.
+func ErdosRenyi(n int, p float64, seed uint64) Topology { return Topology{gen.ErdosRenyi(n, p, seed)} }
+
+// Grid is the rows×cols grid.
+func Grid(rows, cols int) Topology { return Topology{gen.Grid(rows, cols)} }
+
+// Hypercube is the d-dimensional hypercube.
+func Hypercube(d int) Topology { return Topology{gen.Hypercube(d)} }
+
+// Barbell is two s-cliques joined by an edge.
+func Barbell(s int) Topology { return Topology{gen.Barbell(s)} }
+
+// BarabasiAlbert is a scale-free preferential-attachment mesh with
+// attachment parameter m (heavy-tailed degrees; pronounced hubs).
+func BarabasiAlbert(n, m int, seed uint64) Topology {
+	return Topology{gen.BarabasiAlbert(n, m, seed)}
+}
+
+// CompleteBipartite is K_{a,b}.
+func CompleteBipartite(a, b int) Topology { return Topology{gen.CompleteBipartite(a, b)} }
+
+// Petersen is the Petersen graph (10 devices, 3-regular).
+func Petersen() Topology { return Topology{gen.Petersen()} }
+
+// Wheel is a hub connected to a cycle of n-1 devices.
+func Wheel(n int) Topology { return Topology{gen.Wheel(n)} }
+
+// Separated places two topologies side by side with no connecting edges —
+// a disconnected network, used with Merge for the Section VIII
+// self-stabilization scenario. Devices of a keep their indices; devices of
+// b are shifted by a.N().
+func Separated(a, b Topology) Topology { return Topology{gen.DisjointUnion(a.family, b.family)} }
+
+// Schedule describes how the topology evolves over rounds.
+type Schedule struct {
+	sched dyngraph.Schedule
+}
+
+// Name returns a human-readable schedule label.
+func (s Schedule) Name() string { return s.sched.Name() }
+
+// Tau returns the schedule's stability factor.
+func (s Schedule) Tau() int { return s.sched.Tau() }
+
+// Static never changes the topology (τ = ∞).
+func Static(t Topology) Schedule { return Schedule{dyngraph.NewStatic(t.family)} }
+
+// Permuted relabels node positions with a fresh permutation every tau
+// rounds — the adversarial mobility schedule (Δ and α preserved exactly).
+func Permuted(t Topology, tau int, seed uint64) Schedule {
+	return Schedule{dyngraph.NewPermuted(t.family, tau, seed)}
+}
+
+// Churn rewires swaps random edge pairs (degree-preserving) every tau rounds.
+func Churn(t Topology, tau, swaps int, seed uint64) Schedule {
+	return Schedule{dyngraph.NewChurn(t.family, tau, swaps, seed)}
+}
+
+// Waypoint is random-waypoint mobility on the unit square with the given
+// communication radius and per-epoch speed.
+func Waypoint(n int, radius, speed float64, tau int, seed uint64) Schedule {
+	return Schedule{dyngraph.NewWaypoint(n, radius, speed, tau, seed)}
+}
+
+// Merge serves schedule a until switchRound, then schedule b — the
+// self-stabilization scenario of Section VIII.
+func Merge(a, b Schedule, switchRound int) Schedule {
+	return Schedule{dyngraph.NewSwitch(a.sched, b.sched, switchRound)}
+}
+
+// Algorithm selects a leader election algorithm from the paper.
+type Algorithm int
+
+const (
+	// BlindGossip: Section VI, b = 0, O((1/α)Δ²log²n) rounds.
+	BlindGossip Algorithm = iota
+	// BitConv: Section VII, b = 1, synchronized starts,
+	// O((1/α)Δ^{1/τ̂}τ̂log⁵n) rounds.
+	BitConv
+	// AsyncBitConv: Section VIII, b = loglog n + O(1), asynchronous
+	// activations, self-stabilizing.
+	AsyncBitConv
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case BlindGossip:
+		return "blindgossip"
+	case BitConv:
+		return "bitconv"
+	case AsyncBitConv:
+		return "asyncbitconv"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves a name produced by Algorithm.String.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "blindgossip":
+		return BlindGossip, nil
+	case "bitconv":
+		return BitConv, nil
+	case "asyncbitconv":
+		return AsyncBitConv, nil
+	default:
+		return 0, fmt.Errorf("mobiletel: unknown algorithm %q (want blindgossip|bitconv|asyncbitconv)", s)
+	}
+}
+
+// Options configures an execution.
+type Options struct {
+	// Seed drives all randomness; runs are deterministic in it.
+	Seed uint64
+	// MaxRounds aborts a run that has not stabilized (default 10M).
+	MaxRounds int
+	// Activations gives each device's activation round (1-based). Only
+	// meaningful for AsyncBitConv; nil means all start at round 1.
+	Activations []int
+	// Workers controls engine parallelism (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// UIDs optionally fixes device UIDs; nil draws unique random UIDs from
+	// Seed. Must be distinct and nonzero when provided.
+	UIDs []uint64
+	// OnRound, when non-nil, receives (round, connections) after every
+	// executed round — e.g. to render a convergence curve.
+	OnRound func(round, connections int)
+	// RecordTo, when non-nil, receives a JSON-lines execution recording
+	// (per-round connection sets plus final leaders) after the run — a
+	// debugging artifact and determinism proof (replaying the same seed and
+	// configuration reproduces it byte for byte).
+	RecordTo io.Writer
+	// Classical runs the execution under *classical* telephone model
+	// semantics (a device may serve unboundedly many incoming connections
+	// per round) — the related-work baseline, not the paper's model. See
+	// experiment E12 for the gap this exposes.
+	Classical bool
+}
+
+// observer adapts Options.OnRound to the engine's observer hook.
+func (o Options) observer() func(sim.RoundStats) {
+	if o.OnRound == nil {
+		return nil
+	}
+	return func(s sim.RoundStats) { o.OnRound(s.Round, s.Connections) }
+}
+
+// ElectionResult reports a stabilized leader election.
+type ElectionResult struct {
+	// Leader is the UID every device's leader variable stabilized to.
+	Leader uint64
+	// Rounds is the stabilization round.
+	Rounds int
+	// Connections is the total number of peer-to-peer connections used.
+	Connections int64
+	// UIDs is the UID assignment used (index = device).
+	UIDs []uint64
+}
+
+// ErrNotStabilized is returned when MaxRounds elapses first.
+var ErrNotStabilized = sim.ErrNotStabilized
+
+// ElectLeader runs the chosen algorithm over the schedule until every
+// device's leader variable agrees.
+func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, error) {
+	n := s.sched.N()
+	if n < 1 {
+		return ElectionResult{}, errors.New("mobiletel: empty network")
+	}
+	uids := opts.UIDs
+	if uids == nil {
+		uids = core.UniqueUIDs(n, opts.Seed^0x51ede75)
+	} else if len(uids) != n {
+		return ElectionResult{}, fmt.Errorf("mobiletel: %d UIDs for %d devices", len(uids), n)
+	}
+
+	var protocols []sim.Protocol
+	tagBits := 0
+	params := core.DefaultBitConvParams(n, s.sched.MaxDegree())
+	var recorder *sim.Recorder
+	if opts.RecordTo != nil {
+		recorder = sim.NewRecorder(opts.Seed, s.sched.Name(), n)
+	}
+	switch algo {
+	case BlindGossip:
+		protocols = core.NewBlindGossipNetwork(uids)
+	case BitConv:
+		protocols, _ = core.NewBitConvNetwork(uids, params, opts.Seed^0xb17c0)
+		tagBits = 1
+	case AsyncBitConv:
+		protocols, _ = core.NewAsyncBitConvNetwork(uids, params, opts.Seed^0xa57c0)
+		tagBits = core.TagBitsNeeded(params)
+	default:
+		return ElectionResult{}, fmt.Errorf("mobiletel: unknown algorithm %v", algo)
+	}
+
+	cfg := sim.Config{
+		Seed:        opts.Seed,
+		TagBits:     tagBits,
+		MaxRounds:   opts.MaxRounds,
+		Activations: opts.Activations,
+		Workers:     opts.Workers,
+		Observer:    opts.observer(),
+		Classical:   opts.Classical,
+	}
+	if recorder != nil {
+		recorder.Attach(&cfg)
+	}
+	eng, err := sim.New(s.sched, protocols, cfg)
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	res, err := eng.Run(sim.AllLeadersEqual)
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	if recorder != nil {
+		if err := recorder.Finish(protocols).WriteJSONL(opts.RecordTo); err != nil {
+			return ElectionResult{}, fmt.Errorf("mobiletel: writing recording: %w", err)
+		}
+	}
+	return ElectionResult{
+		Leader:      protocols[0].Leader(),
+		Rounds:      res.StabilizedRound,
+		Connections: res.Connections,
+		UIDs:        uids,
+	}, nil
+}
+
+// RumorStrategy selects a rumor spreading strategy from Section V.
+type RumorStrategy int
+
+const (
+	// PushPull: b = 0 classical strategy (Corollary VI.6).
+	PushPull RumorStrategy = iota
+	// PPush: b = 1 productive PUSH (Theorem V.2).
+	PPush
+)
+
+// String names the strategy.
+func (r RumorStrategy) String() string {
+	if r == PushPull {
+		return "pushpull"
+	}
+	return "ppush"
+}
+
+// RumorResult reports a completed rumor spreading run.
+type RumorResult struct {
+	// Rounds is the round by which every device knew the rumor.
+	Rounds int
+	// Connections is the total number of connections used.
+	Connections int64
+}
+
+// SpreadRumor runs the strategy from the given source devices until the
+// whole network is informed.
+func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options) (RumorResult, error) {
+	n := s.sched.N()
+	if len(sources) == 0 {
+		return RumorResult{}, errors.New("mobiletel: no rumor sources")
+	}
+	informed := make(map[int]bool, len(sources))
+	for _, src := range sources {
+		if src < 0 || src >= n {
+			return RumorResult{}, fmt.Errorf("mobiletel: source %d out of range [0,%d)", src, n)
+		}
+		informed[src] = true
+	}
+	var protocols []sim.Protocol
+	tagBits := 0
+	switch strategy {
+	case PushPull:
+		protocols = rumor.NewPushPullNetwork(n, informed)
+	case PPush:
+		protocols = rumor.NewPPushNetwork(n, informed)
+		tagBits = 1
+	default:
+		return RumorResult{}, fmt.Errorf("mobiletel: unknown strategy %v", strategy)
+	}
+	eng, err := sim.New(s.sched, protocols, sim.Config{
+		Seed:      opts.Seed,
+		TagBits:   tagBits,
+		MaxRounds: opts.MaxRounds,
+		Workers:   opts.Workers,
+		Observer:  opts.observer(),
+		Classical: opts.Classical,
+	})
+	if err != nil {
+		return RumorResult{}, err
+	}
+	res, err := eng.Run(rumor.AllInformed)
+	if err != nil {
+		return RumorResult{}, err
+	}
+	return RumorResult{Rounds: res.StabilizedRound, Connections: res.Connections}, nil
+}
+
+// ExperimentInfo describes one registered reproduction experiment.
+type ExperimentInfo struct {
+	ID    string
+	Claim string
+}
+
+// Experiments lists every registered experiment (DESIGN.md §4).
+func Experiments() []ExperimentInfo {
+	all := experiment.All()
+	out := make([]ExperimentInfo, len(all))
+	for i, e := range all {
+		out[i] = ExperimentInfo{ID: e.ID, Claim: e.Claim}
+	}
+	return out
+}
+
+// ExperimentOptions configures RunExperiment.
+type ExperimentOptions struct {
+	Seed   uint64
+	Trials int  // 0 = experiment default
+	Quick  bool // reduced scales
+	CSV    bool // render CSV instead of an aligned text table
+}
+
+// RunExperiment regenerates one experiment's table and returns it rendered.
+func RunExperiment(id string, opts ExperimentOptions) (string, error) {
+	e, ok := experiment.ByID(id)
+	if !ok {
+		return "", fmt.Errorf("mobiletel: unknown experiment %q", id)
+	}
+	table, err := e.Run(experiment.Config{Seed: opts.Seed, Trials: opts.Trials, Quick: opts.Quick})
+	if err != nil {
+		return "", err
+	}
+	if opts.CSV {
+		var sb strings.Builder
+		if err := table.WriteCSV(&sb); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	}
+	return table.Text(), nil
+}
+
+// Decide runs single-value consensus over the schedule: each device proposes
+// a value, and the network agrees on the proposal of the elected leader.
+// Validity (the decision is some device's proposal) and agreement are
+// inherited from leader election; the substrate is the non-synchronized bit
+// convergence algorithm, so Options.Activations is honored.
+func Decide(s Schedule, proposals []uint64, opts Options) (DecisionResult, error) {
+	n := s.sched.N()
+	if len(proposals) != n {
+		return DecisionResult{}, fmt.Errorf("mobiletel: %d proposals for %d devices", len(proposals), n)
+	}
+	params := core.DefaultBitConvParams(n, s.sched.MaxDegree())
+	protocols, _ := consensus.NewNetwork(proposals, params, opts.Seed^0xdec1de)
+	eng, err := sim.New(s.sched, protocols, sim.Config{
+		Seed:        opts.Seed,
+		TagBits:     consensus.TagBits(params),
+		MaxRounds:   opts.MaxRounds,
+		Activations: opts.Activations,
+		Workers:     opts.Workers,
+	})
+	if err != nil {
+		return DecisionResult{}, err
+	}
+	res, err := eng.Run(consensus.AllAgree)
+	if err != nil {
+		return DecisionResult{}, err
+	}
+	winner := protocols[0].(*consensus.Proposer)
+	return DecisionResult{Value: winner.Value(), Leader: winner.Leader(), Rounds: res.StabilizedRound}, nil
+}
+
+// DecisionResult reports a completed consensus.
+type DecisionResult struct {
+	// Value is the agreed value (the leader's proposal).
+	Value uint64
+	// Leader is the UID of the device whose proposal won.
+	Leader uint64
+	// Rounds is the round by which all devices agreed.
+	Rounds int
+}
+
+// AggregateKind selects what Aggregate computes.
+type AggregateKind int
+
+const (
+	// Min converges to the exact minimum input (blind-gossip spread).
+	Min AggregateKind = iota
+	// Max converges to the exact maximum input.
+	Max
+	// Mean converges to the average input via pairwise mass averaging.
+	Mean
+	// Count estimates the network size (inputs are ignored).
+	Count
+	// Sum estimates the total of the inputs.
+	Sum
+)
+
+// String names the aggregate.
+func (k AggregateKind) String() string {
+	switch k {
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Mean:
+		return "mean"
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	default:
+		return fmt.Sprintf("AggregateKind(%d)", int(k))
+	}
+}
+
+// AggregateResult reports a completed aggregation.
+type AggregateResult struct {
+	// Estimates holds each device's final estimate.
+	Estimates []float64
+	// Rounds is the round at which the stop criterion held.
+	Rounds int
+}
+
+// Aggregate computes a network-wide aggregate of the inputs. Min and Max
+// run until all devices hold the exact answer; Mean, Count, and Sum run
+// until every device's estimate is within rel of the true value (the truth
+// is computed locally from inputs — this is a simulation, after all).
+// For Count, inputs may be nil.
+func Aggregate(s Schedule, kind AggregateKind, inputs []float64, rel float64, opts Options) (AggregateResult, error) {
+	n := s.sched.N()
+	if kind != Count && len(inputs) != n {
+		return AggregateResult{}, fmt.Errorf("mobiletel: %d inputs for %d devices", len(inputs), n)
+	}
+	var protocols []sim.Protocol
+	var stop sim.StopCondition
+	switch kind {
+	case Min, Max:
+		protocols = make([]sim.Protocol, n)
+		for i := range protocols {
+			if kind == Min {
+				protocols[i] = aggregate.NewMin(inputs[i])
+			} else {
+				protocols[i] = aggregate.NewMax(inputs[i])
+			}
+		}
+		stop = sim.AllLeadersEqual
+	case Mean:
+		truth := 0.0
+		for _, x := range inputs {
+			truth += x
+		}
+		truth /= float64(n)
+		protocols = aggregate.NewMeanNetwork(inputs)
+		stop = aggregate.WithinTolerance(truth, rel)
+	case Count:
+		protocols = aggregate.NewCountNetwork(n, 0)
+		stop = aggregate.WithinTolerance(float64(n), rel)
+	case Sum:
+		truth := 0.0
+		for _, x := range inputs {
+			truth += x
+		}
+		protocols = aggregate.NewSumNetwork(inputs, 0)
+		stop = aggregate.WithinTolerance(truth, rel)
+	default:
+		return AggregateResult{}, fmt.Errorf("mobiletel: unknown aggregate %v", kind)
+	}
+
+	eng, err := sim.New(s.sched, protocols, sim.Config{
+		Seed: opts.Seed, MaxRounds: opts.MaxRounds, Workers: opts.Workers,
+	})
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	res, err := eng.Run(stop)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	estimates := make([]float64, n)
+	for i, p := range protocols {
+		switch q := p.(type) {
+		case *aggregate.Extremum:
+			estimates[i] = q.Estimate()
+		case *aggregate.Averager:
+			estimates[i] = q.Estimate()
+		}
+	}
+	return AggregateResult{Estimates: estimates, Rounds: res.StabilizedRound}, nil
+}
+
+// GossipResult reports a completed all-to-all gossip run.
+type GossipResult struct {
+	// Rounds is the round by which every device knew every rumor.
+	Rounds int
+	// Connections is the total number of connections used.
+	Connections int64
+}
+
+// GossipAll runs all-to-all rumor spreading: every device starts with one
+// rumor and the run completes when every device knows all n rumors (one of
+// the follow-on problems from the paper's conclusion). Each connection
+// carries one rumor in each direction, respecting the O(1)-UID budget.
+func GossipAll(s Schedule, opts Options) (GossipResult, error) {
+	n := s.sched.N()
+	protocols := gossip.NewNetwork(n)
+	eng, err := sim.New(s.sched, protocols, sim.Config{
+		Seed:      opts.Seed,
+		MaxRounds: opts.MaxRounds,
+		Workers:   opts.Workers,
+		Observer:  opts.observer(),
+	})
+	if err != nil {
+		return GossipResult{}, err
+	}
+	res, err := eng.Run(gossip.AllComplete)
+	if err != nil {
+		return GossipResult{}, err
+	}
+	return GossipResult{Rounds: res.StabilizedRound, Connections: res.Connections}, nil
+}
+
+// SweepRow is one aggregated row of a RunSweep result.
+type SweepRow struct {
+	Label  string
+	Trials int
+	Median float64
+	P90    float64
+	Mean   float64
+	Min    float64
+	Max    float64
+}
+
+// RunSweep is the building block for custom parameter studies: for every
+// label it runs `trials` independent trials of fn (in parallel, each with a
+// distinct derived seed) and aggregates the returned round counts. fn must
+// be safe for concurrent calls; errors abort the sweep.
+//
+//	rows, _ := mobiletel.RunSweep([]string{"tau=1", "tau=8"}, 20, 1,
+//	    func(label string, seed uint64) (int, error) {
+//	        tau := 1
+//	        if label == "tau=8" { tau = 8 }
+//	        res, err := mobiletel.ElectLeader(
+//	            mobiletel.Permuted(topo, tau, seed), mobiletel.BitConv,
+//	            mobiletel.Options{Seed: seed})
+//	        return res.Rounds, err
+//	    })
+func RunSweep(labels []string, trials int, seed uint64, fn func(label string, trialSeed uint64) (int, error)) ([]SweepRow, error) {
+	if trials < 1 {
+		return nil, errors.New("mobiletel: RunSweep needs trials >= 1")
+	}
+	rows := make([]SweepRow, 0, len(labels))
+	for li, label := range labels {
+		rounds := make([]int, trials)
+		errs := make([]error, trials)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for trial := 0; trial < trials; trial++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(trial int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				trialSeed := xrand.Mix3(seed, uint64(li), uint64(trial))
+				rounds[trial], errs[trial] = fn(label, trialSeed)
+			}(trial)
+		}
+		wg.Wait()
+		for trial, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("mobiletel: sweep %q trial %d: %w", label, trial, err)
+			}
+		}
+		s := stats.IntSummary(rounds)
+		rows = append(rows, SweepRow{
+			Label: label, Trials: trials,
+			Median: s.Median, P90: s.P90, Mean: s.Mean, Min: s.Min, Max: s.Max,
+		})
+	}
+	return rows, nil
+}
+
+// FormatSweep renders sweep rows as an aligned text table.
+func FormatSweep(title string, rows []SweepRow) string {
+	table := trace.NewTable(title, "label", "trials", "median", "p90", "mean", "min", "max")
+	for _, r := range rows {
+		table.AddRow(r.Label, r.Trials, r.Median, r.P90, r.Mean, r.Min, r.Max)
+	}
+	return table.Text()
+}

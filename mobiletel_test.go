@@ -1,0 +1,257 @@
+package mobiletel_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mobiletel"
+)
+
+func TestElectLeaderBlindGossip(t *testing.T) {
+	topo := mobiletel.RandomRegular(64, 6, 42)
+	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+		mobiletel.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 || res.Leader == 0 || res.Connections < 1 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	// The leader must be the minimum of the UID assignment used.
+	min := res.UIDs[0]
+	for _, u := range res.UIDs {
+		if u < min {
+			min = u
+		}
+	}
+	if res.Leader != min {
+		t.Fatalf("leader %d, want min UID %d", res.Leader, min)
+	}
+}
+
+func TestElectLeaderAllAlgorithms(t *testing.T) {
+	topo := mobiletel.RandomRegular(48, 6, 7)
+	for _, algo := range []mobiletel.Algorithm{mobiletel.BlindGossip, mobiletel.BitConv, mobiletel.AsyncBitConv} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			res, err := mobiletel.ElectLeader(mobiletel.Static(topo), algo, mobiletel.Options{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rounds < 1 {
+				t.Fatalf("no rounds: %+v", res)
+			}
+		})
+	}
+}
+
+func TestElectLeaderDeterministic(t *testing.T) {
+	topo := mobiletel.Clique(32)
+	run := func() mobiletel.ElectionResult {
+		res, err := mobiletel.ElectLeader(mobiletel.Permuted(topo, 2, 5), mobiletel.BitConv,
+			mobiletel.Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Leader != b.Leader || a.Rounds != b.Rounds || a.Connections != b.Connections {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestElectLeaderCustomUIDs(t *testing.T) {
+	topo := mobiletel.Cycle(10)
+	uids := make([]uint64, 10)
+	for i := range uids {
+		uids[i] = uint64(100 - i)
+	}
+	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+		mobiletel.Options{Seed: 2, UIDs: uids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 91 {
+		t.Fatalf("leader %d, want 91", res.Leader)
+	}
+}
+
+func TestElectLeaderUIDLengthMismatch(t *testing.T) {
+	topo := mobiletel.Cycle(10)
+	_, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+		mobiletel.Options{UIDs: []uint64{1, 2}})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestElectLeaderTimeout(t *testing.T) {
+	topo := mobiletel.SqrtLineOfStars(8)
+	_, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+		mobiletel.Options{Seed: 1, MaxRounds: 3})
+	if !errors.Is(err, mobiletel.ErrNotStabilized) {
+		t.Fatalf("want ErrNotStabilized, got %v", err)
+	}
+}
+
+func TestSpreadRumorBothStrategies(t *testing.T) {
+	topo := mobiletel.RandomRegular(64, 6, 11)
+	for _, strat := range []mobiletel.RumorStrategy{mobiletel.PushPull, mobiletel.PPush} {
+		res, err := mobiletel.SpreadRumor(mobiletel.Static(topo), strat, []int{0}, mobiletel.Options{Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if res.Rounds < 1 || res.Connections < int64(topo.N()-1) {
+			t.Fatalf("%v: implausible %+v (need >= n-1 connections)", strat, res)
+		}
+	}
+}
+
+func TestSpreadRumorValidation(t *testing.T) {
+	topo := mobiletel.Cycle(5)
+	if _, err := mobiletel.SpreadRumor(mobiletel.Static(topo), mobiletel.PushPull, nil, mobiletel.Options{}); err == nil {
+		t.Fatal("empty sources accepted")
+	}
+	if _, err := mobiletel.SpreadRumor(mobiletel.Static(topo), mobiletel.PushPull, []int{9}, mobiletel.Options{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestTopologyMetadata(t *testing.T) {
+	topo := mobiletel.Clique(10)
+	if topo.N() != 10 || topo.MaxDegree() != 9 || !topo.AlphaExact() {
+		t.Fatalf("clique metadata wrong: n=%d Δ=%d", topo.N(), topo.MaxDegree())
+	}
+	if topo.Name() != "clique" {
+		t.Fatalf("name %q", topo.Name())
+	}
+	los := mobiletel.SqrtLineOfStars(4)
+	if los.Alpha() >= topo.Alpha() {
+		t.Fatal("line of stars should have smaller alpha than clique")
+	}
+}
+
+func TestScheduleMetadata(t *testing.T) {
+	topo := mobiletel.Cycle(12)
+	s := mobiletel.Permuted(topo, 5, 1)
+	if s.Tau() != 5 {
+		t.Fatalf("tau %d", s.Tau())
+	}
+	if !strings.Contains(s.Name(), "permuted") {
+		t.Fatalf("name %q", s.Name())
+	}
+}
+
+func TestMergeSchedule(t *testing.T) {
+	topo := mobiletel.Clique(16)
+	a := mobiletel.Permuted(topo, 1, 3)
+	b := mobiletel.Static(topo)
+	m := mobiletel.Merge(a, b, 50)
+	res, err := mobiletel.ElectLeader(m, mobiletel.AsyncBitConv, mobiletel.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 {
+		t.Fatal("no rounds")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, algo := range []mobiletel.Algorithm{mobiletel.BlindGossip, mobiletel.BitConv, mobiletel.AsyncBitConv} {
+		parsed, err := mobiletel.ParseAlgorithm(algo.String())
+		if err != nil || parsed != algo {
+			t.Fatalf("roundtrip failed for %v", algo)
+		}
+	}
+	if _, err := mobiletel.ParseAlgorithm("nonsense"); err == nil {
+		t.Fatal("nonsense algorithm accepted")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	infos := mobiletel.Experiments()
+	if len(infos) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(infos))
+	}
+	for _, info := range infos {
+		if info.ID == "" || info.Claim == "" {
+			t.Fatalf("incomplete info: %+v", info)
+		}
+	}
+}
+
+func TestRunExperimentTextAndCSV(t *testing.T) {
+	text, err := mobiletel.RunExperiment("E4-lemma-v1-gamma",
+		mobiletel.ExperimentOptions{Seed: 1, Trials: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Lemma V.1") {
+		t.Fatalf("unexpected table:\n%s", text)
+	}
+	csvOut, err := mobiletel.RunExperiment("E4-lemma-v1-gamma",
+		mobiletel.ExperimentOptions{Seed: 1, Trials: 3, Quick: true, CSV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvOut, ",") || strings.Contains(csvOut, "==") {
+		t.Fatalf("not CSV:\n%s", csvOut)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := mobiletel.RunExperiment("bogus", mobiletel.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAsyncActivations(t *testing.T) {
+	topo := mobiletel.RandomRegular(32, 4, 9)
+	acts := make([]int, 32)
+	for i := range acts {
+		acts[i] = 1 + (i*13)%100
+	}
+	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.AsyncBitConv,
+		mobiletel.Options{Seed: 8, Activations: acts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 100 {
+		t.Fatalf("stabilized at %d, before last activation", res.Rounds)
+	}
+}
+
+func TestBarabasiAlbertTopology(t *testing.T) {
+	topo := mobiletel.BarabasiAlbert(128, 3, 5)
+	if topo.N() != 128 || topo.MaxDegree() < 6 {
+		t.Fatalf("BA metadata: n=%d Δ=%d", topo.N(), topo.MaxDegree())
+	}
+	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip, mobiletel.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 {
+		t.Fatal("no rounds")
+	}
+}
+
+func TestElectLeaderRecording(t *testing.T) {
+	var buf strings.Builder
+	topo := mobiletel.Cycle(12)
+	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+		mobiletel.Options{Seed: 3, RecordTo: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\"schedule\":\"static/cycle\"") {
+		t.Fatalf("recording header missing: %q", out[:min(120, len(out))])
+	}
+	// One header line plus one line per round.
+	lines := strings.Count(strings.TrimSpace(out), "\n") + 1
+	if lines != res.Rounds+1 {
+		t.Fatalf("recording has %d lines, want %d", lines, res.Rounds+1)
+	}
+}
