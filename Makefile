@@ -1,0 +1,23 @@
+# Local entry points mirror CI (.github/workflows/ci.yml) exactly:
+# `make check` locally runs what CI runs on every push/PR.
+
+GO ?= go
+
+.PHONY: build vet test race lint check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+lint:
+	$(GO) run ./cmd/mtmlint ./...
+
+check: build vet test race lint

@@ -1,0 +1,160 @@
+// Command mtmlint runs the repository's determinism and concurrency
+// static-analysis suite (internal/lint) over package patterns.
+//
+// Usage:
+//
+//	mtmlint [flags] [patterns...]
+//
+// Patterns default to ./... and follow go-tool conventions (a directory,
+// or a directory followed by /... for its subtree). Exit status is 0 when
+// clean, 1 when findings are reported, and 2 on load or usage errors.
+//
+// Flags:
+//
+//	-json            emit findings as a JSON array
+//	-list            list analyzers and exit
+//	-enable  a,b     run only the named analyzers
+//	-disable a,b     run all but the named analyzers
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mobiletel/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("mtmlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtmlint:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtmlint:", err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtmlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtmlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtmlint:", err)
+		return 2
+	}
+	broken := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "mtmlint: %s: %v\n", pkg.Path, e)
+			broken++
+		}
+	}
+	if broken > 0 {
+		return 2
+	}
+
+	findings := lint.Run(loader, pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "mtmlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stdout, f.String())
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "mtmlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	if enable != "" && disable != "" {
+		return nil, fmt.Errorf("-enable and -disable are mutually exclusive")
+	}
+	if enable != "" {
+		var out []*lint.Analyzer
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.Lookup(name)
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	}
+	skip := make(map[string]bool)
+	if disable != "" {
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if lint.Lookup(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			skip[name] = true
+		}
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if !skip[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

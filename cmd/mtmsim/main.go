@@ -58,7 +58,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		opts.RecordTo = f
 	}
 	var connCurve []int

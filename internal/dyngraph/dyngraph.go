@@ -401,9 +401,16 @@ func (w *Waypoint) step() {
 func (w *Waypoint) rebuild() {
 	cell := w.radius
 	type cellKey struct{ cx, cy int }
+	// Track first-seen key order so edge insertion below never depends on
+	// map iteration order (node positions are deterministic per seed, so
+	// this order is too).
 	buckets := make(map[cellKey][]int)
+	var order []cellKey
 	for i := 0; i < w.n; i++ {
 		k := cellKey{int(w.px[i] / cell), int(w.py[i] / cell)}
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
 		buckets[k] = append(buckets[k], i)
 	}
 	b := graph.NewBuilder(w.n)
@@ -416,7 +423,8 @@ func (w *Waypoint) rebuild() {
 		}
 	}
 	r2 := w.radius * w.radius
-	for k, nodes := range buckets {
+	for _, k := range order {
+		nodes := buckets[k]
 		for ddx := -1; ddx <= 1; ddx++ {
 			for ddy := -1; ddy <= 1; ddy++ {
 				other := buckets[cellKey{k.cx + ddx, k.cy + ddy}]

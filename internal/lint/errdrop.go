@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errdrop flags calls whose error result is silently discarded: call
+// statements, go statements, and deferred calls. An explicit `_ =`
+// assignment is a deliberate, reviewable discard and is allowed.
+//
+// A small exclusion list covers stdlib calls whose error is useless or
+// documented to always be nil: fmt.Print/Printf/Println, fmt.Fprint* to
+// os.Stdout/os.Stderr, and the Write*/methods of strings.Builder and
+// bytes.Buffer.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded error return values",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = s.Call
+			case *ast.DeferStmt:
+				call = s.Call
+			}
+			if call != nil {
+				checkDroppedError(p, call)
+			}
+			return true
+		})
+	}
+}
+
+func checkDroppedError(p *Pass, call *ast.CallExpr) {
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil || !returnsError(tv.Type) {
+		return
+	}
+	if excludedFromErrdrop(p, call) {
+		return
+	}
+	p.Reportf(call.Pos(), "error result of %s is discarded; handle it or assign it to _ explicitly", types.ExprString(call.Fun))
+}
+
+func returnsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return t == types.Universe.Lookup("error").Type() || t.String() == "error"
+}
+
+func excludedFromErrdrop(p *Pass, call *ast.CallExpr) bool {
+	fn := calledFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() == nil {
+		return true // builtins never return errors anyway
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		recvType := strings.TrimPrefix(types.TypeString(recv.Type(), nil), "*")
+		return recvType == "strings.Builder" || recvType == "bytes.Buffer"
+	}
+	if fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		// Excluded only when the writer provably cannot fail usefully:
+		// os.Stdout/os.Stderr (no meaningful recovery) and the in-memory
+		// strings.Builder/bytes.Buffer (documented to never return errors).
+		// Writes to real files and generic io.Writers stay flagged.
+		if len(call.Args) == 0 {
+			return false
+		}
+		w := ast.Unparen(call.Args[0])
+		switch types.TypeString(p.Pkg.Info.TypeOf(w), nil) {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		}
+		sel, ok := w.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj := p.Pkg.Info.Uses[sel.Sel]
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+			(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+	}
+	return false
+}
+
+// calledFunc resolves the called function or method, if statically known.
+func calledFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the machine-readable output format: the exact JSON
+// the driver's -json flag emits for the maporder fixture package. File
+// paths are module-relative, so the golden file is checkout-independent.
+func TestJSONGolden(t *testing.T) {
+	l := fixtureModule(t)
+	pkg := loadFixture(t, l, "internal/core")
+	findings := Run(l, []*Package{pkg}, All())
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	goldenPath := filepath.Join("testdata", "golden", "core.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/lint -run TestJSONGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONRoundTrip ensures findings survive a marshal/unmarshal cycle
+// unchanged, so downstream tooling can consume -json output losslessly.
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Finding{{
+		Analyzer: "maporder",
+		File:     "internal/core/x.go",
+		Line:     3,
+		Col:      7,
+		Message:  `iteration over map m`,
+	}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Finding
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer. File is the path
+// relative to the module root (slash-separated), so output and golden
+// files are stable across checkouts.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one mtmlint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Norand, Maporder, Seedflow, Errdrop, Sharedwrite}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one (analyzer, package) run. Analyzers report through
+// Reportf, which applies suppression comments.
+type Pass struct {
+	Analyzer   *Analyzer
+	Pkg        *Package
+	ModulePath string
+
+	moduleRoot string
+	fset       *token.FileSet
+	suppress   suppressions
+	out        *[]Finding
+}
+
+// RelPkgPath is the package path relative to the module ("" for the module
+// root package). Analyzers use it to scope rules to directory subtrees.
+func (p *Pass) RelPkgPath() string {
+	if p.Pkg.Path == p.ModulePath {
+		return ""
+	}
+	return strings.TrimPrefix(p.Pkg.Path, p.ModulePath+"/")
+}
+
+// Within reports whether the package lies in the subtree rooted at prefix
+// (a module-relative slash path such as "internal/core").
+func (p *Pass) Within(prefix string) bool {
+	rel := p.RelPkgPath()
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}
+
+// Reportf records a finding at pos unless a reasoned
+// //mtmlint:<analyzer>-ok suppression covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.fset.Position(pos)
+	if p.suppress.covers(position.Filename, position.Line, p.Analyzer.Name) {
+		return
+	}
+	*p.out = append(*p.out, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     relFile(p.moduleRoot, position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func relFile(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil &&
+		rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Run executes the given analyzers over the given packages and returns all
+// findings sorted by (file, line, col, analyzer). Malformed mtmlint
+// directives (unknown analyzer, missing reason) are reported under the
+// pseudo-analyzer name "mtmlint" regardless of which analyzers run.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings := []Finding{}
+	for _, pkg := range pkgs {
+		sup := scanSuppressions(l, pkg, &findings)
+		for _, az := range analyzers {
+			az.Run(&Pass{
+				Analyzer:   az,
+				Pkg:        pkg,
+				ModulePath: l.ModulePath,
+				moduleRoot: l.ModuleRoot,
+				fset:       l.Fset,
+				suppress:   sup,
+				out:        &findings,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings
+}
+
+// suppressions maps filename -> line -> analyzer names with a reasoned
+// suppression covering that line.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(filename string, line int, analyzer string) bool {
+	return s[filename][line][analyzer]
+}
+
+func (s suppressions) add(filename string, line int, analyzer string) {
+	byLine, ok := s[filename]
+	if !ok {
+		byLine = make(map[int]map[string]bool)
+		s[filename] = byLine
+	}
+	byName, ok := byLine[line]
+	if !ok {
+		byName = make(map[string]bool)
+		byLine[line] = byName
+	}
+	byName[analyzer] = true
+}
+
+// scanSuppressions collects //mtmlint:<name>-ok <reason> directives from a
+// package. A directive covers its own line and the line directly below it
+// (so it works both as a trailing comment and on its own line above the
+// statement). Directives naming an unknown analyzer or lacking a reason
+// are reported as findings and do not suppress anything.
+func scanSuppressions(l *Loader, pkg *Package, findings *[]Finding) suppressions {
+	sup := make(suppressions)
+	report := func(pos token.Pos, format string, args ...any) {
+		position := l.Fset.Position(pos)
+		*findings = append(*findings, Finding{
+			Analyzer: "mtmlint",
+			File:     relFile(l.ModuleRoot, position.Filename),
+			Line:     position.Line,
+			Col:      position.Column,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//mtmlint:")
+				if !ok {
+					continue
+				}
+				directive, reason, _ := strings.Cut(text, " ")
+				name, ok := strings.CutSuffix(directive, "-ok")
+				if !ok {
+					report(c.Pos(), "malformed mtmlint directive %q (expected //mtmlint:<analyzer>-ok <reason>)", c.Text)
+					continue
+				}
+				if Lookup(name) == nil {
+					report(c.Pos(), "mtmlint directive names unknown analyzer %q", name)
+					continue
+				}
+				// Fixture files put "// want" expectations in the same
+				// comment; they are not part of the reason.
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = reason[:i]
+				}
+				if strings.TrimSpace(reason) == "" {
+					report(c.Pos(), "suppression for %s is missing a reason (//mtmlint:%s-ok <reason>)", name, name)
+					continue
+				}
+				position := l.Fset.Position(c.Pos())
+				sup.add(position.Filename, position.Line, name)
+				sup.add(position.Filename, position.Line+1, name)
+			}
+		}
+	}
+	return sup
+}
+
+// identsIn collects every *ast.Ident in the expression tree.
+func identsIn(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

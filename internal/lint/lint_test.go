@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureModule returns a loader rooted at the fixture module under
+// testdata, which mirrors the real module's path so path-scoped rules
+// (norand, maporder) behave identically.
+func fixtureModule(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(filepath.Join("testdata", "src", "mobiletel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// loadFixture loads one fixture package by module-relative directory.
+func loadFixture(t *testing.T, l *Loader, rel string) *Package {
+	t.Helper()
+	pkgs, err := l.Load(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), rel)
+	}
+	for _, e := range pkgs[0].Errors {
+		t.Errorf("fixture %s: load error: %v", rel, e)
+	}
+	return pkgs[0]
+}
+
+// want is one expectation comment: `// want `regexp` `regexp`...` on the
+// line the findings must appear on.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantToken = regexp.MustCompile("`([^`]*)`")
+
+func collectWants(t *testing.T, l *Loader, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				for _, m := range wantToken.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &want{
+						file: relFile(l.ModuleRoot, pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the given analyzers over one fixture package and
+// verifies findings against its // want comments, exactly.
+func checkFixture(t *testing.T, rel string, analyzers ...*Analyzer) {
+	t.Helper()
+	l := fixtureModule(t)
+	pkg := loadFixture(t, l, rel)
+	findings := Run(l, []*Package{pkg}, analyzers)
+	wants := collectWants(t, l, pkg)
+
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestNorandFixture(t *testing.T) {
+	checkFixture(t, "internal/sim", Norand)
+}
+
+func TestMaporderFixture(t *testing.T) {
+	checkFixture(t, "internal/core", Maporder)
+}
+
+func TestSeedflowFixture(t *testing.T) {
+	checkFixture(t, "internal/seeds", Seedflow)
+}
+
+func TestErrdropFixture(t *testing.T) {
+	checkFixture(t, "internal/errs", Errdrop)
+}
+
+func TestSharedwriteFixture(t *testing.T) {
+	checkFixture(t, "internal/shared", Sharedwrite)
+}
+
+// TestFixtureSweep runs every analyzer over every fixture package at once:
+// cross-package wants must still line up exactly, proving analyzers do not
+// fire outside their scope (e.g. maporder stays silent outside
+// result-affecting packages).
+func TestFixtureSweep(t *testing.T) {
+	l := fixtureModule(t)
+	pkgs, err := l.Load(filepath.Join(l.ModuleRoot, "internal") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Fatalf("fixture %s: load error: %v", pkg.Path, e)
+		}
+		wants = append(wants, collectWants(t, l, pkg)...)
+	}
+	findings := Run(l, pkgs, All())
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestSuppressionRequiresKnownAnalyzer covers directive hygiene.
+func TestSuppressionDirectiveHygiene(t *testing.T) {
+	l := fixtureModule(t)
+	pkg := loadFixture(t, l, "internal/core")
+	findings := Run(l, []*Package{pkg}, nil)
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "mtmlint" && strings.Contains(f.Message, "missing a reason") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reasonless suppression was not reported under the mtmlint pseudo-analyzer")
+	}
+}
+
+// TestRealTreeIsClean is the repository's own gate: the suite must report
+// nothing on the actual module. It mirrors `go run ./cmd/mtmlint ./...`.
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Fatalf("%s: load error: %v", pkg.Path, e)
+		}
+	}
+	findings := Run(l, pkgs, All())
+	for _, f := range findings {
+		t.Errorf("real tree finding: %s", f)
+	}
+}
+
+func ExampleFinding_String() {
+	f := Finding{Analyzer: "norand", File: "internal/sim/sim.go", Line: 12, Col: 2, Message: "boom"}
+	fmt.Println(f)
+	// Output: internal/sim/sim.go:12:2: [norand] boom
+}

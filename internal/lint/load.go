@@ -1,0 +1,295 @@
+// Package lint implements mtmlint, the repository's determinism and
+// concurrency static-analysis suite.
+//
+// The simulator's core guarantee — an execution is a pure function of
+// (seed, schedule, protocol, config), and the parallel executor is
+// bit-identical to the sequential one — rests on invariants no compiler
+// checks: all randomness flows through internal/xrand, no result-affecting
+// code reads the wall clock, no result-affecting loop observes Go's
+// randomized map iteration order, and goroutines never write shared state
+// without partitioning or locks. mtmlint enforces those invariants
+// mechanically, using only the standard library's go/parser, go/ast, and
+// go/types (the module stays dependency-free).
+//
+// Findings can be suppressed line-by-line with an explanatory comment:
+//
+//	//mtmlint:<analyzer>-ok <reason>
+//
+// placed on the offending line or the line directly above it. A
+// suppression without a reason is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+// Only non-test files are loaded: _test.go files are exempt from every
+// mtmlint rule by construction.
+type Package struct {
+	Path      string // import path, e.g. "mobiletel/internal/sim"
+	Dir       string // absolute directory
+	Files     []*ast.File
+	Filenames []string // absolute, parallel to Files
+	Types     *types.Package
+	Info      *types.Info
+	Errors    []error // parse/type errors (analysis may be partial)
+}
+
+// Loader parses and type-checks packages of a single module. Module-local
+// imports resolve against the module tree; standard-library imports are
+// type-checked from GOROOT source, so no compiled export data is needed.
+type Loader struct {
+	ModuleRoot string // absolute directory containing go.mod
+	ModulePath string // module path from go.mod
+
+	Fset    *token.FileSet
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot (the
+// directory holding go.mod).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	root, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modpath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modpath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modpath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: modpath,
+		Fset:       fset,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Load resolves patterns to package directories and returns the loaded
+// packages in deterministic (import path) order. A pattern is either a
+// directory, or a directory followed by "/..." meaning its whole subtree.
+// Relative patterns resolve against the process working directory, go-tool
+// style. Subtree walks skip testdata, vendor, and dot/underscore dirs.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func (l *Loader) expand(pat string) ([]string, error) {
+	if base, ok := strings.CutSuffix(pat, "..."); ok {
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = "."
+		}
+		root, err := filepath.Abs(base)
+		if err != nil {
+			return nil, err
+		}
+		var dirs []string
+		err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			has, err := hasGoFiles(p)
+			if err != nil {
+				return err
+			}
+			if has {
+				dirs = append(dirs, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: expanding %q: %w", pat, err)
+		}
+		return dirs, nil
+	}
+	dir, err := filepath.Abs(pat)
+	if err != nil {
+		return nil, err
+	}
+	has, err := hasGoFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %q: %w", pat, err)
+	}
+	if !has {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return []string{dir}, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isLintableGoFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func isLintableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks the package with the given module-local
+// import path, caching the result.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle involving %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %q: %w", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && isLintableGoFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir}
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, full)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load from
+// the module tree, everything else from GOROOT source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

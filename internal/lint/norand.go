@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Norand forbids ambient nondeterminism sources under internal/: the
+// math/rand and crypto/rand packages, and wall-clock reads via time.Now or
+// time.Since. internal/xrand is the only sanctioned randomness source (it
+// is exempt, as are _test.go files, which are never loaded). Wall-clock
+// timing is allowed in cmd/ and the public root package, where it only
+// decorates human-facing output.
+var Norand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand, crypto/rand, and wall-clock reads under internal/",
+	Run:  runNorand,
+}
+
+var forbiddenImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runNorand(p *Pass) {
+	if !p.Within("internal") || p.Within("internal/xrand") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if forbiddenImports[path] {
+				p.Reportf(imp.Pos(), "import of %q is forbidden under internal/: derive randomness from internal/xrand so runs stay reproducible", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				p.Reportf(id.Pos(), "time.%s is forbidden under internal/: wall-clock reads make results irreproducible (time measurement belongs in cmd/)", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedflow flags xrand.New and xrand.Derive calls whose seed argument is a
+// compile-time constant outside tests. Every run must be regenerable from
+// a recorded configuration, so seeds have to flow from configuration state
+// (sim.Config.Seed, an experiment's trial seed, a flag) rather than being
+// baked into code. Constant *stream selectors* (the a/b arguments of
+// Derive) are fine — only the first argument is the seed.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "flag hardcoded constant seeds passed to xrand.New/Derive",
+	Run:  runSeedflow,
+}
+
+func runSeedflow(p *Pass) {
+	xrandPath := p.ModulePath + "/internal/xrand"
+	if p.Pkg.Path == xrandPath {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var callee *ast.Ident
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callee = fun
+			case *ast.SelectorExpr:
+				callee = fun.Sel
+			default:
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[callee].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != xrandPath {
+				return true
+			}
+			if fn.Name() != "New" && fn.Name() != "Derive" {
+				return true
+			}
+			seed := call.Args[0]
+			if tv, ok := p.Pkg.Info.Types[seed]; ok && tv.Value != nil {
+				p.Reportf(seed.Pos(), "seed argument of xrand.%s is the constant %s; seeds must flow from configuration (e.g. sim.Config.Seed) so runs are regenerable", fn.Name(), tv.Value)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Sharedwrite flags `go func` literals that write to captured shared state
+// without synchronization — the failure mode that would corrupt the
+// Workers > 1 round loop in internal/sim. A write is safe when it is
+// partitioned: an element write s[i] = v whose index depends on a variable
+// declared inside the goroutine (a parameter, a received work item, a
+// chunk bound). It is flagged when:
+//
+//   - the target is a captured map (concurrent map writes are unsafe even
+//     on distinct keys);
+//   - the target is a captured slice element whose index is itself fully
+//     captured (every goroutine writes the same cells);
+//   - the target is a captured scalar/slice variable written directly
+//     (including `s = append(s, ...)`, which races on len/cap).
+//
+// Goroutine bodies that take a lock (any Lock/RLock call) are assumed
+// synchronized and skipped; channel-coordinated writes need an explicit
+// //mtmlint:sharedwrite-ok <reason>.
+var Sharedwrite = &Analyzer{
+	Name: "sharedwrite",
+	Doc:  "flag unsynchronized writes to captured shared state in go-func literals",
+	Run:  runSharedwrite,
+}
+
+func runSharedwrite(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutine(p, gs, lit)
+			return true
+		})
+	}
+}
+
+func checkGoroutine(p *Pass, gs *ast.GoStmt, lit *ast.FuncLit) {
+	if bodyTakesLock(lit) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.GoStmt); ok && inner != gs {
+			return false // nested goroutines are visited on their own
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true // := only declares goroutine-locals
+			}
+			for _, lhs := range s.Lhs {
+				checkWriteTarget(p, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(p, lit, s.X)
+		}
+		return true
+	})
+}
+
+func checkWriteTarget(p *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	root := rootObject(p, lhs)
+	if root == nil || !capturedBy(lit, root) {
+		return
+	}
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		switch p.Pkg.Info.TypeOf(idx.X).Underlying().(type) {
+		case *types.Map:
+			p.Reportf(lhs.Pos(), "goroutine writes to captured map %s without synchronization; concurrent map writes are unsafe even on distinct keys", types.ExprString(idx.X))
+			return
+		case *types.Slice, *types.Array, *types.Pointer:
+			if indexIsGoroutineLocal(p, lit, idx.Index) {
+				return // partitioned: each goroutine owns its own cells
+			}
+			p.Reportf(lhs.Pos(), "goroutine writes to captured slice %s at a captured index; partition indices per goroutine or synchronize", types.ExprString(idx.X))
+			return
+		}
+	}
+	p.Reportf(lhs.Pos(), "goroutine writes to captured variable %s without synchronization; partition the work or guard it with a mutex", types.ExprString(lhs))
+}
+
+// capturedBy reports whether obj is declared outside the function literal,
+// i.e. the goroutine reaches it by capture (or it is package-level state).
+func capturedBy(lit *ast.FuncLit, obj types.Object) bool {
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// indexIsGoroutineLocal reports whether the index expression depends on at
+// least one variable declared inside the goroutine body or parameter list.
+func indexIsGoroutineLocal(p *Pass, lit *ast.FuncLit, index ast.Expr) bool {
+	for _, id := range identsIn(index) {
+		obj := p.Pkg.Info.ObjectOf(id)
+		if _, isVar := obj.(*types.Var); isVar && !capturedBy(lit, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyTakesLock reports whether the goroutine body calls Lock or RLock on
+// anything — the heuristic signal that its shared writes are guarded.
+func bodyTakesLock(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,3 @@
+module mobiletel
+
+go 1.22

@@ -1,0 +1,78 @@
+// Package core is a maporder fixture: it sits in a result-affecting
+// subtree, so order-sensitive map iteration must be flagged.
+package core
+
+// Keys leaks map iteration order into a slice: flagged.
+func Keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // want `iteration over map m has nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SumInts accumulates integers: commutative, order-insensitive, allowed.
+func SumInts(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CountBig mixes counting forms: still pure integer accumulation, allowed.
+func CountBig(m map[string]int, bits uint64) (int, uint64) {
+	n := 0
+	for _, v := range m {
+		n++
+		bits |= uint64(v)
+	}
+	return n, bits
+}
+
+// SumFloats accumulates floats, which is order-sensitive: flagged.
+func SumFloats(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `iteration over map m has nondeterministic order`
+		s += v
+	}
+	return s
+}
+
+// Clear uses the delete-only clear idiom: provably order-insensitive.
+func Clear(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// SelfFeedingSum reads its own accumulator on the right-hand side, which
+// breaks commutativity: flagged.
+func SelfFeedingSum(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want `iteration over map m has nondeterministic order`
+		s += s/2 + v
+	}
+	return s
+}
+
+// Suppressed carries a reasoned suppression: silenced.
+func Suppressed(m map[int]bool) []int {
+	var out []int
+	//mtmlint:maporder-ok fixture: output is sorted by the caller before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Reasonless carries a suppression without a reason: the suppression is
+// itself reported and the underlying finding still fires.
+func Reasonless(m map[int]bool) []int {
+	var out []int
+	//mtmlint:maporder-ok // want `suppression for maporder is missing a reason`
+	for k := range m { // want `iteration over map m has nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package errs is an errdrop fixture.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 7, nil }
+
+// Drop exercises flagged and allowed discard shapes.
+func Drop(f *os.File, w *strings.Builder) {
+	mayFail() // want `error result of mayFail is discarded`
+	value()   // want `error result of value is discarded`
+
+	_ = mayFail() // allowed: explicit, reviewable discard
+	v, _ := value()
+	_ = v
+
+	fmt.Println("hi")                  // allowed: excluded stdlib print
+	fmt.Fprintf(os.Stderr, "x")        // allowed: stderr write
+	fmt.Fprintf(w, "y")                // allowed: strings.Builder never fails
+	w.WriteString("z")                 // allowed: strings.Builder method
+	fmt.Fprintf(f, "payload %d\n", 42) // want `error result of fmt.Fprintf is discarded`
+}
+
+// DeferredDrop leaks the close error of a written file.
+func DeferredDrop(f *os.File) {
+	defer f.Close() // want `error result of f.Close is discarded`
+}
+
+// GoDrop silently loses an error on another goroutine.
+func GoDrop() {
+	go mayFail() // want `error result of mayFail is discarded`
+}
+
+// Suppressed carries a reasoned suppression.
+func Suppressed() {
+	//mtmlint:errdrop-ok fixture: best-effort cleanup, failure is benign
+	mayFail()
+}

@@ -1,0 +1,32 @@
+// Package seeds is a seedflow fixture: constant seeds passed to
+// xrand.New/Derive are untraceable and must be flagged.
+package seeds
+
+import "mobiletel/internal/xrand"
+
+// Config mirrors sim.Config's seed plumbing.
+type Config struct{ Seed uint64 }
+
+const defaultSeed = 42
+
+// Good derives from configuration: allowed.
+func Good(cfg Config) *xrand.RNG { return xrand.New(cfg.Seed + 4) }
+
+// GoodStream uses constant stream selectors with a flowing seed: allowed
+// (only the first argument is the seed).
+func GoodStream(cfg Config) *xrand.RNG { return xrand.Derive(cfg.Seed, 0x9e, 0) }
+
+// Bad bakes in a literal seed.
+func Bad() *xrand.RNG { return xrand.New(12345) } // want `seed argument of xrand.New is the constant 12345`
+
+// BadConst launders the literal through a named constant: still constant.
+func BadConst() *xrand.RNG { return xrand.New(defaultSeed + 1) } // want `seed argument of xrand.New is the constant 43`
+
+// BadDerive hardcodes the seed of a derived stream.
+func BadDerive() *xrand.RNG { return xrand.Derive(0xdead, 1, 2) } // want `seed argument of xrand.Derive is the constant 57005`
+
+// Tolerated carries a reasoned suppression.
+func Tolerated() *xrand.RNG {
+	//mtmlint:seedflow-ok fixture: demo seed, output is illustrative only
+	return xrand.New(99)
+}

@@ -1,0 +1,127 @@
+// Package shared is a sharedwrite fixture. The flagged functions contain
+// real data races; they exist to be analyzed, never executed.
+package shared
+
+import "sync"
+
+// Fill partitions by a goroutine-local parameter: allowed.
+func Fill(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// BrokenMap writes a captured map concurrently.
+func BrokenMap(keys []string) map[string]int {
+	m := map[string]int{}
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		i, k := i, k
+		go func() {
+			defer wg.Done()
+			m[k] = i // want `goroutine writes to captured map m without synchronization`
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// BrokenIndex writes a captured slice at a captured index.
+func BrokenIndex(vals []int) {
+	done := make(chan struct{})
+	j := 0
+	go func() {
+		vals[j] = 1 // want `goroutine writes to captured slice vals at a captured index`
+		close(done)
+	}()
+	<-done
+}
+
+// BrokenAppend races on the slice header itself.
+func BrokenAppend(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			out = append(out, i) // want `goroutine writes to captured variable out without synchronization`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// BrokenCounter increments a captured scalar.
+func BrokenCounter(n int) int {
+	c := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c++ // want `goroutine writes to captured variable c without synchronization`
+		}()
+	}
+	wg.Wait()
+	return c
+}
+
+// Guarded locks around its writes: the lock heuristic silences it.
+func Guarded(keys []string) map[string]int {
+	m := map[string]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		i, k := i, k
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			m[k] = i
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// ChannelOwned writes goroutine-local state and communicates by channel:
+// allowed (locals are not captured, sends are safe).
+func ChannelOwned(n int) []int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			local := i * i
+			ch <- local
+		}(i)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// Suppressed documents a deliberate single-writer pattern.
+func Suppressed() int {
+	v := 0
+	done := make(chan struct{})
+	go func() {
+		//mtmlint:sharedwrite-ok fixture: single writer, read happens after done closes
+		v = 42
+		close(done)
+	}()
+	<-done
+	return v
+}

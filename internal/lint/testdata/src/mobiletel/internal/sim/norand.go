@@ -1,0 +1,36 @@
+// Package sim is a norand fixture: it sits under internal/, where ambient
+// randomness and wall-clock reads are forbidden.
+package sim
+
+import (
+	crand "crypto/rand" // want `import of "crypto/rand" is forbidden under internal/`
+	"math/rand"         // want `import of "math/rand" is forbidden under internal/`
+	"time"
+)
+
+// Jitter uses both forbidden sources.
+func Jitter() int {
+	t := time.Now() // want `time.Now is forbidden under internal/`
+	_ = t
+	return rand.Intn(10)
+}
+
+// Fill drops into crypto/rand.
+func Fill(b []byte) {
+	_, _ = crand.Read(b)
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since is forbidden under internal/`
+}
+
+// Timestamped shows a reasoned suppression covering its own line and the
+// line directly below.
+func Timestamped() int64 {
+	start := time.Now() //mtmlint:norand-ok fixture: wall clock decorates a log line, never a result
+	return time.Since(start).Nanoseconds()
+}
+
+// Hold only uses time for duration arithmetic, which is fine.
+func Hold(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,18 @@
+// Package xrand is a minimal stub of the real internal/xrand, just enough
+// for fixture packages to type-check against.
+package xrand
+
+// RNG is a stub generator.
+type RNG struct{ s uint64 }
+
+// New returns a stub generator.
+func New(seed uint64) *RNG { return &RNG{s: seed} }
+
+// Derive returns a stub generator for the stream (seed, a, b).
+func Derive(seed, a, b uint64) *RNG { return New(seed ^ a<<1 ^ b<<2) }
+
+// Intn returns a deterministic pseudo-value in [0, n).
+func (r *RNG) Intn(n int) int {
+	r.s = r.s*6364136223846793005 + 1
+	return int(r.s>>33) % n
+}

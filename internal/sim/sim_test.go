@@ -3,6 +3,7 @@ package sim_test
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -160,6 +161,38 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	l8, r8 := run(8)
 	if l1 != l8 || r1 != r8 {
 		t.Fatalf("parallel execution diverged: (%d, %+v) vs (%d, %+v)", l1, r1, l8, r8)
+	}
+}
+
+// TestRaceSmokeParallelElection extends the divergence check above into a
+// race-detector smoke test: it runs a full election with every available
+// worker — large enough (n >= 256) that parallelFor actually spawns
+// goroutines — and asserts bit-identical results against the sequential
+// engine. Under `go test -race` (see the Makefile's race target and CI)
+// this exercises all four parallel bulk-synchronous steps of a round.
+func TestRaceSmokeParallelElection(t *testing.T) {
+	f := gen.RandomRegular(600, 6, 21)
+	run := func(workers int) (uint64, sim.Result) {
+		sched := dyngraph.NewPermuted(f, 2, 13)
+		uids := core.UniqueUIDs(600, 33)
+		protocols := core.NewBlindGossipNetwork(uids)
+		eng, err := sim.New(sched, protocols, sim.Config{
+			Seed: 9, Workers: workers, MaxRounds: 100_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(sim.AllLeadersEqual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return protocols[0].Leader(), res
+	}
+	wantLeader, wantRes := run(1)
+	gotLeader, gotRes := run(runtime.GOMAXPROCS(0))
+	if gotLeader != wantLeader || gotRes != wantRes {
+		t.Fatalf("Workers=GOMAXPROCS diverged from Workers=1: (%#x, %+v) vs (%#x, %+v)",
+			gotLeader, gotRes, wantLeader, wantRes)
 	}
 }
 
