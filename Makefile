@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint check
+.PHONY: build vet test race lint check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,13 @@ lint:
 	$(GO) run ./cmd/mtmlint ./...
 
 check: build vet test race lint
+
+# bench records a fresh full-suite BENCH_local.json (see README "Performance").
+bench:
+	$(GO) run ./cmd/mtmbench -label local
+
+# bench-smoke mirrors the CI job: run the quick subset and fail on
+# regressions against the committed baseline (allocs are the cross-host
+# signal; ns/op only trips on catastrophic slowdowns).
+bench-smoke:
+	$(GO) run ./cmd/mtmbench -quick -label smoke -out - -compare BENCH_seed.json

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"runtime"
+	"time"
+)
+
+// Benchmark is one entry of the macro suite. Fn executes `iters` operations
+// (one election, one rumor run, one simulated round, ... per op) and returns
+// the total number of simulated rounds executed, or 0 when rounds are not a
+// meaningful unit for the workload (e.g. whole-experiment ops).
+type Benchmark struct {
+	// Name identifies the benchmark across recordings; -compare matches on
+	// it, so renaming a benchmark orphans its history.
+	Name string
+	// Nodes is the simulated network size (0 when not applicable). Used to
+	// derive node-rounds/sec, the engine's true throughput unit.
+	Nodes int
+	// Quick marks the benchmark as part of the -quick smoke subset.
+	Quick bool
+	// Fn runs iters operations and returns total simulated rounds.
+	Fn func(iters int) (rounds int64)
+}
+
+// Measurement is one benchmark's recorded result. Field names are part of
+// the BENCH_*.json schema (see README "Performance"); only add fields.
+type Measurement struct {
+	Name             string  `json:"name"`
+	Nodes            int     `json:"nodes,omitempty"`
+	Iters            int     `json:"iters"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	BytesPerOp       float64 `json:"bytes_per_op"`
+	RoundsPerSec     float64 `json:"rounds_per_sec,omitempty"`
+	NodeRoundsPerSec float64 `json:"node_rounds_per_sec,omitempty"`
+}
+
+// measure runs b until the timed loop lasts at least minTime, doubling the
+// iteration count like testing.B. Allocation counts come from
+// runtime.MemStats deltas, so they are exact and host-independent — the
+// regression signal -compare can trust across machines.
+func measure(b Benchmark, minTime time.Duration) Measurement {
+	b.Fn(1) // warm up: lazy caches, one-time growth
+	iters := 1
+	for {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		rounds := b.Fn(iters)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+
+		if elapsed >= minTime || iters >= 1<<28 {
+			ns := float64(elapsed.Nanoseconds()) / float64(iters)
+			m := Measurement{
+				Name:        b.Name,
+				Nodes:       b.Nodes,
+				Iters:       iters,
+				NsPerOp:     ns,
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+			}
+			if rounds > 0 && elapsed > 0 {
+				m.RoundsPerSec = float64(rounds) / elapsed.Seconds()
+				m.NodeRoundsPerSec = m.RoundsPerSec * float64(b.Nodes)
+			}
+			return m
+		}
+		// Predict the iteration count that reaches ~1.2× minTime, bounded by
+		// plain doubling so one noisy sample cannot overshoot wildly.
+		next := iters * 2
+		if elapsed > 0 {
+			predicted := int(float64(iters) * 1.2 * float64(minTime) / float64(elapsed))
+			if predicted > iters && predicted < next {
+				next = predicted
+			}
+		}
+		if next <= iters {
+			next = iters + 1
+		}
+		iters = next
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump only on
+// incompatible changes; -compare refuses mismatched schemas rather than
+// silently comparing different shapes.
+const SchemaVersion = "mtmbench/v1"
+
+// Recording is the full contents of a BENCH_<label>.json file.
+type Recording struct {
+	Schema     string        `json:"schema"`
+	Label      string        `json:"label"`
+	Created    string        `json:"created"`
+	Quick      bool          `json:"quick"`
+	BenchTime  string        `json:"bench_time"`
+	Host       Host          `json:"host"`
+	Benchmarks []Measurement `json:"benchmarks"`
+}
+
+// Host captures where a recording was made. ns/op is only comparable
+// between recordings from similar hosts; allocs/op is comparable anywhere.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// ReadRecording loads and schema-checks a recording.
+func ReadRecording(path string) (*Recording, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Recording
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, this binary speaks %q", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// WriteRecording writes a recording as indented JSON.
+func WriteRecording(path string, r *Recording) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompareOptions tunes regression detection.
+type CompareOptions struct {
+	// NsThreshold is the tolerated fractional ns/op growth (0.5 = +50%).
+	// Wall-clock is noisy across hosts and CI neighbors, so the default is
+	// deliberately loose: it catches catastrophic slowdowns, while allocs
+	// carry the precise cross-host signal.
+	NsThreshold float64
+	// AllocThreshold is the tolerated fractional allocs/op growth. Alloc
+	// counts are deterministic for this suite (fixed seeds, Workers=1), so
+	// this can be tight.
+	AllocThreshold float64
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name                 string
+	OldNs, NewNs         float64
+	OldAllocs, NewAllocs float64
+	Speedup              float64 // OldNs / NewNs; > 1 is faster
+	Regressed            bool
+	Reason               string
+}
+
+// Compare matches benchmarks by name and flags regressions beyond the
+// thresholds. Benchmarks present in only one recording are skipped (the
+// suite may grow or be filtered by -run).
+func Compare(old, new *Recording, opts CompareOptions) (deltas []Delta, regressions int) {
+	oldByName := make(map[string]Measurement, len(old.Benchmarks))
+	for _, m := range old.Benchmarks {
+		oldByName[m.Name] = m
+	}
+	for _, n := range new.Benchmarks {
+		o, ok := oldByName[n.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Name:      n.Name,
+			OldNs:     o.NsPerOp,
+			NewNs:     n.NsPerOp,
+			OldAllocs: o.AllocsPerOp,
+			NewAllocs: n.AllocsPerOp,
+		}
+		if n.NsPerOp > 0 {
+			d.Speedup = o.NsPerOp / n.NsPerOp
+		}
+		switch {
+		case n.NsPerOp > o.NsPerOp*(1+opts.NsThreshold):
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("ns/op %+.0f%% (limit %+.0f%%)",
+				100*(n.NsPerOp/o.NsPerOp-1), 100*opts.NsThreshold)
+		case n.AllocsPerOp > o.AllocsPerOp*(1+opts.AllocThreshold)+0.5:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("allocs/op %.1f -> %.1f (limit %+.0f%%)",
+				o.AllocsPerOp, n.AllocsPerOp, 100*opts.AllocThreshold)
+		}
+		if d.Regressed {
+			regressions++
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, regressions
+}
+
+// FormatDeltas renders the comparison as an aligned table.
+func FormatDeltas(deltas []Delta) string {
+	if len(deltas) == 0 {
+		return "no overlapping benchmarks to compare\n"
+	}
+	nameW := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > nameW {
+			nameW = len(d.Name)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s  %11s  %s\n",
+		nameW, "benchmark", "old ns/op", "new ns/op", "speedup", "allocs/op", "status")
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSION: " + d.Reason
+		}
+		fmt.Fprintf(&sb, "%-*s  %14.0f  %14.0f  %7.2fx  %5.1f->%-5.1f  %s\n",
+			nameW, d.Name, d.OldNs, d.NewNs, d.Speedup, d.OldAllocs, d.NewAllocs, status)
+	}
+	return sb.String()
+}
+
+// FormatRecording renders a recording as an aligned table.
+func FormatRecording(r *Recording) string {
+	nameW := len("benchmark")
+	for _, m := range r.Benchmarks {
+		if len(m.Name) > nameW {
+			nameW = len(m.Name)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s  %14s  %11s  %12s  %14s\n",
+		nameW, "benchmark", "ns/op", "allocs/op", "rounds/sec", "node-rounds/s")
+	for _, m := range r.Benchmarks {
+		rps, nrps := "-", "-"
+		if m.RoundsPerSec > 0 {
+			rps = fmt.Sprintf("%.0f", m.RoundsPerSec)
+			nrps = fmt.Sprintf("%.0f", m.NodeRoundsPerSec)
+		}
+		fmt.Fprintf(&sb, "%-*s  %14.0f  %11.1f  %12s  %14s\n",
+			nameW, m.Name, m.NsPerOp, m.AllocsPerOp, rps, nrps)
+	}
+	return sb.String()
+}
+
+// suiteNames lists benchmark names, for -list.
+func suiteNames(suite []Benchmark) string {
+	var sb strings.Builder
+	for _, b := range suite {
+		marker := " "
+		if b.Quick {
+			marker = "q"
+		}
+		fmt.Fprintf(&sb, "  [%s] %s\n", marker, b.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+// Command mtmbench runs the curated macro benchmark suite and records the
+// results as a schema-versioned BENCH_<label>.json, or compares a fresh run
+// against a stored baseline and exits non-zero on regressions.
+//
+// Usage:
+//
+//	mtmbench -label seed                 # record BENCH_seed.json
+//	mtmbench -quick -compare BENCH_seed.json
+//	mtmbench -run 'elect/.*tau=1' -list
+//
+// See the "Performance" section of README.md for the recording workflow and
+// the determinism rules perf changes must respect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"time"
+)
+
+func main() {
+	var (
+		label          = flag.String("label", "local", "recording label; output defaults to BENCH_<label>.json")
+		out            = flag.String("out", "", "output path (default BENCH_<label>.json; \"-\" to skip writing)")
+		benchTime      = flag.Duration("benchtime", time.Second, "minimum timed duration per benchmark")
+		quick          = flag.Bool("quick", false, "run only the quick smoke subset (default benchtime 200ms)")
+		runPat         = flag.String("run", "", "only run benchmarks matching this regexp")
+		list           = flag.Bool("list", false, "list benchmark names and exit")
+		comparePath    = flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regression")
+		nsThreshold    = flag.Float64("threshold", 0.5, "tolerated fractional ns/op growth vs baseline")
+		allocThreshold = flag.Float64("alloc-threshold", 0.1, "tolerated fractional allocs/op growth vs baseline")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	if *quick && !timeFlagSet() {
+		*benchTime = 200 * time.Millisecond
+	}
+
+	suite := buildSuite()
+	suite = filterSuite(suite, *quick, *runPat)
+	if *list {
+		fmt.Print(suiteNames(suite))
+		return
+	}
+	if len(suite) == 0 {
+		fatalf("no benchmarks selected")
+	}
+
+	rec := &Recording{
+		Schema:    SchemaVersion,
+		Label:     *label,
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		Quick:     *quick,
+		BenchTime: benchTime.String(),
+		Host: Host{
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	for _, b := range suite {
+		fmt.Fprintf(os.Stderr, "running %s...\n", b.Name)
+		rec.Benchmarks = append(rec.Benchmarks, measure(b, *benchTime))
+	}
+
+	fmt.Print(FormatRecording(rec))
+
+	if *out != "-" {
+		path := *out
+		if path == "" {
+			path = "BENCH_" + *label + ".json"
+		}
+		if err := WriteRecording(path, rec); err != nil {
+			fatalf("write recording: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if *comparePath != "" {
+		old, err := ReadRecording(*comparePath)
+		if err != nil {
+			fatalf("read baseline: %v", err)
+		}
+		deltas, regressions := Compare(old, rec, CompareOptions{
+			NsThreshold:    *nsThreshold,
+			AllocThreshold: *allocThreshold,
+		})
+		fmt.Printf("\ncompare vs %s (label %q):\n", *comparePath, old.Label)
+		fmt.Print(FormatDeltas(deltas))
+		if regressions > 0 {
+			fatalf("%d regression(s) vs %s", regressions, *comparePath)
+		}
+		fmt.Println("no regressions")
+	}
+}
+
+// timeFlagSet reports whether -benchtime was given explicitly, so -quick can
+// lower the default without overriding a user's choice.
+func timeFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "benchtime" {
+			set = true
+		}
+	})
+	return set
+}
+
+// filterSuite applies -quick and -run selection.
+func filterSuite(suite []Benchmark, quick bool, pattern string) []Benchmark {
+	var re *regexp.Regexp
+	if pattern != "" {
+		var err error
+		re, err = regexp.Compile(pattern)
+		if err != nil {
+			fatalf("bad -run pattern: %v", err)
+		}
+	}
+	var kept []Benchmark
+	for _, b := range suite {
+		if quick && !b.Quick {
+			continue
+		}
+		if re != nil && !re.MatchString(b.Name) {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	return kept
+}

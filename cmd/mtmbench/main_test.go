@@ -1,0 +1,159 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureCountsAllocs(t *testing.T) {
+	var sink []byte
+	b := Benchmark{
+		Name:  "test/alloc",
+		Nodes: 4,
+		Fn: func(iters int) int64 {
+			for i := 0; i < iters; i++ {
+				sink = make([]byte, 1024)
+			}
+			return int64(iters)
+		},
+	}
+	m := measure(b, 5*time.Millisecond)
+	_ = sink
+	if m.Iters < 1 {
+		t.Fatalf("iters = %d, want >= 1", m.Iters)
+	}
+	if m.AllocsPerOp < 0.9 || m.AllocsPerOp > 1.5 {
+		t.Errorf("allocs/op = %v, want ~1", m.AllocsPerOp)
+	}
+	if m.BytesPerOp < 1024 {
+		t.Errorf("bytes/op = %v, want >= 1024", m.BytesPerOp)
+	}
+	if m.RoundsPerSec <= 0 || m.NodeRoundsPerSec != m.RoundsPerSec*4 {
+		t.Errorf("rounds/sec = %v node-rounds/sec = %v", m.RoundsPerSec, m.NodeRoundsPerSec)
+	}
+}
+
+func TestRecordingRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	rec := &Recording{
+		Schema: SchemaVersion,
+		Label:  "test",
+		Benchmarks: []Measurement{
+			{Name: "a", NsPerOp: 100, AllocsPerOp: 2},
+		},
+	}
+	if err := WriteRecording(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecording(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "test" || len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 100 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadRecordingRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := WriteRecording(path, &Recording{Schema: "mtmbench/v999"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecording(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("err = %v, want schema mismatch", err)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := &Recording{Benchmarks: []Measurement{
+		{Name: "fast", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "slow", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "leaky", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "removed", NsPerOp: 1},
+	}}
+	new := &Recording{Benchmarks: []Measurement{
+		{Name: "fast", NsPerOp: 400, AllocsPerOp: 10},   // 2.5x speedup
+		{Name: "slow", NsPerOp: 2000, AllocsPerOp: 10},  // +100% ns
+		{Name: "leaky", NsPerOp: 1000, AllocsPerOp: 20}, // +100% allocs
+		{Name: "added", NsPerOp: 1},
+	}}
+	deltas, regressions := Compare(old, new, CompareOptions{NsThreshold: 0.5, AllocThreshold: 0.1})
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (got %+v)", regressions, deltas)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3 (unmatched names skipped)", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["fast"]; d.Regressed || d.Speedup < 2.4 || d.Speedup > 2.6 {
+		t.Errorf("fast: %+v", d)
+	}
+	if d := byName["slow"]; !d.Regressed || !strings.Contains(d.Reason, "ns/op") {
+		t.Errorf("slow: %+v", d)
+	}
+	if d := byName["leaky"]; !d.Regressed || !strings.Contains(d.Reason, "allocs/op") {
+		t.Errorf("leaky: %+v", d)
+	}
+}
+
+func TestCompareZeroAllocBaselineIsStrict(t *testing.T) {
+	// A zero-alloc baseline must stay zero-alloc: threshold math is
+	// multiplicative, so the +0.5 absolute floor is what catches 0 -> 1.
+	old := &Recording{Benchmarks: []Measurement{{Name: "steady", NsPerOp: 100, AllocsPerOp: 0}}}
+	new := &Recording{Benchmarks: []Measurement{{Name: "steady", NsPerOp: 100, AllocsPerOp: 1}}}
+	if _, regressions := Compare(old, new, CompareOptions{NsThreshold: 0.5, AllocThreshold: 0.1}); regressions != 1 {
+		t.Errorf("regressions = %d, want 1 (0 allocs -> 1 alloc)", regressions)
+	}
+}
+
+func TestFilterSuite(t *testing.T) {
+	suite := []Benchmark{
+		{Name: "a/quick", Quick: true},
+		{Name: "a/full"},
+		{Name: "b/quick", Quick: true},
+	}
+	if got := filterSuite(suite, true, ""); len(got) != 2 {
+		t.Errorf("quick filter kept %d, want 2", len(got))
+	}
+	if got := filterSuite(suite, false, "^a/"); len(got) != 2 {
+		t.Errorf("run filter kept %d, want 2", len(got))
+	}
+	if got := filterSuite(suite, true, "^a/"); len(got) != 1 || got[0].Name != "a/quick" {
+		t.Errorf("combined filter: %+v", got)
+	}
+}
+
+func TestBuildSuiteNamesUniqueAndQuickSubset(t *testing.T) {
+	suite := buildSuite()
+	if len(suite) < 10 {
+		t.Fatalf("suite has %d benchmarks, want >= 10", len(suite))
+	}
+	seen := map[string]bool{}
+	quick := 0
+	for _, b := range suite {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Quick {
+			quick++
+		}
+	}
+	if quick < 3 {
+		t.Errorf("quick subset has %d benchmarks, want >= 3", quick)
+	}
+	for _, want := range []string{
+		"elect/blindgossip/lineofstars110/tau=1",
+		"steady/blindgossip/mesh256/round",
+		"exp/E4-lemma-v1-gamma/quick",
+	} {
+		if !seen[want] {
+			t.Errorf("suite missing %q (named in acceptance criteria)", want)
+		}
+	}
+}

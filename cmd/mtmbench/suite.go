@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mobiletel"
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+)
+
+// suiteSeed is the fixed base seed for all workloads: recordings are only
+// comparable when they ran the same per-iteration simulations.
+const suiteSeed = 20170529
+
+// iterSeed spreads the iteration index into a well-mixed per-op seed, so
+// every op is an independent — but reproducible — simulation.
+func iterSeed(i int) uint64 { return uint64(i)*0x9e3779b97f4a7c15 + suiteSeed }
+
+// buildSuite assembles the curated macro suite. Each entry exercises a hot
+// path the ROADMAP cares about: full elections across τ regimes (τ=1 is the
+// paper's adversarial regime — the schedule rebuilds every round), rumor
+// spreading, the steady-state round loop, and whole experiments in quick
+// mode.
+func buildSuite() []Benchmark {
+	mesh := mobiletel.RandomRegular(256, 8, 1)
+	stars := mobiletel.SqrtLineOfStars(10) // n = 110, the E2 lower-bound family
+	expander := mobiletel.RandomRegular(512, 12, 2)
+
+	var suite []Benchmark
+
+	elect := func(name string, topo mobiletel.Topology, algo mobiletel.Algorithm, tau int, quick bool) {
+		suite = append(suite, Benchmark{
+			Name:  name,
+			Nodes: topo.N(),
+			Quick: quick,
+			Fn: func(iters int) int64 {
+				var rounds int64
+				for i := 0; i < iters; i++ {
+					seed := iterSeed(i)
+					sched := mobiletel.Static(topo)
+					if tau > 0 {
+						sched = mobiletel.Permuted(topo, tau, seed+1)
+					}
+					res, err := mobiletel.ElectLeader(sched, algo, mobiletel.Options{Seed: seed, Workers: 1})
+					if err != nil {
+						fatalf("%s: %v", name, err)
+					}
+					rounds += int64(res.Rounds)
+				}
+				return rounds
+			},
+		})
+	}
+
+	rumorBench := func(name string, topo mobiletel.Topology, strategy mobiletel.RumorStrategy, tau int, quick bool) {
+		suite = append(suite, Benchmark{
+			Name:  name,
+			Nodes: topo.N(),
+			Quick: quick,
+			Fn: func(iters int) int64 {
+				var rounds int64
+				for i := 0; i < iters; i++ {
+					seed := iterSeed(i)
+					sched := mobiletel.Static(topo)
+					if tau > 0 {
+						sched = mobiletel.Permuted(topo, tau, seed+1)
+					}
+					res, err := mobiletel.SpreadRumor(sched, strategy, []int{0}, mobiletel.Options{Seed: seed, Workers: 1})
+					if err != nil {
+						fatalf("%s: %v", name, err)
+					}
+					rounds += int64(res.Rounds)
+				}
+				return rounds
+			},
+		})
+	}
+
+	elect("elect/blindgossip/mesh256/tau=inf", mesh, mobiletel.BlindGossip, 0, true)
+	elect("elect/blindgossip/mesh256/tau=8", mesh, mobiletel.BlindGossip, 8, false)
+	elect("elect/blindgossip/mesh256/tau=1", mesh, mobiletel.BlindGossip, 1, false)
+	elect("elect/blindgossip/lineofstars110/tau=inf", stars, mobiletel.BlindGossip, 0, false)
+	elect("elect/blindgossip/lineofstars110/tau=1", stars, mobiletel.BlindGossip, 1, true)
+	elect("elect/bitconv/expander512/tau=8", expander, mobiletel.BitConv, 8, false)
+	elect("elect/bitconv/expander512/tau=1", expander, mobiletel.BitConv, 1, false)
+
+	rumorBench("rumor/pushpull/expander512/tau=inf", expander, mobiletel.PushPull, 0, true)
+	rumorBench("rumor/ppush/expander512/tau=8", expander, mobiletel.PPush, 8, false)
+
+	suite = append(suite, steadyRoundBench())
+
+	for _, exp := range []struct {
+		id    string
+		quick bool
+	}{
+		{"E1-blindgossip-scaling", false},
+		{"E4-lemma-v1-gamma", true},
+	} {
+		exp := exp
+		name := "exp/" + exp.id + "/quick"
+		suite = append(suite, Benchmark{
+			Name:  name,
+			Quick: exp.quick,
+			Fn: func(iters int) int64 {
+				for i := 0; i < iters; i++ {
+					if _, err := mobiletel.RunExperiment(exp.id, mobiletel.ExperimentOptions{
+						Seed: suiteSeed, Trials: 2, Quick: true,
+					}); err != nil {
+						fatalf("%s: %v", name, err)
+					}
+				}
+				return 0
+			},
+		})
+	}
+
+	return suite
+}
+
+// steadyRoundBench measures one op = one steady-state engine round of blind
+// gossip on a static mesh, the regime the round loop must keep allocation-
+// free: its allocs_per_op recording is the zero-allocs/round contract.
+func steadyRoundBench() Benchmark {
+	const n = 256
+	var (
+		eng  *sim.Engine
+		next = 1
+	)
+	return Benchmark{
+		Name:  "steady/blindgossip/mesh256/round",
+		Nodes: n,
+		Quick: true,
+		Fn: func(iters int) int64 {
+			if eng == nil {
+				fam := gen.RandomRegular(n, 8, 1)
+				protocols := core.NewBlindGossipNetwork(core.UniqueUIDs(n, suiteSeed))
+				var err error
+				eng, err = sim.New(dyngraph.NewStatic(fam), protocols,
+					sim.Config{Seed: suiteSeed, Workers: 1})
+				if err != nil {
+					fatalf("steady round bench: %v", err)
+				}
+			}
+			eng.RunRounds(next, iters)
+			next += iters
+			return int64(iters)
+		},
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mtmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,9 +8,11 @@
 //	mtmexp -run E1-blindgossip-scaling
 //	mtmexp -run all -quick
 //	mtmexp -run E4-lemma-v1-gamma -csv > e4.csv
+//	mtmexp -run E1-blindgossip-scaling -cpuprofile cpu.out -bench-json times.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,32 +20,70 @@ import (
 	"time"
 
 	"mobiletel"
+	"mobiletel/internal/prof"
 )
 
+// benchEntry is one experiment's wall-clock record in the -bench-json file.
+type benchEntry struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	OK      bool    `json:"ok"`
+}
+
+// benchFile is the -bench-json layout.
+type benchFile struct {
+	Schema      string       `json:"schema"`
+	Quick       bool         `json:"quick"`
+	Seed        uint64       `json:"seed"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtmexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		list   = flag.Bool("list", false, "list registered experiments and exit")
-		run    = flag.String("run", "", "experiment ID to run, or 'all'")
-		seed   = flag.Uint64("seed", 20170529, "random seed")
-		trials = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
-		quick  = flag.Bool("quick", false, "reduced problem sizes")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		outDir = flag.String("out", "", "also write each experiment's CSV into this directory")
+		list       = flag.Bool("list", false, "list registered experiments and exit")
+		runID      = flag.String("run", "", "experiment ID to run, or 'all'")
+		seed       = flag.Uint64("seed", 20170529, "random seed")
+		trials     = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+		quick      = flag.Bool("quick", false, "reduced problem sizes")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir     = flag.String("out", "", "also write each experiment's CSV into this directory")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("bench-json", "", "write per-experiment wall-clock timings as JSON to this file")
 	)
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *list || *runID == "" {
 		fmt.Println("Registered experiments (run with -run <ID> or -run all):")
 		for _, info := range mobiletel.Experiments() {
 			fmt.Printf("\n  %s\n      %s\n", info.ID, info.Claim)
 		}
-		return
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		stop, err := prof.StartCPU(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtmexp:", err)
+			}
+		}()
 	}
 
 	opts := mobiletel.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, CSV: *csv}
 
-	ids := []string{*run}
-	if *run == "all" {
+	ids := []string{*runID}
+	if *runID == "all" {
 		ids = ids[:0]
 		for _, info := range mobiletel.Experiments() {
 			ids = append(ids, info.ID)
@@ -52,15 +92,17 @@ func main() {
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "mtmexp:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
+	bench := benchFile{Schema: "mtmexp-bench/v1", Quick: *quick, Seed: *seed}
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
 		out, err := mobiletel.RunExperiment(id, opts)
+		elapsed := time.Since(start).Seconds()
+		bench.Experiments = append(bench.Experiments, benchEntry{ID: id, Seconds: elapsed, OK: err == nil})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtmexp: %s failed: %v\n", id, err)
 			failed++
@@ -68,7 +110,7 @@ func main() {
 		}
 		fmt.Print(out)
 		if !*csv {
-			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+			fmt.Printf("(%s in %.1fs)\n\n", id, elapsed)
 		}
 		if *outDir != "" {
 			csvOpts := opts
@@ -83,7 +125,23 @@ func main() {
 			}
 		}
 	}
-	if failed > 0 {
-		os.Exit(1)
+
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(&bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
+	if *memprofile != "" {
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@
 //	mtmsim -topo clique -n 256 -algo blindgossip
 //	mtmsim -topo lineofstars -n 110 -algo bitconv -schedule permuted -tau 4
 //	mtmsim -topo regular -n 512 -deg 8 -rumor ppush
+//	mtmsim -topo regular -n 512 -cpuprofile cpu.out
 package main
 
 import (
@@ -15,35 +16,56 @@ import (
 	"strings"
 
 	"mobiletel"
+	"mobiletel/internal/prof"
 	"mobiletel/internal/trace"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		topoName  = flag.String("topo", "regular", "topology: clique|path|cycle|star|lineofstars|ringofcliques|regular|er|grid|hypercube|barbell|scalefree")
-		n         = flag.Int("n", 128, "number of devices (interpreted per topology)")
-		deg       = flag.Int("deg", 8, "degree for -topo regular")
-		algoName  = flag.String("algo", "blindgossip", "leader election algorithm: blindgossip|bitconv|asyncbitconv")
-		rumorName = flag.String("rumor", "", "run rumor spreading instead: pushpull|ppush")
-		schedName = flag.String("schedule", "static", "schedule: static|permuted|churn|waypoint")
-		tau       = flag.Int("tau", 4, "stability factor for dynamic schedules")
-		seed      = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
-		maxRounds = flag.Int("max-rounds", 10_000_000, "abort if not stabilized by this round")
-		spread    = flag.Int("activation-spread", 0, "stagger activations uniformly over this many rounds (asyncbitconv)")
-		verbose   = flag.Bool("v", false, "print topology metadata before running")
-		curve     = flag.Bool("curve", false, "print a sparkline of connections per round")
-		record    = flag.String("record", "", "write a JSON-lines execution recording to this file")
-		classical = flag.Bool("classical", false, "use classical telephone semantics (unbounded incoming connections; baseline, not the paper's model)")
+		topoName   = flag.String("topo", "regular", "topology: clique|path|cycle|star|lineofstars|ringofcliques|regular|er|grid|hypercube|barbell|scalefree")
+		n          = flag.Int("n", 128, "number of devices (interpreted per topology)")
+		deg        = flag.Int("deg", 8, "degree for -topo regular")
+		algoName   = flag.String("algo", "blindgossip", "leader election algorithm: blindgossip|bitconv|asyncbitconv")
+		rumorName  = flag.String("rumor", "", "run rumor spreading instead: pushpull|ppush")
+		schedName  = flag.String("schedule", "static", "schedule: static|permuted|churn|waypoint")
+		tau        = flag.Int("tau", 4, "stability factor for dynamic schedules")
+		seed       = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
+		maxRounds  = flag.Int("max-rounds", 10_000_000, "abort if not stabilized by this round")
+		spread     = flag.Int("activation-spread", 0, "stagger activations uniformly over this many rounds (asyncbitconv)")
+		verbose    = flag.Bool("v", false, "print topology metadata before running")
+		curve      = flag.Bool("curve", false, "print a sparkline of connections per round")
+		record     = flag.String("record", "", "write a JSON-lines execution recording to this file")
+		classical  = flag.Bool("classical", false, "use classical telephone semantics (unbounded incoming connections; baseline, not the paper's model)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		stop, err := prof.StartCPU(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "mtmsim:", err)
+			}
+		}()
+	}
+
 	topo, err := buildTopology(*topoName, *n, *deg, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sched, err := buildSchedule(*schedName, topo, *tau, *seed+1)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *verbose {
@@ -56,11 +78,11 @@ func main() {
 	if *record != "" {
 		f, err := os.Create(*record)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "mtmsim:", err)
 			}
 		}()
 		opts.RecordTo = f
@@ -84,29 +106,30 @@ func main() {
 		case "ppush":
 			strategy = mobiletel.PPush
 		default:
-			fatal(fmt.Errorf("unknown rumor strategy %q", *rumorName))
+			return fmt.Errorf("unknown rumor strategy %q", *rumorName)
 		}
 		res, err := mobiletel.SpreadRumor(sched, strategy, []int{0}, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("rumor %s: informed all %d devices in %d rounds (%d connections)\n",
 			strategy, topo.N(), res.Rounds, res.Connections)
 		printCurve(*curve, connCurve)
-		return
+		return nil
 	}
 
 	algo, err := mobiletel.ParseAlgorithm(*algoName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := mobiletel.ElectLeader(sched, algo, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("leader election %s: stabilized to leader %#x in %d rounds (%d connections)\n",
 		algo, res.Leader, res.Rounds, res.Connections)
 	printCurve(*curve, connCurve)
+	return nil
 }
 
 // printCurve renders the per-round connection counts as a sparkline.
@@ -188,9 +211,4 @@ func logf(n int) float64 {
 		l++
 	}
 	return l
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mtmsim:", err)
-	os.Exit(1)
 }

@@ -12,6 +12,12 @@ import "mobiletel/internal/sim"
 type BlindGossip struct {
 	uid  uint64
 	best uint64
+	// buf backs the UID slice of outgoing messages so the steady-state round
+	// loop allocates nothing. Safe to reuse: a node has at most one MTM
+	// connection per round, and in classical mode the engine delivers each
+	// message before asking the same protocol for the next one; receivers
+	// (Deliver) only read values out of the slice.
+	buf [1]uint64
 }
 
 var _ sim.Protocol = (*BlindGossip)(nil)
@@ -39,7 +45,8 @@ func (p *BlindGossip) Decide(ctx *sim.Context) (int32, bool) {
 
 // Outgoing sends the smallest UID seen so far.
 func (p *BlindGossip) Outgoing(*sim.Context, int32) sim.Message {
-	return sim.Message{UIDs: []uint64{p.best}}
+	p.buf[0] = p.best
+	return sim.Message{UIDs: p.buf[:1]}
 }
 
 // Deliver adopts the peer's UID if smaller.

@@ -85,6 +85,11 @@ func epoch(r, tau int) int {
 // Each epoch's graph is generated with a seed derived from (seed, epoch), so
 // random access is cheap and deterministic. All epochs share the generator,
 // hence the same analytic Δ and α.
+//
+// Generated graphs are memoized keyed by their epoch seed (a pure function of
+// (seed, epoch)), so re-reading rounds of a recent epoch — the pattern of
+// both simulations and Validate — never re-runs the generator. The memo is
+// bounded: once it holds regenMemoCap graphs the oldest entry is evicted.
 type Regenerate struct {
 	generate func(seed uint64) gen.Family
 	seed     uint64
@@ -93,9 +98,13 @@ type Regenerate struct {
 
 	proto gen.Family // epoch-0 instance, used for metadata
 
-	cachedEpoch int
-	cached      *graph.Graph
+	memo     map[uint64]*graph.Graph
+	memoFIFO []uint64 // insertion order, for eviction
 }
+
+// regenMemoCap bounds Regenerate's per-epoch memo. Simulations walk epochs
+// in order with occasional short look-backs, so a small window is enough.
+const regenMemoCap = 16
 
 // NewRegenerate builds a schedule that regenerates the topology every tau
 // rounds by calling generate with per-epoch seeds.
@@ -104,24 +113,35 @@ func NewRegenerate(name string, tau int, seed uint64, generate func(seed uint64)
 		panic("dyngraph: tau must be >= 1")
 	}
 	proto := generate(xrand.Mix3(seed, 0, 0))
-	return &Regenerate{
-		generate:    generate,
-		seed:        seed,
-		tau:         tau,
-		name:        name,
-		proto:       proto,
-		cachedEpoch: 0,
-		cached:      proto.Graph,
+	s := &Regenerate{
+		generate: generate,
+		seed:     seed,
+		tau:      tau,
+		name:     name,
+		proto:    proto,
+		memo:     make(map[uint64]*graph.Graph, regenMemoCap),
 	}
+	s.remember(xrand.Mix3(seed, 0, 0), proto.Graph)
+	return s
+}
+
+func (s *Regenerate) remember(key uint64, g *graph.Graph) {
+	if len(s.memoFIFO) >= regenMemoCap {
+		delete(s.memo, s.memoFIFO[0])
+		s.memoFIFO = s.memoFIFO[1:]
+	}
+	s.memo[key] = g
+	s.memoFIFO = append(s.memoFIFO, key)
 }
 
 func (s *Regenerate) GraphAt(r int) *graph.Graph {
-	e := epoch(r, s.tau)
-	if e != s.cachedEpoch {
-		s.cached = s.generate(xrand.Mix3(s.seed, uint64(e), 0)).Graph
-		s.cachedEpoch = e
+	key := xrand.Mix3(s.seed, uint64(epoch(r, s.tau)), 0)
+	if g, ok := s.memo[key]; ok {
+		return g
 	}
-	return s.cached
+	g := s.generate(key).Graph
+	s.remember(key, g)
+	return g
 }
 func (s *Regenerate) Tau() int       { return s.tau }
 func (s *Regenerate) N() int         { return s.proto.N() }
@@ -140,6 +160,9 @@ type Permuted struct {
 	seed uint64
 	tau  int
 
+	rng  xrand.RNG
+	perm []int // per-epoch permutation scratch, reused across epochs
+
 	cachedEpoch int
 	cached      *graph.Graph
 }
@@ -149,20 +172,22 @@ func NewPermuted(base gen.Family, tau int, seed uint64) *Permuted {
 	if tau < 1 {
 		panic("dyngraph: tau must be >= 1")
 	}
-	s := &Permuted{base: base, seed: seed, tau: tau, cachedEpoch: -1}
+	s := &Permuted{base: base, seed: seed, tau: tau, perm: make([]int, base.N()), cachedEpoch: -1}
 	s.cached = s.build(0)
 	s.cachedEpoch = 0
 	return s
 }
 
+// build materializes epoch e's relabeling as a permutation view over the
+// immutable base CSR: an O(n+m) Relabel with no Builder and no sort. The
+// result is bit-identical (graph.Equal) to rebuilding the permuted edge set
+// from scratch; TestPermutedRelabelMatchesBuilder pins this for 100 epochs.
+// A fresh graph is allocated per epoch on purpose — consumers like Validate
+// hold the previous epoch's graph across the boundary.
 func (s *Permuted) build(e int) *graph.Graph {
-	n := s.base.N()
-	perm := xrand.Derive(s.seed, uint64(e), 0x9e).Perm(n)
-	b := graph.NewBuilder(n)
-	s.base.Graph.Edges(func(u, v int) {
-		b.AddEdge(perm[u], perm[v])
-	})
-	return b.MustBuild()
+	s.rng.Reseed(s.seed, uint64(e), 0x9e) // same stream as Derive(seed, e, 0x9e)
+	s.rng.PermInto(s.perm)
+	return s.base.Graph.Relabel(s.perm)
 }
 
 func (s *Permuted) GraphAt(r int) *graph.Graph {

@@ -6,6 +6,7 @@ import (
 
 	"mobiletel/internal/graph"
 	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/xrand"
 )
 
 func TestStaticNeverChanges(t *testing.T) {
@@ -266,5 +267,61 @@ func BenchmarkChurnEpoch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.GraphAt(i + 1)
+	}
+}
+
+// TestPermutedRelabelMatchesBuilder pins the optimization contract of the
+// Relabel-based permutation view: for 100 random epochs, the O(n+m) view must
+// be graph.Equal to rebuilding the permuted edge set through a Builder — the
+// exact construction Permuted used before the relabeling fast path.
+func TestPermutedRelabelMatchesBuilder(t *testing.T) {
+	for _, fam := range []gen.Family{
+		gen.RandomRegular(64, 6, 7),
+		gen.SqrtLineOfStars(6), // skewed degrees: hubs vs leaves
+		gen.Cycle(17),
+	} {
+		s := NewPermuted(fam, 1, 99)
+		for e := 0; e < 100; e++ {
+			got := s.GraphAt(e + 1) // tau=1: round r is epoch r-1
+			perm := xrand.Derive(uint64(99), uint64(e), 0x9e).Perm(fam.N())
+			b := graph.NewBuilder(fam.N())
+			fam.Graph.Edges(func(u, v int) { b.AddEdge(perm[u], perm[v]) })
+			want := b.MustBuild()
+			if !got.Equal(want) {
+				t.Fatalf("%s epoch %d: relabel view differs from builder-built graph", fam.Name, e)
+			}
+		}
+	}
+}
+
+// TestRegenerateMemoBounded checks that the per-epoch memo caps its size and
+// still serves identical graphs for re-queried epochs after eviction.
+func TestRegenerateMemoBounded(t *testing.T) {
+	calls := 0
+	s := NewRegenerate("cyc", 1, 5, func(seed uint64) gen.Family {
+		calls++
+		return gen.RandomRegular(16, 4, seed)
+	})
+	first := s.GraphAt(1)
+	if got := s.GraphAt(1); got != first {
+		t.Fatal("re-query of cached epoch regenerated the graph")
+	}
+	callsBefore := calls
+	if s.GraphAt(1) != first {
+		t.Fatal("cached epoch changed")
+	}
+	if calls != callsBefore {
+		t.Fatalf("cached epoch re-ran the generator (%d -> %d calls)", callsBefore, calls)
+	}
+	// Walk far past the memo window, then come back: the graph must be
+	// regenerated (pointer may differ) but identical in structure.
+	for r := 1; r <= 4*regenMemoCap; r++ {
+		s.GraphAt(r)
+	}
+	if len(s.memo) > regenMemoCap || len(s.memoFIFO) > regenMemoCap {
+		t.Fatalf("memo grew past cap: %d entries, %d keys", len(s.memo), len(s.memoFIFO))
+	}
+	if again := s.GraphAt(1); !again.Equal(first) {
+		t.Fatal("epoch 0 regenerated differently after eviction")
 	}
 }

@@ -32,6 +32,13 @@ const MaxExactN = 22
 
 // Exact returns the exact vertex expansion of g and one minimizing set.
 // It panics if g has more than MaxExactN nodes or fewer than 2 nodes.
+//
+// Subsets are enumerated in Gray-code order, so consecutive sets differ by
+// exactly one node and the boundary is maintained incrementally: cov[v]
+// counts v's neighbors inside S, and |∂S| = |{v ∉ S : cov[v] > 0}|. Each
+// step costs O(deg(u)) for the flipped node u instead of rebuilding the
+// boundary bitset from all of S — the same minimum over the same subsets,
+// found in a different visiting order (ties may pick a different minSet).
 func Exact(g *graph.Graph) (alpha float64, minSet []int) {
 	n := g.N()
 	if n < 2 {
@@ -41,37 +48,49 @@ func Exact(g *graph.Graph) (alpha float64, minSet []int) {
 		panic("expansion: graph too large for exact enumeration")
 	}
 
-	// Precompute neighborhood bitmasks.
-	nbrMask := make([]uint32, n)
-	for u := 0; u < n; u++ {
-		var m uint32
-		for _, v := range g.Neighbors(u) {
-			m |= 1 << uint(v)
-		}
-		nbrMask[u] = m
-	}
-
 	half := n / 2
 	best := math.Inf(1)
-	var bestMask uint32
-	full := uint32(1)<<uint(n) - 1
-	for s := uint32(1); s <= full; s++ {
-		size := bits.OnesCount32(s)
-		if size > half {
-			continue
+	var bestMask, cur uint32
+	cov := make([]int32, n) // cov[v] = |N(v) ∩ S|
+	inS := make([]bool, n)
+	size, boundary := 0, 0
+
+	total := uint32(1) << uint(n)
+	for i := uint32(1); i < total; i++ {
+		// Gray code: step i flips bit TrailingZeros32(i) of the current set.
+		u := bits.TrailingZeros32(i)
+		if !inS[u] {
+			if cov[u] > 0 {
+				boundary-- // u was on the boundary; it joins S
+			}
+			inS[u] = true
+			cur |= 1 << uint(u)
+			size++
+			for _, v := range g.Neighbors(u) {
+				cov[v]++
+				if cov[v] == 1 && !inS[v] {
+					boundary++
+				}
+			}
+		} else {
+			inS[u] = false
+			cur &^= 1 << uint(u)
+			size--
+			for _, v := range g.Neighbors(u) {
+				cov[v]--
+				if cov[v] == 0 && !inS[v] {
+					boundary--
+				}
+			}
+			if cov[u] > 0 {
+				boundary++ // u rejoins the boundary
+			}
 		}
-		var boundary uint32
-		rest := s
-		for rest != 0 {
-			u := bits.TrailingZeros32(rest)
-			rest &= rest - 1
-			boundary |= nbrMask[u]
-		}
-		boundary &^= s
-		a := float64(bits.OnesCount32(boundary)) / float64(size)
-		if a < best {
-			best = a
-			bestMask = s
+		if size >= 1 && size <= half {
+			if a := float64(boundary) / float64(size); a < best {
+				best = a
+				bestMask = cur
+			}
 		}
 	}
 	for u := 0; u < n; u++ {

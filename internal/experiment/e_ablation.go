@@ -50,10 +50,14 @@ func runA1(cfg Config) (*trace.Table, error) {
 		"group length", "phase length", "median rounds", "p90")
 
 	k := core.DefaultBitConvParams(n, d).K
-	for _, mult := range []int{1, 2, 4} {
+	mults := []int{1, 2, 4}
+	paramsFor := make([]core.BitConvParams, len(mults))
+	specs := make([]pointSpec, len(mults))
+	for mi, mult := range mults {
 		mult := mult
 		params := core.BitConvParams{K: k, GroupLen: mult * logDelta}
-		rounds, err := runTrials(trials, trialSpec{
+		paramsFor[mi] = params
+		specs[mi] = pointSpec{Trials: trials, Spec: trialSpec{
 			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 				seed := trialSeed(cfg.Seed, 1100+mult, trial)
 				uids := core.UniqueUIDs(n, seed)
@@ -61,12 +65,15 @@ func runA1(cfg Config) (*trace.Table, error) {
 				return dyngraph.NewPermuted(base, tau, seed+2), protocols,
 					sim.Config{Seed: seed + 3, TagBits: 1, MaxRounds: 50_000_000}
 			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		s := stats.IntSummary(rounds)
-		table.AddRow(fmt.Sprintf("%d·logΔ = %d", mult, params.GroupLen), params.PhaseLen(), s.Median, s.P90)
+		}}
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, mult := range mults {
+		s := stats.IntSummary(allRounds[mi])
+		table.AddRow(fmt.Sprintf("%d·logΔ = %d", mult, paramsFor[mi].GroupLen), paramsFor[mi].PhaseLen(), s.Median, s.P90)
 	}
 	return table, nil
 }
@@ -168,9 +175,10 @@ func runA3(cfg Config) (*trace.Table, error) {
 		{"lowest-id", sim.AcceptLowestID},
 		{"highest-id", sim.AcceptHighestID},
 	}
+	specs := make([]pointSpec, len(policies))
 	for pi, pol := range policies {
-		pol := pol
-		rounds, err := runTrials(trials, trialSpec{
+		pi, pol := pi, pol
+		specs[pi] = pointSpec{Trials: trials, Spec: trialSpec{
 			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 				seed := trialSeed(cfg.Seed, 1300+pi, trial)
 				uids := core.UniqueUIDs(f.N(), seed)
@@ -184,11 +192,14 @@ func runA3(cfg Config) (*trace.Table, error) {
 				}
 				return nil
 			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		s := stats.IntSummary(rounds)
+		}}
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range policies {
+		s := stats.IntSummary(allRounds[pi])
 		table.AddRow(pol.name, s.Median, s.P90, "yes")
 	}
 	return table, nil

@@ -47,8 +47,11 @@ func runE8(cfg Config) (*trace.Table, error) {
 	table := trace.NewTable("E8 synchronized vs non-synchronized bit convergence (Theorem VIII.2)",
 		"variant", "b (bits)", "activation spread", "median rounds*", "p90", "vs sync median")
 
-	// Baseline: synchronized bit convergence.
-	syncRounds, err := runTrials(trials, trialSpec{
+	// Spec 0 is the synchronized baseline; specs 1.. are the async variants
+	// at increasing activation spreads. All share one pipelined pool.
+	spreads := []int{0, 200, 2000}
+	specs := make([]pointSpec, 0, 1+len(spreads))
+	specs = append(specs, pointSpec{Trials: trials, Spec: trialSpec{
 		Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 			seed := trialSeed(cfg.Seed, 800, trial)
 			uids := core.UniqueUIDs(n, seed)
@@ -56,18 +59,10 @@ func runE8(cfg Config) (*trace.Table, error) {
 			return dyngraph.NewStatic(base), protocols,
 				sim.Config{Seed: seed + 2, TagBits: 1, MaxRounds: 50_000_000}
 		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	syncMed := stats.IntSummary(syncRounds).Median
-	table.AddRow("bitconv (sync)", 1, 0, syncMed, stats.IntSummary(syncRounds).P90, 1.0)
-
-	// Async with various activation spreads; rounds measured after the last
-	// activation (the Section VIII convention).
-	for _, spread := range []int{0, 200, 2000} {
+	}})
+	for _, spread := range spreads {
 		spread := spread
-		rounds, err := runTrials(trials, trialSpec{
+		specs = append(specs, pointSpec{Trials: trials, Spec: trialSpec{
 			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 				seed := trialSeed(cfg.Seed, 810+spread, trial)
 				uids := core.UniqueUIDs(n, seed)
@@ -85,13 +80,22 @@ func runE8(cfg Config) (*trace.Table, error) {
 				}
 				return dyngraph.NewStatic(base), protocols, cfgSim
 			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		// Subtract the activation spread: Theorem VIII.2 counts rounds after
-		// the last node activates. StabilizedRound includes the ramp-up, so
-		// report both raw and adjusted via the spread upper bound.
+		}})
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	syncRounds := allRounds[0]
+	syncMed := stats.IntSummary(syncRounds).Median
+	table.AddRow("bitconv (sync)", 1, 0, syncMed, stats.IntSummary(syncRounds).P90, 1.0)
+
+	// Rounds measured after the last activation (the Section VIII
+	// convention): subtract the activation spread. StabilizedRound includes
+	// the ramp-up, so report the adjusted value via the spread upper bound.
+	for si, spread := range spreads {
+		rounds := allRounds[1+si]
 		adjusted := make([]int, len(rounds))
 		for i, r := range rounds {
 			adjusted[i] = r - spread

@@ -62,13 +62,20 @@ func runE6(cfg Config) (*trace.Table, error) {
 	params := core.DefaultBitConvParams(n, delta)
 	oblivious := gen.RandomRegular(n, 16, cfg.Seed+3000)
 
+	type e6Cell struct {
+		tau      int
+		adaptive bool
+	}
+	var cells []e6Cell
+	var specs []pointSpec
 	for pi, tau := range taus {
 		tau := tau
 		for _, adaptive := range []bool{true, false} {
 			adaptive := adaptive
 			var tagsBox = make([][]uint64, trials)
 			var uidsBox = make([][]uint64, trials)
-			rounds, err := runTrials(trials, trialSpec{
+			cells = append(cells, e6Cell{tau: tau, adaptive: adaptive})
+			specs = append(specs, pointSpec{Trials: trials, Spec: trialSpec{
 				Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 					seed := trialSeed(cfg.Seed, pi*2+10+boolInt(adaptive), trial)
 					uids := core.UniqueUIDs(n, seed)
@@ -87,19 +94,22 @@ func runE6(cfg Config) (*trace.Table, error) {
 				Check: func(trial int, protocols []sim.Protocol) error {
 					return checkMinPair(uidsBox[trial], tagsBox[trial], protocols)
 				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			s := stats.IntSummary(rounds)
-			tauHat := bounds.TauHat(tau, delta)
-			factor := math.Pow(float64(delta), 1/float64(tauHat)) * float64(tauHat)
-			name := "oblivious-permuted"
-			if adaptive {
-				name = "adaptive-stars"
-			}
-			table.AddRow(name, tau, tauHat, s.Median, s.P90, factor, s.Median/factor)
+			}})
 		}
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, cell := range cells {
+		s := stats.IntSummary(allRounds[ci])
+		tauHat := bounds.TauHat(cell.tau, delta)
+		factor := math.Pow(float64(delta), 1/float64(tauHat)) * float64(tauHat)
+		name := "oblivious-permuted"
+		if cell.adaptive {
+			name = "adaptive-stars"
+		}
+		table.AddRow(name, cell.tau, tauHat, s.Median, s.P90, factor, s.Median/factor)
 	}
 	return table, nil
 }
@@ -138,10 +148,12 @@ func runE7(cfg Config) (*trace.Table, error) {
 
 	const advPoints = 15 // adversary star size - 1; Δ = 17
 
+	// Both election algorithms on every point feed one shared pool: specs
+	// 2·pi and 2·pi+1 are point pi's blind-gossip and bit-convergence runs.
+	specs := make([]pointSpec, 0, 2*len(points))
 	for pi, pt := range points {
-		pt := pt
-
-		bgRounds, err := runTrials(trials, trialSpec{
+		pi, pt := pi, pt
+		specs = append(specs, pointSpec{Trials: trials, Spec: trialSpec{
 			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 				seed := trialSeed(cfg.Seed, pi+20, trial)
 				if pt.adaptive {
@@ -159,12 +171,8 @@ func runE7(cfg Config) (*trace.Table, error) {
 				return sched, core.NewBlindGossipNetwork(uids),
 					sim.Config{Seed: seed + 2, TagBits: 0, MaxRounds: 100_000_000}
 			},
-		})
-		if err != nil {
-			return nil, err
-		}
-
-		bcRounds, err := runTrials(trials, trialSpec{
+		}})
+		specs = append(specs, pointSpec{Trials: trials, Spec: trialSpec{
 			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 				seed := trialSeed(cfg.Seed, pi+20, trial)
 				if pt.adaptive {
@@ -184,13 +192,16 @@ func runE7(cfg Config) (*trace.Table, error) {
 				}
 				return sched, protocols, sim.Config{Seed: seed + 2, TagBits: 1, MaxRounds: 100_000_000}
 			},
-		})
-		if err != nil {
-			return nil, err
-		}
+		}})
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
 
-		bg := stats.IntSummary(bgRounds)
-		bc := stats.IntSummary(bcRounds)
+	for pi, pt := range points {
+		bg := stats.IntSummary(allRounds[2*pi])
+		bc := stats.IntSummary(allRounds[2*pi+1])
 		tau := "inf"
 		if pt.tau > 0 {
 			tau = fmt.Sprintf("%d", pt.tau)

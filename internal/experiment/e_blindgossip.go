@@ -74,9 +74,11 @@ func runE1(cfg Config) (*trace.Table, error) {
 	table := trace.NewTable("E1 blind gossip scaling (Theorem VI.1)",
 		"family", "n", "Δ", "α", "τ", "median", "p90", "bound", "median/bound")
 
-	for pi, pt := range e1Families(cfg.Quick, cfg.Seed+1000) {
-		pt := pt
-		rounds, err := runTrials(trials, trialSpec{
+	points := e1Families(cfg.Quick, cfg.Seed+1000)
+	specs := make([]pointSpec, len(points))
+	for pi, pt := range points {
+		pi, pt := pi, pt
+		specs[pi] = pointSpec{Trials: trials, Spec: trialSpec{
 			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 				seed := trialSeed(cfg.Seed, pi, trial)
 				uids := core.UniqueUIDs(pt.family.N(), seed)
@@ -97,11 +99,14 @@ func runE1(cfg Config) (*trace.Table, error) {
 				}
 				return nil
 			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		s := stats.IntSummary(rounds)
+		}}
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, pt := range points {
+		s := stats.IntSummary(allRounds[pi])
 		bound := predictedBlindGossip(pt.family.Alpha, pt.family.MaxDegree(), pt.family.N())
 		tau := "inf"
 		if pt.tau > 0 {
@@ -124,10 +129,13 @@ func runE2(cfg Config) (*trace.Table, error) {
 	table := trace.NewTable("E2 blind gossip lower bound on the line of stars (Section VI)",
 		"side", "n", "Δ", "median", "p90", "Δ²·side", "median/(Δ²·side)")
 
-	var xs, ys []float64
+	families := make([]gen.Family, len(sides))
+	specs := make([]pointSpec, len(sides))
 	for pi, side := range sides {
+		pi := pi
 		f := gen.SqrtLineOfStars(side)
-		rounds, err := runTrials(trials, trialSpec{
+		families[pi] = f
+		specs[pi] = pointSpec{Trials: trials, Spec: trialSpec{
 			Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 				seed := trialSeed(cfg.Seed, pi, trial)
 				uids := core.UniqueUIDs(f.N(), seed)
@@ -143,11 +151,17 @@ func runE2(cfg Config) (*trace.Table, error) {
 				return dyngraph.NewStatic(f), core.NewBlindGossipNetwork(uids),
 					sim.Config{Seed: seed + 2, TagBits: 0, MaxRounds: 100_000_000}
 			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		s := stats.IntSummary(rounds)
+		}}
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	var xs, ys []float64
+	for pi, side := range sides {
+		f := families[pi]
+		s := stats.IntSummary(allRounds[pi])
 		pred := float64(f.MaxDegree()*f.MaxDegree()) * float64(side)
 		table.AddRow(side, f.N(), f.MaxDegree(), s.Median, s.P90, pred, s.Median/pred)
 		xs = append(xs, float64(side))
@@ -164,13 +178,17 @@ func runE3(cfg Config) (*trace.Table, error) {
 		"family", "n", "Δ", "α", "τ", "median", "p90", "bound", "median/bound")
 
 	// Reuse the E1 grid; the corollary claims the same bound shape.
-	for pi, pt := range e1Families(cfg.Quick, cfg.Seed+2000) {
-		pt := pt
-		rounds, err := runTrialsRumor(trials, cfg.Seed, pi+100, pt, false)
-		if err != nil {
-			return nil, err
-		}
-		s := stats.IntSummary(rounds)
+	points := e1Families(cfg.Quick, cfg.Seed+2000)
+	specs := make([]pointSpec, len(points))
+	for pi, pt := range points {
+		specs[pi] = pointSpec{Trials: trials, Spec: rumorSpec(cfg.Seed, pi+100, pt, false)}
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, pt := range points {
+		s := stats.IntSummary(allRounds[pi])
 		bound := predictedBlindGossip(pt.family.Alpha, pt.family.MaxDegree(), pt.family.N())
 		tau := "inf"
 		if pt.tau > 0 {

@@ -46,10 +46,13 @@ func runE12(cfg Config) (*trace.Table, error) {
 	table := trace.NewTable("E12 classical vs mobile telephone model (PUSH-PULL rumor spreading)",
 		"topology", "n", "Δ", "classical med", "mobile med", "mobile/classical")
 
+	// Specs 2·pi and 2·pi+1 are point pi's classical and mobile runs; both
+	// model variants of every topology share one pipelined pool.
+	specs := make([]pointSpec, 0, 2*len(points))
 	for pi, pt := range points {
-		pt := pt
-		run := func(classical bool) ([]int, error) {
-			return runTrials(trials, trialSpec{
+		pi, pt := pi, pt
+		mkSpec := func(classical bool) trialSpec {
+			return trialSpec{
 				Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 					seed := trialSeed(cfg.Seed, 1400+pi, trial)
 					src := pt.src(pt.family.N(), seed)
@@ -65,19 +68,19 @@ func runE12(cfg Config) (*trace.Table, error) {
 					}
 					return nil
 				},
-			})
+			}
 		}
+		specs = append(specs, pointSpec{Trials: trials, Spec: mkSpec(true)})
+		specs = append(specs, pointSpec{Trials: trials, Spec: mkSpec(false)})
+	}
+	allRounds, err := runPointTrials(specs)
+	if err != nil {
+		return nil, err
+	}
 
-		classicalRounds, err := run(true)
-		if err != nil {
-			return nil, err
-		}
-		mobileRounds, err := run(false)
-		if err != nil {
-			return nil, err
-		}
-		c := stats.IntSummary(classicalRounds)
-		m := stats.IntSummary(mobileRounds)
+	for pi, pt := range points {
+		c := stats.IntSummary(allRounds[2*pi])
+		m := stats.IntSummary(allRounds[2*pi+1])
 		table.AddRow(pt.name, pt.family.N(), pt.family.MaxDegree(), c.Median, m.Median, m.Median/c.Median)
 	}
 	return table, nil

@@ -25,14 +25,15 @@ func init() {
 	})
 }
 
-// runTrialsRumor runs rumor-spreading trials (PUSH-PULL when ppush is false)
-// over the E1 grid point and returns completion rounds.
-func runTrialsRumor(trials int, baseSeed uint64, pointID int, pt e1Point, ppush bool) ([]int, error) {
+// rumorSpec builds the trial spec for rumor-spreading trials (PUSH-PULL when
+// ppush is false) over an E1 grid point; trials complete when all nodes are
+// informed.
+func rumorSpec(baseSeed uint64, pointID int, pt e1Point, ppush bool) trialSpec {
 	tagBits := 0
 	if ppush {
 		tagBits = 1
 	}
-	return runTrials(trials, trialSpec{
+	return trialSpec{
 		Build: func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config) {
 			seed := trialSeed(baseSeed, pointID, trial)
 			// Source is a pseudo-random node.
@@ -58,7 +59,7 @@ func runTrialsRumor(trials int, baseSeed uint64, pointID int, pt e1Point, ppush 
 			}
 			return nil
 		},
-	})
+	}
 }
 
 // e5CutGraph builds the Theorem V.2 scenario: bipartitions L (informed) and

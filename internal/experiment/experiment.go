@@ -91,60 +91,101 @@ type trialSpec struct {
 	Check func(trial int, protocols []sim.Protocol) error
 }
 
-// runTrials executes `trials` independent simulations in parallel and
-// returns the stabilization round of each. Any engine error or failed Check
-// aborts with that error.
-func runTrials(trials int, spec trialSpec) ([]int, error) {
-	if spec.Stop == nil {
-		spec.Stop = sim.AllLeadersEqual
-	}
-	rounds := make([]int, trials)
-	errs := make([]error, trials)
+// pointSpec bundles one data point's batch of trials for runPointTrials.
+type pointSpec struct {
+	Trials int
+	Spec   trialSpec
+}
 
+// runPointTrials executes every (point, trial) task through one shared
+// worker pool and returns the stabilization rounds indexed [point][trial].
+//
+// Feeding all points into a single pipelined pool — instead of running a
+// per-point pool with a barrier between points — means a slow straggler
+// trial of point p no longer idles the other workers: they immediately pick
+// up trials of point p+1. Results are written to distinct (point, trial)
+// cells and rows are emitted by the caller after the pool drains, so table
+// output is bit-identical to the per-point version; seeds are derived per
+// (point, trial) and never depend on execution order.
+//
+// The first error in (point, trial) order aborts the batch.
+func runPointTrials(points []pointSpec) ([][]int, error) {
+	total := 0
+	rounds := make([][]int, len(points))
+	errs := make([][]error, len(points))
+	for p := range points {
+		if points[p].Spec.Stop == nil {
+			points[p].Spec.Stop = sim.AllLeadersEqual
+		}
+		rounds[p] = make([]int, points[p].Trials)
+		errs[p] = make([]error, points[p].Trials)
+		total += points[p].Trials
+	}
+	if total == 0 {
+		return rounds, nil
+	}
+
+	type task struct{ point, trial int }
 	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
+	if workers > total {
+		workers = total
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := make(chan task)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for trial := range next {
-				sched, protocols, cfg := spec.Build(trial)
+			for t := range next {
+				spec := &points[t.point].Spec
+				sched, protocols, cfg := spec.Build(t.trial)
 				// Inner engine steps stay sequential: parallelism lives at
-				// the trial level here.
+				// the (point, trial) level here.
 				cfg.Workers = 1
 				eng, err := sim.New(sched, protocols, cfg)
 				if err != nil {
-					errs[trial] = err
+					errs[t.point][t.trial] = err
 					continue
 				}
 				res, err := eng.Run(spec.Stop)
 				if err != nil {
-					errs[trial] = err
+					errs[t.point][t.trial] = err
 					continue
 				}
-				rounds[trial] = res.StabilizedRound
+				rounds[t.point][t.trial] = res.StabilizedRound
 				if spec.Check != nil {
-					errs[trial] = spec.Check(trial, protocols)
+					errs[t.point][t.trial] = spec.Check(t.trial, protocols)
 				}
 			}
 		}()
 	}
-	for trial := 0; trial < trials; trial++ {
-		next <- trial
+	for p := range points {
+		for trial := 0; trial < points[p].Trials; trial++ {
+			next <- task{p, trial}
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	for trial, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", trial, err)
+	for p := range errs {
+		for trial, err := range errs[p] {
+			if err != nil {
+				return nil, fmt.Errorf("trial %d: %w", trial, err)
+			}
 		}
 	}
 	return rounds, nil
+}
+
+// runTrials executes `trials` independent simulations of a single point and
+// returns the stabilization round of each. Any engine error or failed Check
+// aborts with that error.
+func runTrials(trials int, spec trialSpec) ([]int, error) {
+	rounds, err := runPointTrials([]pointSpec{{Trials: trials, Spec: spec}})
+	if err != nil {
+		return nil, err
+	}
+	return rounds[0], nil
 }
 
 // trialSeed derives a per-(experiment, point, trial) seed.

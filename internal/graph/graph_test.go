@@ -295,3 +295,71 @@ func BenchmarkHasEdge(b *testing.B) {
 		_ = g.HasEdge(i%1000, (i*7)%1000)
 	}
 }
+
+func TestRelabelMatchesBuilderRandomized(t *testing.T) {
+	rng := xrand.Derive(7, 0, 0)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		edges := make([][2]int, 0)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					b.AddEdge(u, v)
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+		g := b.MustBuild()
+		perm := rng.Perm(n)
+		got := g.Relabel(perm)
+		want := NewBuilder(n)
+		for _, e := range edges {
+			want.AddEdge(perm[e[0]], perm[e[1]])
+		}
+		if w := want.MustBuild(); !got.Equal(w) {
+			t.Fatalf("trial %d (n=%d m=%d): relabel differs from rebuild", trial, n, g.M())
+		}
+		if got.MaxDegree() != g.MaxDegree() || got.M() != g.M() {
+			t.Fatalf("trial %d: metadata changed: Δ %d->%d m %d->%d",
+				trial, g.MaxDegree(), got.MaxDegree(), g.M(), got.M())
+		}
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := mustPath(t, 6)
+	perm := []int{0, 1, 2, 3, 4, 5}
+	if !g.Relabel(perm).Equal(g) {
+		t.Fatal("identity relabel changed the graph")
+	}
+}
+
+func TestRelabelSharesNoStorage(t *testing.T) {
+	// Schedules hand out relabeled graphs while consumers still hold the
+	// previous epoch's graph, so Relabel must not reuse g's arrays.
+	g := mustPath(t, 4)
+	h := g.Relabel([]int{3, 2, 1, 0})
+	if &g.adj[0] == &h.adj[0] || &g.offsets[0] == &h.offsets[0] {
+		t.Fatal("relabel shares storage with the source graph")
+	}
+}
+
+func TestRelabelRejectsBadPerm(t *testing.T) {
+	g := mustPath(t, 3)
+	for _, bad := range [][]int{
+		{0, 1},     // wrong length
+		{0, 1, 3},  // out of range
+		{0, 1, 1},  // duplicate
+		{-1, 1, 2}, // negative
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("perm %v did not panic", bad)
+				}
+			}()
+			g.Relabel(bad)
+		}()
+	}
+}

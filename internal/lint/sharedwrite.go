@@ -20,56 +20,83 @@ import (
 //   - the target is a captured scalar/slice variable written directly
 //     (including `s = append(s, ...)`, which races on len/cap).
 //
+// Func literals passed to a call named parallelFor (internal/sim's chunked
+// dispatcher) are treated the same way as go-func bodies: their parameters
+// (worker id, chunk bounds) are partition-local, so element writes indexed
+// by them are allowed, while writes to captured scalars, maps, or fully
+// captured indices are flagged — the dispatcher runs the literal from
+// multiple goroutines when Workers > 1.
+//
 // Goroutine bodies that take a lock (any Lock/RLock call) are assumed
 // synchronized and skipped; channel-coordinated writes need an explicit
 // //mtmlint:sharedwrite-ok <reason>.
 var Sharedwrite = &Analyzer{
 	Name: "sharedwrite",
-	Doc:  "flag unsynchronized writes to captured shared state in go-func literals",
+	Doc:  "flag unsynchronized writes to captured shared state in go-func and parallelFor literals",
 	Run:  runSharedwrite,
 }
 
 func runSharedwrite(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			gs, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					checkConcurrentBody(p, lit, "goroutine")
+				}
+			case *ast.CallExpr:
+				if calleeName(s.Fun) == "parallelFor" {
+					for _, arg := range s.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							checkConcurrentBody(p, lit, "parallelFor body")
+						}
+					}
+				}
 			}
-			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
-			if !ok {
-				return true
-			}
-			checkGoroutine(p, gs, lit)
 			return true
 		})
 	}
 }
 
-func checkGoroutine(p *Pass, gs *ast.GoStmt, lit *ast.FuncLit) {
+// calleeName extracts the bare called-function name from a call's Fun
+// expression (ident or method selector), or "" when it is neither.
+func calleeName(fun ast.Expr) string {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// checkConcurrentBody inspects one function literal that runs concurrently
+// (a go statement body or a parallelFor chunk worker); who names the
+// context in diagnostics.
+func checkConcurrentBody(p *Pass, lit *ast.FuncLit, who string) {
 	if bodyTakesLock(lit) {
 		return
 	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if inner, ok := n.(*ast.GoStmt); ok && inner != gs {
+		if _, ok := n.(*ast.GoStmt); ok {
 			return false // nested goroutines are visited on their own
 		}
 		switch s := n.(type) {
 		case *ast.AssignStmt:
 			if s.Tok == token.DEFINE {
-				return true // := only declares goroutine-locals
+				return true // := only declares body-locals
 			}
 			for _, lhs := range s.Lhs {
-				checkWriteTarget(p, lit, lhs)
+				checkWriteTarget(p, lit, who, lhs)
 			}
 		case *ast.IncDecStmt:
-			checkWriteTarget(p, lit, s.X)
+			checkWriteTarget(p, lit, who, s.X)
 		}
 		return true
 	})
 }
 
-func checkWriteTarget(p *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+func checkWriteTarget(p *Pass, lit *ast.FuncLit, who string, lhs ast.Expr) {
 	lhs = ast.Unparen(lhs)
 	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
 		return
@@ -81,17 +108,17 @@ func checkWriteTarget(p *Pass, lit *ast.FuncLit, lhs ast.Expr) {
 	if idx, ok := lhs.(*ast.IndexExpr); ok {
 		switch p.Pkg.Info.TypeOf(idx.X).Underlying().(type) {
 		case *types.Map:
-			p.Reportf(lhs.Pos(), "goroutine writes to captured map %s without synchronization; concurrent map writes are unsafe even on distinct keys", types.ExprString(idx.X))
+			p.Reportf(lhs.Pos(), "%s writes to captured map %s without synchronization; concurrent map writes are unsafe even on distinct keys", who, types.ExprString(idx.X))
 			return
 		case *types.Slice, *types.Array, *types.Pointer:
 			if indexIsGoroutineLocal(p, lit, idx.Index) {
-				return // partitioned: each goroutine owns its own cells
+				return // partitioned: each worker owns its own cells
 			}
-			p.Reportf(lhs.Pos(), "goroutine writes to captured slice %s at a captured index; partition indices per goroutine or synchronize", types.ExprString(idx.X))
+			p.Reportf(lhs.Pos(), "%s writes to captured slice %s at a captured index; partition indices per worker or synchronize", who, types.ExprString(idx.X))
 			return
 		}
 	}
-	p.Reportf(lhs.Pos(), "goroutine writes to captured variable %s without synchronization; partition the work or guard it with a mutex", types.ExprString(lhs))
+	p.Reportf(lhs.Pos(), "%s writes to captured variable %s without synchronization; partition the work or guard it with a mutex", who, types.ExprString(lhs))
 }
 
 // capturedBy reports whether obj is declared outside the function literal,

@@ -113,6 +113,43 @@ func ChannelOwned(n int) []int {
 	return out
 }
 
+// parallelFor mimics internal/sim's chunked dispatcher: the analyzer keys
+// on the callee name alone, so this sequential stand-in exercises the same
+// code path.
+func parallelFor(n int, fn func(w, lo, hi int)) {
+	fn(0, 0, n)
+}
+
+// ChunkedFill partitions by the parallelFor chunk bounds: allowed.
+func ChunkedFill(n int) []int {
+	out := make([]int, n)
+	parallelFor(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i
+		}
+	})
+	return out
+}
+
+// BrokenChunkCounter accumulates into a captured scalar from the worker.
+func BrokenChunkCounter(n int) int {
+	c := 0
+	parallelFor(n, func(w, lo, hi int) {
+		c += hi - lo // want `parallelFor body writes to captured variable c without synchronization`
+	})
+	return c
+}
+
+// BrokenChunkIndex writes a captured slice at a fully captured index.
+func BrokenChunkIndex(n int) []int {
+	out := make([]int, n)
+	j := 0
+	parallelFor(n, func(w, lo, hi int) {
+		out[j] = w // want `parallelFor body writes to captured slice out at a captured index`
+	})
+	return out
+}
+
 // Suppressed documents a deliberate single-writer pattern.
 func Suppressed() int {
 	v := 0

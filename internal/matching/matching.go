@@ -16,6 +16,7 @@ package matching
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mobiletel/internal/graph"
 )
@@ -181,15 +182,143 @@ func CutGraph(g *graph.Graph, inSet []bool) (b *Bipartite, leftNodes, rightNodes
 }
 
 // Nu returns ν(B(S)), the maximum number of concurrent cut connections the
-// mobile telephone model supports across the cut S.
+// mobile telephone model supports across the cut S. For a single cut; to
+// evaluate many cuts of the same graph, use a CutMatcher.
 func Nu(g *graph.Graph, inSet []bool) int {
-	b, _, _ := CutGraph(g, inSet)
-	size, _, _ := b.MaxMatching()
+	return NewCutMatcher(g).Nu(inSet)
+}
+
+// CutMatcher computes ν(B(S)) for many cuts S of one fixed graph, reusing
+// every working array — the side-index translation tables, the flat CSR cut
+// adjacency, and the Hopcroft–Karp matching/distance/queue scratch — across
+// calls. GammaExact enumerates 2^n cuts per graph, so the per-cut Bipartite
+// and pairing-array allocations dominated its profile before this existed.
+type CutMatcher struct {
+	g *graph.Graph
+	n int
+
+	leftOf, rightOf []int32 // node -> index within its side (valid per side)
+	lefts           []int32 // members of S in ascending node order
+	adjOff          []int32 // CSR offsets into adjDat, len L+1
+	adjDat          []int32 // right-side neighbor indices across the cut
+
+	// Hopcroft–Karp state, sliced to (L, R) per call.
+	curL, curR     int
+	matchL, matchR []int32
+	dist           []int32
+	queue          []int32
+}
+
+// NewCutMatcher returns a reusable ν(B(S)) evaluator for g.
+func NewCutMatcher(g *graph.Graph) *CutMatcher {
+	n := g.N()
+	return &CutMatcher{
+		g:       g,
+		n:       n,
+		leftOf:  make([]int32, n),
+		rightOf: make([]int32, n),
+		lefts:   make([]int32, 0, n),
+		adjOff:  make([]int32, n+1),
+		adjDat:  make([]int32, 0, 2*g.M()),
+		matchL:  make([]int32, n),
+		matchR:  make([]int32, n),
+		dist:    make([]int32, n),
+		queue:   make([]int32, 0, n),
+	}
+}
+
+const hkInf = int32(1<<31 - 1)
+
+// Nu returns ν(B(S)) for the cut S given as a membership slice of length n.
+// The algorithm is Hopcroft–Karp, identical to Bipartite.MaxMatching.
+func (c *CutMatcher) Nu(inSet []bool) int {
+	if len(inSet) != c.n {
+		panic("matching: CutMatcher set length mismatch")
+	}
+	c.lefts = c.lefts[:0]
+	rights := 0
+	for u := 0; u < c.n; u++ {
+		if inSet[u] {
+			c.leftOf[u] = int32(len(c.lefts))
+			c.lefts = append(c.lefts, int32(u))
+		} else {
+			c.rightOf[u] = int32(rights)
+			rights++
+		}
+	}
+	c.curL, c.curR = len(c.lefts), rights
+
+	c.adjDat = c.adjDat[:0]
+	c.adjOff[0] = 0
+	for i, u := range c.lefts {
+		for _, v := range c.g.Neighbors(int(u)) {
+			if !inSet[v] {
+				c.adjDat = append(c.adjDat, c.rightOf[v])
+			}
+		}
+		c.adjOff[i+1] = int32(len(c.adjDat))
+	}
+
+	for l := 0; l < c.curL; l++ {
+		c.matchL[l] = unmatched
+	}
+	for r := 0; r < c.curR; r++ {
+		c.matchR[r] = unmatched
+	}
+	size := 0
+	for c.bfs() {
+		for l := int32(0); l < int32(c.curL); l++ {
+			if c.matchL[l] == unmatched && c.dfs(l) {
+				size++
+			}
+		}
+	}
 	return size
+}
+
+func (c *CutMatcher) bfs() bool {
+	c.queue = c.queue[:0]
+	for l := 0; l < c.curL; l++ {
+		if c.matchL[l] == unmatched {
+			c.dist[l] = 0
+			c.queue = append(c.queue, int32(l))
+		} else {
+			c.dist[l] = hkInf
+		}
+	}
+	found := false
+	for head := 0; head < len(c.queue); head++ {
+		l := c.queue[head]
+		for _, r := range c.adjDat[c.adjOff[l]:c.adjOff[l+1]] {
+			next := c.matchR[r]
+			if next == unmatched {
+				found = true
+			} else if c.dist[next] == hkInf {
+				c.dist[next] = c.dist[l] + 1
+				c.queue = append(c.queue, next)
+			}
+		}
+	}
+	return found
+}
+
+func (c *CutMatcher) dfs(l int32) bool {
+	for _, r := range c.adjDat[c.adjOff[l]:c.adjOff[l+1]] {
+		next := c.matchR[r]
+		if next == unmatched || (c.dist[next] == c.dist[l]+1 && c.dfs(next)) {
+			c.matchL[l] = r
+			c.matchR[r] = l
+			return true
+		}
+	}
+	c.dist[l] = hkInf
+	return false
 }
 
 // GammaExact computes γ = min over non-empty S, |S| ≤ n/2 of ν(B(S))/|S| by
 // exhaustive enumeration. Lemma V.1 asserts γ ≥ α/4. Feasible for n ≤ ~16.
+// Cuts are enumerated in Gray-code order so the membership slice updates by
+// one flip per step, and one CutMatcher serves every cut.
 func GammaExact(g *graph.Graph) float64 {
 	n := g.N()
 	if n < 2 || n > 20 {
@@ -198,30 +327,27 @@ func GammaExact(g *graph.Graph) float64 {
 	half := n / 2
 	best := float64(n) // γ ≤ 1 ≤ n always; a safe upper sentinel
 	inSet := make([]bool, n)
-	full := uint32(1)<<uint(n) - 1
-	for s := uint32(1); s <= full; s++ {
-		size := popcount(s)
-		if size > half {
+	size := 0
+	cm := NewCutMatcher(g)
+	total := uint32(1) << uint(n)
+	for i := uint32(1); i < total; i++ {
+		u := bits.TrailingZeros32(i)
+		if inSet[u] {
+			inSet[u] = false
+			size--
+		} else {
+			inSet[u] = true
+			size++
+		}
+		if size < 1 || size > half {
 			continue
 		}
-		for u := 0; u < n; u++ {
-			inSet[u] = s&(1<<uint(u)) != 0
-		}
-		ratio := float64(Nu(g, inSet)) / float64(size)
+		ratio := float64(cm.Nu(inSet)) / float64(size)
 		if ratio < best {
 			best = ratio
 		}
 	}
 	return best
-}
-
-func popcount(x uint32) int {
-	count := 0
-	for x != 0 {
-		x &= x - 1
-		count++
-	}
-	return count
 }
 
 // ValidateMatching checks that (matchL, matchR) is a consistent matching on

@@ -1,0 +1,55 @@
+// Package prof wires the standard runtime/pprof profilers into the CLI
+// tools (mtmexp -cpuprofile/-memprofile, mtmsim -cpuprofile). It exists so
+// each command gets identical file handling and error reporting without
+// duplicating the open/start/stop/close dance.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins writing a CPU profile to path and returns a stop function
+// that ends profiling and closes the file. The caller must invoke stop on
+// every exit path (normal or error) or the profile is truncated.
+func StartCPU(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, fmt.Errorf("cpu profile: %w (and closing: %v)", err, cerr)
+		}
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path, forcing a GC first so the
+// profile reflects live objects rather than garbage awaiting collection.
+func WriteHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("heap profile: %w (and closing: %v)", err, cerr)
+		}
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// External test package: core implements sim.Protocol, so importing it from
+// an in-package test would be an import cycle.
+package sim_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+)
+
+// TestSteadyStateZeroAllocs pins the engine's zero-allocation contract: once
+// warm, a blind-gossip round on a static mesh with Workers=1 must not
+// allocate at all. Any regression here (an escaping Context, a per-round
+// closure, a message slice literal) shows up as a nonzero average.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	const n = 256
+	eng, err := sim.New(
+		dyngraph.NewStatic(gen.RandomRegular(n, 8, 1)),
+		core.NewBlindGossipNetwork(core.UniqueUIDs(n, 42)),
+		sim.Config{Seed: 42, Workers: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: one-time growth (inboxTo high-water mark, lazy state).
+	eng.RunRounds(1, 50)
+	next := 51
+	avg := testing.AllocsPerRun(200, func() {
+		eng.RunRounds(next, 1)
+		next++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state round allocates: %v allocs/round, want 0", avg)
+	}
+}

@@ -82,8 +82,22 @@ func (c *Context) Neighbors(fn func(id int32, tag uint64)) {
 // RandomNeighbor returns a uniformly random active neighbor, or ok=false if
 // the node has none this round.
 func (c *Context) RandomNeighbor() (id int32, ok bool) {
-	return c.RandomNeighborMatching(func(int32, uint64) bool { return true })
+	if c.act == nil {
+		// Everyone is active: index the adjacency list directly instead of
+		// the generic count-then-index double scan. Same single RNG draw
+		// over the same count, so the choice is bit-identical.
+		nbrs := c.g.Neighbors(int(c.Node))
+		if len(nbrs) == 0 {
+			return 0, false
+		}
+		return nbrs[c.RNG.Intn(len(nbrs))], true
+	}
+	return c.RandomNeighborMatching(everyNeighbor)
 }
+
+// everyNeighbor is the all-pass predicate; a package-level value so calling
+// RandomNeighbor never constructs a closure.
+var everyNeighbor = func(int32, uint64) bool { return true }
 
 // RandomNeighborMatching returns a uniformly random active neighbor whose
 // (id, tag) satisfies pred, or ok=false if none does. It uses two passes
@@ -281,6 +295,25 @@ type Engine struct {
 	cursor  []int32 // scratch for the per-round counting sort
 	workers int
 
+	// tagLimit is 1<<TagBits (0 when TagBits == 64), precomputed once.
+	tagLimit uint64
+
+	// Phase bodies and per-worker Context scratch, bound once in New so the
+	// steady-state round loop allocates nothing: a fresh closure or a
+	// stack Context whose address reaches an interface method would escape
+	// to the heap on every round. TestSteadyStateZeroAllocs pins this.
+	phAdvertise func(w, lo, hi int)
+	phDecide    func(w, lo, hi int)
+	phExchange  func(w, lo, hi int)
+	phEndRound  func(w, lo, hi int)
+	ctxA        []Context // one per worker
+	ctxB        []Context // second context for the pairwise exchange phase
+
+	// Current-round state shared by the phase methods (set by step).
+	curRound int
+	curG     *graph.Graph
+	curAct   []bool
+
 	// stopGate is the first round at which the stop condition may fire: the
 	// last activation round, so partial networks cannot "stabilize" early.
 	stopGate int
@@ -349,22 +382,34 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 		}
 	}
 	e := &Engine{
-		sched:     sched,
-		cfg:       cfg,
-		n:         n,
-		protocols: protocols,
-		rngs:      make([]xrand.RNG, n),
-		tags:      make([]uint64, n),
-		actions:   make([]int32, n),
-		active:    make([]bool, n),
-		inboxTo:   make([]int32, 0, n),
-		inboxAt:   make([]int32, n+1),
-		partner:   make([]int32, n),
-		cursor:    make([]int32, n),
-		workers:   workers,
-		stopGate:  stopGate,
-		connCount: make([]int64, n),
+		sched:       sched,
+		cfg:         cfg,
+		n:           n,
+		protocols:   protocols,
+		rngs:        make([]xrand.RNG, n),
+		tags:        make([]uint64, n),
+		actions:     make([]int32, n),
+		active:      make([]bool, n),
+		inboxTo:     make([]int32, 0, n),
+		inboxAt:     make([]int32, n+1),
+		partner:     make([]int32, n),
+		cursor:      make([]int32, n),
+		workers:     workers,
+		stopGate:    stopGate,
+		pairScratch: make([][2]int32, 0, n/2+1),
+		connCount:   make([]int64, n),
+		ctxA:        make([]Context, workers),
+		ctxB:        make([]Context, workers),
 	}
+	if cfg.TagBits < 64 {
+		e.tagLimit = uint64(1) << uint(cfg.TagBits)
+	}
+	// Method values allocate their receiver binding; do it once here, not
+	// once per parallelFor call.
+	e.phAdvertise = e.phaseAdvertise
+	e.phDecide = e.phaseDecide
+	e.phExchange = e.phaseExchange
+	e.phEndRound = e.phaseEndRound
 	return e, nil
 }
 
@@ -419,54 +464,12 @@ func (e *Engine) step(r int) RoundStats {
 	if activeCount != e.n {
 		act = e.active
 	}
-
-	tagLimit := uint64(0)
-	if e.cfg.TagBits < 64 {
-		tagLimit = uint64(1) << uint(e.cfg.TagBits)
-	}
+	e.curRound, e.curG, e.curAct = r, g, act
 
 	// Steps 2-3: advertise then decide, in parallel over nodes. Each node's
 	// RNG is derived from (seed, node, round) so ordering is irrelevant.
-	e.parallelFor(func(lo, hi int) {
-		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
-		for u := lo; u < hi; u++ {
-			if !e.active[u] {
-				e.actions[u] = actionInactive
-				e.tags[u] = 0
-				continue
-			}
-			e.rngs[u].Reseed(e.cfg.Seed, uint64(u), uint64(r))
-			ctx.Node = int32(u)
-			ctx.RNG = &e.rngs[u]
-			tag := e.protocols[u].Advertise(&ctx)
-			if tagLimit != 0 && tag >= tagLimit {
-				panic(fmt.Sprintf("sim: node %d advertised tag %d exceeding b=%d bits", u, tag, e.cfg.TagBits))
-			}
-			e.tags[u] = tag
-		}
-	})
-	e.parallelFor(func(lo, hi int) {
-		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
-		for u := lo; u < hi; u++ {
-			if !e.active[u] {
-				continue
-			}
-			ctx.Node = int32(u)
-			ctx.RNG = &e.rngs[u]
-			target, propose := e.protocols[u].Decide(&ctx)
-			if !propose {
-				e.actions[u] = actionReceive
-				continue
-			}
-			if target < 0 || int(target) >= e.n || !g.HasEdge(u, int(target)) {
-				panic(fmt.Sprintf("sim: node %d proposed to non-neighbor %d in round %d", u, target, r))
-			}
-			if !e.active[target] {
-				panic(fmt.Sprintf("sim: node %d proposed to inactive node %d in round %d", u, target, r))
-			}
-			e.actions[u] = target
-		}
-	})
+	e.parallelFor(e.phAdvertise)
+	e.parallelFor(e.phDecide)
 
 	if e.cfg.Classical {
 		return e.classicalFinish(r, g, act, activeCount)
@@ -492,9 +495,14 @@ func (e *Engine) step(r int) RoundStats {
 		e.inboxAt[u+1] += e.inboxAt[u]
 	}
 	total := int(e.inboxAt[e.n])
-	e.inboxTo = e.inboxTo[:0]
 	if cap(e.inboxTo) < total {
-		e.inboxTo = make([]int32, total)
+		// Amortized doubling: rounding the new capacity up keeps regrowth
+		// O(log n) over an execution instead of once per high-water mark.
+		newCap := 2 * cap(e.inboxTo)
+		if newCap < total {
+			newCap = total
+		}
+		e.inboxTo = make([]int32, total, newCap)
 	} else {
 		e.inboxTo = e.inboxTo[:total]
 	}
@@ -550,41 +558,104 @@ func (e *Engine) step(r int) RoundStats {
 
 	// Step 5: exchange over established connections, in parallel over pairs
 	// (pairs are node-disjoint, so this is race-free).
-	e.parallelFor(func(lo, hi int) {
-		ctxU := Context{Round: r, g: g, tags: e.tags, act: act}
-		ctxV := Context{Round: r, g: g, tags: e.tags, act: act}
-		for u := lo; u < hi; u++ {
-			v := e.partner[u]
-			if v == noPartner || int(v) < u {
-				continue // each pair handled once, by its smaller endpoint
-			}
-			ctxU.Node = int32(u)
-			ctxU.RNG = &e.rngs[u]
-			ctxV.Node = v
-			ctxV.RNG = &e.rngs[v]
-			mu := e.protocols[u].Outgoing(&ctxU, v)
-			mv := e.protocols[v].Outgoing(&ctxV, int32(u))
-			e.checkMessage(u, mu)
-			e.checkMessage(int(v), mv)
-			e.protocols[u].Deliver(&ctxU, v, mv)
-			e.protocols[v].Deliver(&ctxV, int32(u), mu)
-		}
-	})
+	e.parallelFor(e.phExchange)
 
 	// End of round.
-	e.parallelFor(func(lo, hi int) {
-		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
-		for u := lo; u < hi; u++ {
-			if !e.active[u] {
-				continue
-			}
-			ctx.Node = int32(u)
-			ctx.RNG = &e.rngs[u]
-			e.protocols[u].EndRound(&ctx)
-		}
-	})
+	e.parallelFor(e.phEndRound)
 
 	return RoundStats{Round: r, Proposals: proposals, Connections: connections, ActiveNodes: activeCount}
+}
+
+// bindCtx points the scratch Context at the current round's state.
+func (e *Engine) bindCtx(c *Context) {
+	c.Round = e.curRound
+	c.g = e.curG
+	c.tags = e.tags
+	c.act = e.curAct
+}
+
+// phaseAdvertise runs step 2 for nodes [lo, hi) using worker w's scratch.
+func (e *Engine) phaseAdvertise(w, lo, hi int) {
+	ctx := &e.ctxA[w]
+	e.bindCtx(ctx)
+	r := e.curRound
+	for u := lo; u < hi; u++ {
+		if !e.active[u] {
+			e.actions[u] = actionInactive
+			e.tags[u] = 0
+			continue
+		}
+		e.rngs[u].Reseed(e.cfg.Seed, uint64(u), uint64(r))
+		ctx.Node = int32(u)
+		ctx.RNG = &e.rngs[u]
+		tag := e.protocols[u].Advertise(ctx)
+		if e.tagLimit != 0 && tag >= e.tagLimit {
+			panic(fmt.Sprintf("sim: node %d advertised tag %d exceeding b=%d bits", u, tag, e.cfg.TagBits))
+		}
+		e.tags[u] = tag
+	}
+}
+
+// phaseDecide runs step 3 for nodes [lo, hi) using worker w's scratch.
+func (e *Engine) phaseDecide(w, lo, hi int) {
+	ctx := &e.ctxA[w]
+	e.bindCtx(ctx)
+	for u := lo; u < hi; u++ {
+		if !e.active[u] {
+			continue
+		}
+		ctx.Node = int32(u)
+		ctx.RNG = &e.rngs[u]
+		target, propose := e.protocols[u].Decide(ctx)
+		if !propose {
+			e.actions[u] = actionReceive
+			continue
+		}
+		if target < 0 || int(target) >= e.n || !e.curG.HasEdge(u, int(target)) {
+			panic(fmt.Sprintf("sim: node %d proposed to non-neighbor %d in round %d", u, target, e.curRound))
+		}
+		if !e.active[target] {
+			panic(fmt.Sprintf("sim: node %d proposed to inactive node %d in round %d", u, target, e.curRound))
+		}
+		e.actions[u] = target
+	}
+}
+
+// phaseExchange runs step 5 for pairs whose smaller endpoint is in [lo, hi).
+func (e *Engine) phaseExchange(w, lo, hi int) {
+	ctxU, ctxV := &e.ctxA[w], &e.ctxB[w]
+	e.bindCtx(ctxU)
+	e.bindCtx(ctxV)
+	for u := lo; u < hi; u++ {
+		v := e.partner[u]
+		if v == noPartner || int(v) < u {
+			continue // each pair handled once, by its smaller endpoint
+		}
+		ctxU.Node = int32(u)
+		ctxU.RNG = &e.rngs[u]
+		ctxV.Node = v
+		ctxV.RNG = &e.rngs[v]
+		mu := e.protocols[u].Outgoing(ctxU, v)
+		mv := e.protocols[v].Outgoing(ctxV, int32(u))
+		e.checkMessage(u, mu)
+		e.checkMessage(int(v), mv)
+		e.protocols[u].Deliver(ctxU, v, mv)
+		e.protocols[v].Deliver(ctxV, int32(u), mu)
+	}
+}
+
+// phaseEndRound runs the end-of-round callback for nodes [lo, hi).
+func (e *Engine) phaseEndRound(w, lo, hi int) {
+	ctx := &e.ctxA[w]
+	e.bindCtx(ctx)
+	for u := lo; u < hi; u++ {
+		if !e.active[u] {
+			continue
+		}
+		ctx.Node = int32(u)
+		ctx.RNG = &e.rngs[u]
+		e.protocols[u].EndRound(ctx)
+	}
 }
 
 // classicalFinish completes a round under classical telephone semantics:
@@ -593,8 +664,9 @@ func (e *Engine) step(r int) RoundStats {
 // in sender order for determinism — a receiver's protocol may be delivered
 // to many times per round.
 func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount int) RoundStats {
-	ctxU := Context{Round: r, g: g, tags: e.tags, act: act}
-	ctxV := Context{Round: r, g: g, tags: e.tags, act: act}
+	ctxU, ctxV := &e.ctxA[0], &e.ctxB[0]
+	e.bindCtx(ctxU)
+	e.bindCtx(ctxV)
 	connections := 0
 	proposals := 0
 	if e.cfg.OnConnections != nil {
@@ -619,25 +691,15 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		ctxU.RNG = &e.rngs[u]
 		ctxV.Node = v
 		ctxV.RNG = &e.rngs[v]
-		mu := e.protocols[u].Outgoing(&ctxU, v)
-		mv := e.protocols[v].Outgoing(&ctxV, int32(u))
+		mu := e.protocols[u].Outgoing(ctxU, v)
+		mv := e.protocols[v].Outgoing(ctxV, int32(u))
 		e.checkMessage(u, mu)
 		e.checkMessage(int(v), mv)
-		e.protocols[u].Deliver(&ctxU, v, mv)
-		e.protocols[v].Deliver(&ctxV, int32(u), mu)
+		e.protocols[u].Deliver(ctxU, v, mv)
+		e.protocols[v].Deliver(ctxV, int32(u), mu)
 	}
 
-	e.parallelFor(func(lo, hi int) {
-		ctx := Context{Round: r, g: g, tags: e.tags, act: act}
-		for u := lo; u < hi; u++ {
-			if !e.active[u] {
-				continue
-			}
-			ctx.Node = int32(u)
-			ctx.RNG = &e.rngs[u]
-			e.protocols[u].EndRound(&ctx)
-		}
-	})
+	e.parallelFor(e.phEndRound)
 	return RoundStats{Round: r, Proposals: proposals, Connections: connections, ActiveNodes: activeCount}
 }
 
@@ -648,24 +710,27 @@ func (e *Engine) checkMessage(u int, m Message) {
 }
 
 // parallelFor splits [0, n) into contiguous chunks across the configured
-// workers. With Workers == 1 it runs inline.
-func (e *Engine) parallelFor(fn func(lo, hi int)) {
+// workers, passing each chunk its worker index w (for per-worker scratch).
+// With Workers == 1 it runs inline with w = 0 and allocates nothing.
+func (e *Engine) parallelFor(fn func(w, lo, hi int)) {
 	if e.workers == 1 || e.n < 256 {
-		fn(0, e.n)
+		fn(0, 0, e.n)
 		return
 	}
 	chunk := (e.n + e.workers - 1) / e.workers
 	var wg sync.WaitGroup
+	w := 0
 	for lo := 0; lo < e.n; lo += chunk {
 		hi := lo + chunk
 		if hi > e.n {
 			hi = e.n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
 	}
 	wg.Wait()
 }

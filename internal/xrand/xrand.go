@@ -129,11 +129,19 @@ func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
 // Perm returns a uniformly random permutation of [0, n) as a fresh slice.
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)). It
+// draws exactly the random values Perm(len(p)) would, so the two are
+// interchangeable per stream — PermInto just reuses the caller's slice,
+// for hot paths that generate a permutation every round.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
 }
 
 // Shuffle performs a Fisher-Yates shuffle over n elements using swap.
