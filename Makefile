@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint check bench bench-smoke
+.PHONY: build vet test race lint check bench bench-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,13 @@ bench:
 # signal; ns/op only trips on catastrophic slowdowns).
 bench-smoke:
 	$(GO) run ./cmd/mtmbench -quick -label smoke -out - -compare BENCH_seed.json
+
+# trace-smoke mirrors the CI obs-smoke job: record the same run twice and
+# require byte-identical traces — executions (and their event streams) are
+# pure functions of (seed, schedule, protocol, config), so any diff output
+# here is a determinism regression.
+trace-smoke:
+	$(GO) run ./cmd/mtmtrace record -topo regular -n 64 -deg 8 -algo blindgossip -seed 7 -o /tmp/mtmtrace-smoke-a.jsonl
+	$(GO) run ./cmd/mtmtrace record -topo regular -n 64 -deg 8 -algo blindgossip -seed 7 -o /tmp/mtmtrace-smoke-b.jsonl
+	$(GO) run ./cmd/mtmtrace diff /tmp/mtmtrace-smoke-a.jsonl /tmp/mtmtrace-smoke-b.jsonl
+	$(GO) run ./cmd/mtmtrace summary /tmp/mtmtrace-smoke-a.jsonl

@@ -1,0 +1,92 @@
+package mobiletel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TopologyNames lists the names BuildTopology accepts.
+const TopologyNames = "clique|path|cycle|star|lineofstars|ringofcliques|regular|er|grid|hypercube|barbell|scalefree"
+
+// ScheduleNames lists the names BuildSchedule accepts.
+const ScheduleNames = "static|permuted|churn|waypoint"
+
+// BuildTopology interprets a (name, n, deg, seed) tuple — the shape CLI
+// flags naturally produce — into a Topology. n is interpreted per family
+// (side² for grids and lines of stars, nearest power of two for hypercubes);
+// deg only matters for the regular and scalefree families. Names are
+// case-insensitive; see TopologyNames.
+func BuildTopology(name string, n, deg int, seed uint64) (Topology, error) {
+	switch strings.ToLower(name) {
+	case "clique":
+		return Clique(n), nil
+	case "path":
+		return Path(n), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "star":
+		return Star(n), nil
+	case "lineofstars":
+		side := intSqrt(n)
+		return SqrtLineOfStars(side), nil
+	case "ringofcliques":
+		if n < 24 {
+			return Topology{}, fmt.Errorf("mobiletel: ringofcliques needs n >= 24")
+		}
+		return RingOfCliques(n/8, 8), nil
+	case "regular":
+		return RandomRegular(n, deg, seed), nil
+	case "er":
+		return ErdosRenyi(n, 4.0/float64(n)*logf(n), seed), nil
+	case "grid":
+		side := intSqrt(n)
+		return Grid(side, side), nil
+	case "hypercube":
+		d := 0
+		for (1 << (d + 1)) <= n {
+			d++
+		}
+		return Hypercube(d), nil
+	case "barbell":
+		return Barbell(n / 2), nil
+	case "scalefree":
+		return BarabasiAlbert(n, deg/2+1, seed), nil
+	default:
+		return Topology{}, fmt.Errorf("mobiletel: unknown topology %q (want %s)", name, TopologyNames)
+	}
+}
+
+// BuildSchedule interprets a (name, tau, seed) tuple into a Schedule over
+// the given topology. Names are case-insensitive; see ScheduleNames.
+func BuildSchedule(name string, topo Topology, tau int, seed uint64) (Schedule, error) {
+	switch strings.ToLower(name) {
+	case "static":
+		return Static(topo), nil
+	case "permuted":
+		return Permuted(topo, tau, seed), nil
+	case "churn":
+		return Churn(topo, tau, topo.N()/4, seed), nil
+	case "waypoint":
+		return Waypoint(topo.N(), 0.3, 0.05, tau, seed), nil
+	default:
+		return Schedule{}, fmt.Errorf("mobiletel: unknown schedule %q (want %s)", name, ScheduleNames)
+	}
+}
+
+// intSqrt returns ⌊√n⌋.
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// logf returns ⌈log₂ n⌉ as float64 (edge-density heuristic for ER graphs).
+func logf(n int) float64 {
+	l := 0.0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}

@@ -1,4 +1,4 @@
-package main
+package mobiletel
 
 import (
 	"strings"
@@ -9,7 +9,7 @@ func TestBuildTopologyAllNames(t *testing.T) {
 	names := []string{"clique", "path", "cycle", "star", "lineofstars",
 		"ringofcliques", "regular", "er", "grid", "hypercube", "barbell", "scalefree"}
 	for _, name := range names {
-		topo, err := buildTopology(name, 64, 4, 1)
+		topo, err := BuildTopology(name, 64, 4, 1)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -21,24 +21,24 @@ func TestBuildTopologyAllNames(t *testing.T) {
 }
 
 func TestBuildTopologyUnknown(t *testing.T) {
-	if _, err := buildTopology("bogus", 10, 2, 1); err == nil {
+	if _, err := BuildTopology("bogus", 10, 2, 1); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
 
 func TestBuildTopologyCaseInsensitive(t *testing.T) {
-	if _, err := buildTopology("CLIQUE", 8, 2, 1); err != nil {
+	if _, err := BuildTopology("CLIQUE", 8, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBuildScheduleAllNames(t *testing.T) {
-	topo, err := buildTopology("regular", 32, 4, 1)
+	topo, err := BuildTopology("regular", 32, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"static", "permuted", "churn", "waypoint"} {
-		sched, err := buildSchedule(name, topo, 3, 2)
+		sched, err := BuildSchedule(name, topo, 3, 2)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -47,7 +47,7 @@ func TestBuildScheduleAllNames(t *testing.T) {
 			t.Errorf("%s: tau=%d", name, sched.Tau())
 		}
 	}
-	if _, err := buildSchedule("bogus", topo, 1, 1); err == nil {
+	if _, err := BuildSchedule("bogus", topo, 1, 1); err == nil {
 		t.Fatal("unknown schedule accepted")
 	}
 }
@@ -62,7 +62,7 @@ func TestIntSqrt(t *testing.T) {
 }
 
 func TestRingOfCliquesMinimumSize(t *testing.T) {
-	if _, err := buildTopology("ringofcliques", 10, 2, 1); err == nil ||
+	if _, err := BuildTopology("ringofcliques", 10, 2, 1); err == nil ||
 		!strings.Contains(err.Error(), "24") {
 		t.Fatalf("small ringofcliques not rejected properly: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"mobiletel/internal/core"
 	"mobiletel/internal/dyngraph"
 	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
 )
 
@@ -90,7 +91,7 @@ func buildSuite() []Benchmark {
 	rumorBench("rumor/pushpull/expander512/tau=inf", expander, mobiletel.PushPull, 0, true)
 	rumorBench("rumor/ppush/expander512/tau=8", expander, mobiletel.PPush, 8, false)
 
-	suite = append(suite, steadyRoundBench())
+	suite = append(suite, steadyRoundBench(), steadyRoundTracedBench())
 
 	for _, exp := range []struct {
 		id    string
@@ -142,6 +143,38 @@ func steadyRoundBench() Benchmark {
 					sim.Config{Seed: suiteSeed, Workers: 1})
 				if err != nil {
 					fatalf("steady round bench: %v", err)
+				}
+			}
+			eng.RunRounds(next, iters)
+			next += iters
+			return int64(iters)
+		},
+	}
+}
+
+// steadyRoundTracedBench is steadyRoundBench with a ring sink attached: the
+// delta against the untraced recording is the cost of *enabled* tracing
+// (event construction plus ring writes). Its allocs_per_op must also stay 0
+// — once the ring is warm, emission overwrites events in place.
+func steadyRoundTracedBench() Benchmark {
+	const n = 256
+	var (
+		eng  *sim.Engine
+		next = 1
+	)
+	return Benchmark{
+		Name:  "steady/blindgossip/mesh256/round-traced",
+		Nodes: n,
+		Quick: true,
+		Fn: func(iters int) int64 {
+			if eng == nil {
+				fam := gen.RandomRegular(n, 8, 1)
+				protocols := core.NewBlindGossipNetwork(core.UniqueUIDs(n, suiteSeed))
+				var err error
+				eng, err = sim.New(dyngraph.NewStatic(fam), protocols,
+					sim.Config{Seed: suiteSeed, Workers: 1, Sink: obs.NewRing(1 << 12)})
+				if err != nil {
+					fatalf("steady traced round bench: %v", err)
 				}
 			}
 			eng.RunRounds(next, iters)

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -54,6 +55,9 @@ func run() error {
 		quick      = flag.Bool("quick", false, "reduced problem sizes")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		outDir     = flag.String("out", "", "also write each experiment's CSV into this directory")
+		progress   = flag.Bool("progress", false, "report live trial progress (completed/total, elapsed, ETA) to stderr")
+		traceDir   = flag.String("trace", "", "write each experiment's first-trial JSONL event trace (mtmtrace/v1) into this directory")
+		metricsDir = flag.String("metrics", "", "write each experiment's first-trial JSON metrics summary into this directory")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("bench-json", "", "write per-experiment wall-clock timings as JSON to this file")
@@ -81,6 +85,9 @@ func run() error {
 	}
 
 	opts := mobiletel.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, CSV: *csv}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
 
 	ids := []string{*runID}
 	if *runID == "all" {
@@ -90,18 +97,46 @@ func run() error {
 		}
 	}
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			return err
+	for _, dir := range []string{*outDir, *traceDir, *metricsDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
 		}
 	}
 
 	bench := benchFile{Schema: "mtmexp-bench/v1", Quick: *quick, Seed: *seed}
 	failed := 0
 	for _, id := range ids {
+		runOpts := opts
+		var sinkFiles []*os.File
+		for _, sink := range []struct {
+			dir    string
+			suffix string
+			dst    *io.Writer
+		}{
+			{*traceDir, ".trace.jsonl", &runOpts.TraceTo},
+			{*metricsDir, ".metrics.json", &runOpts.MetricsTo},
+		} {
+			if sink.dir == "" {
+				continue
+			}
+			f, err := os.Create(filepath.Join(sink.dir, id+sink.suffix))
+			if err != nil {
+				return err
+			}
+			sinkFiles = append(sinkFiles, f)
+			*sink.dst = f
+		}
 		start := time.Now()
-		out, err := mobiletel.RunExperiment(id, opts)
+		out, err := mobiletel.RunExperiment(id, runOpts)
 		elapsed := time.Since(start).Seconds()
+		for _, f := range sinkFiles {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "mtmexp: closing %s: %v\n", f.Name(), cerr)
+				failed++
+			}
+		}
 		bench.Experiments = append(bench.Experiments, benchEntry{ID: id, Seconds: elapsed, OK: err == nil})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtmexp: %s failed: %v\n", id, err)

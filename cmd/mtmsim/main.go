@@ -12,8 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
 	"mobiletel"
 	"mobiletel/internal/prof"
@@ -29,21 +29,23 @@ func main() {
 
 func run() error {
 	var (
-		topoName   = flag.String("topo", "regular", "topology: clique|path|cycle|star|lineofstars|ringofcliques|regular|er|grid|hypercube|barbell|scalefree")
-		n          = flag.Int("n", 128, "number of devices (interpreted per topology)")
-		deg        = flag.Int("deg", 8, "degree for -topo regular")
-		algoName   = flag.String("algo", "blindgossip", "leader election algorithm: blindgossip|bitconv|asyncbitconv")
-		rumorName  = flag.String("rumor", "", "run rumor spreading instead: pushpull|ppush")
-		schedName  = flag.String("schedule", "static", "schedule: static|permuted|churn|waypoint")
-		tau        = flag.Int("tau", 4, "stability factor for dynamic schedules")
-		seed       = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
-		maxRounds  = flag.Int("max-rounds", 10_000_000, "abort if not stabilized by this round")
-		spread     = flag.Int("activation-spread", 0, "stagger activations uniformly over this many rounds (asyncbitconv)")
-		verbose    = flag.Bool("v", false, "print topology metadata before running")
-		curve      = flag.Bool("curve", false, "print a sparkline of connections per round")
-		record     = flag.String("record", "", "write a JSON-lines execution recording to this file")
-		classical  = flag.Bool("classical", false, "use classical telephone semantics (unbounded incoming connections; baseline, not the paper's model)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		topoName    = flag.String("topo", "regular", "topology: "+mobiletel.TopologyNames)
+		n           = flag.Int("n", 128, "number of devices (interpreted per topology)")
+		deg         = flag.Int("deg", 8, "degree for -topo regular")
+		algoName    = flag.String("algo", "blindgossip", "leader election algorithm: blindgossip|bitconv|asyncbitconv")
+		rumorName   = flag.String("rumor", "", "run rumor spreading instead: pushpull|ppush")
+		schedName   = flag.String("schedule", "static", "schedule: "+mobiletel.ScheduleNames)
+		tau         = flag.Int("tau", 4, "stability factor for dynamic schedules")
+		seed        = flag.Uint64("seed", 1, "random seed (runs are deterministic per seed)")
+		maxRounds   = flag.Int("max-rounds", 10_000_000, "abort if not stabilized by this round")
+		spread      = flag.Int("activation-spread", 0, "stagger activations uniformly over this many rounds (asyncbitconv)")
+		verbose     = flag.Bool("v", false, "print topology metadata before running")
+		curve       = flag.Bool("curve", false, "print a sparkline of connections per round")
+		record      = flag.String("record", "", "write a JSON-lines execution recording to this file")
+		traceFile   = flag.String("trace", "", "write a structured JSONL event trace (mtmtrace/v1) to this file")
+		metricsFile = flag.String("metrics", "", "write a JSON run-metrics summary (mtmtrace-metrics/v1) to this file")
+		classical   = flag.Bool("classical", false, "use classical telephone semantics (unbounded incoming connections; baseline, not the paper's model)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -59,11 +61,11 @@ func run() error {
 		}()
 	}
 
-	topo, err := buildTopology(*topoName, *n, *deg, *seed)
+	topo, err := mobiletel.BuildTopology(*topoName, *n, *deg, *seed)
 	if err != nil {
 		return err
 	}
-	sched, err := buildSchedule(*schedName, topo, *tau, *seed+1)
+	sched, err := mobiletel.BuildSchedule(*schedName, topo, *tau, *seed+1)
 	if err != nil {
 		return err
 	}
@@ -75,8 +77,18 @@ func run() error {
 	}
 
 	opts := mobiletel.Options{Seed: *seed + 2, MaxRounds: *maxRounds, Classical: *classical}
-	if *record != "" {
-		f, err := os.Create(*record)
+	for _, out := range []struct {
+		path string
+		dst  *io.Writer
+	}{
+		{*record, &opts.RecordTo},
+		{*traceFile, &opts.TraceTo},
+		{*metricsFile, &opts.MetricsTo},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
 		if err != nil {
 			return err
 		}
@@ -85,7 +97,7 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "mtmsim:", err)
 			}
 		}()
-		opts.RecordTo = f
+		*out.dst = f
 	}
 	var connCurve []int
 	if *curve {
@@ -138,77 +150,4 @@ func printCurve(enabled bool, connCurve []int) {
 		return
 	}
 	fmt.Printf("connections/round: %s\n", trace.Sparkline(trace.Downsample(connCurve, 80)))
-}
-
-// buildTopology interprets (name, n, deg, seed) into a Topology.
-func buildTopology(name string, n, deg int, seed uint64) (mobiletel.Topology, error) {
-	switch strings.ToLower(name) {
-	case "clique":
-		return mobiletel.Clique(n), nil
-	case "path":
-		return mobiletel.Path(n), nil
-	case "cycle":
-		return mobiletel.Cycle(n), nil
-	case "star":
-		return mobiletel.Star(n), nil
-	case "lineofstars":
-		side := intSqrt(n)
-		return mobiletel.SqrtLineOfStars(side), nil
-	case "ringofcliques":
-		if n < 24 {
-			return mobiletel.Topology{}, fmt.Errorf("ringofcliques needs n >= 24")
-		}
-		return mobiletel.RingOfCliques(n/8, 8), nil
-	case "regular":
-		return mobiletel.RandomRegular(n, deg, seed), nil
-	case "er":
-		return mobiletel.ErdosRenyi(n, 4.0/float64(n)*logf(n), seed), nil
-	case "grid":
-		side := intSqrt(n)
-		return mobiletel.Grid(side, side), nil
-	case "hypercube":
-		d := 0
-		for (1 << (d + 1)) <= n {
-			d++
-		}
-		return mobiletel.Hypercube(d), nil
-	case "barbell":
-		return mobiletel.Barbell(n / 2), nil
-	case "scalefree":
-		return mobiletel.BarabasiAlbert(n, deg/2+1, seed), nil
-	default:
-		return mobiletel.Topology{}, fmt.Errorf("unknown topology %q", name)
-	}
-}
-
-// buildSchedule interprets the schedule flag.
-func buildSchedule(name string, topo mobiletel.Topology, tau int, seed uint64) (mobiletel.Schedule, error) {
-	switch strings.ToLower(name) {
-	case "static":
-		return mobiletel.Static(topo), nil
-	case "permuted":
-		return mobiletel.Permuted(topo, tau, seed), nil
-	case "churn":
-		return mobiletel.Churn(topo, tau, topo.N()/4, seed), nil
-	case "waypoint":
-		return mobiletel.Waypoint(topo.N(), 0.3, 0.05, tau, seed), nil
-	default:
-		return mobiletel.Schedule{}, fmt.Errorf("unknown schedule %q", name)
-	}
-}
-
-func intSqrt(n int) int {
-	s := 1
-	for (s+1)*(s+1) <= n {
-		s++
-	}
-	return s
-}
-
-func logf(n int) float64 {
-	l := 0.0
-	for v := n; v > 1; v >>= 1 {
-		l++
-	}
-	return l
 }

@@ -1,0 +1,196 @@
+// Command mtmtrace records, inspects, summarizes, and diffs structured
+// event traces (schema mtmtrace/v1) of mobile telephone model executions.
+//
+// Subcommands:
+//
+//	record   run a simulation and write its event trace
+//	summary  aggregate a trace into run metrics
+//	events   print (filtered) events from a trace
+//	diff     compare two traces and report the first divergence
+//
+// Examples:
+//
+//	mtmtrace record -topo regular -n 64 -algo blindgossip -seed 7 -o run.jsonl
+//	mtmtrace summary run.jsonl
+//	mtmtrace events -type transition -kind leader run.jsonl
+//	mtmtrace diff run.jsonl other.jsonl
+//
+// diff exits 0 when the traces are identical and 1 when they diverge,
+// naming the first divergent round and event — because executions are
+// deterministic in (seed, schedule, protocol, config), any divergence
+// between two same-configuration traces is a reproducibility bug.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mobiletel"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtmtrace:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// run dispatches the subcommand; the returned code is the process exit
+// status (diff uses 1 for "traces diverge" without an error).
+func run(args []string, stdout io.Writer) (int, error) {
+	if len(args) == 0 {
+		usage(stdout)
+		return 2, nil
+	}
+	switch args[0] {
+	case "record":
+		return 0, cmdRecord(args[1:], stdout)
+	case "summary":
+		return 0, cmdSummary(args[1:], stdout)
+	case "events":
+		return 0, cmdEvents(args[1:], stdout)
+	case "diff":
+		return cmdDiff(args[1:], stdout)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0, nil
+	default:
+		usage(stdout)
+		return 2, fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(w io.Writer) {
+	// Help text is best effort; a failed write has no useful recovery.
+	_, _ = fmt.Fprint(w, `usage: mtmtrace <subcommand> [flags]
+
+subcommands:
+  record   run a simulation and write its event trace (mtmtrace/v1 JSONL)
+  summary  aggregate a trace into run metrics (text or -json)
+  events   print events from a trace, with type/kind/node/round filters
+  diff     compare two traces; exit 1 naming the first divergent event
+
+run 'mtmtrace <subcommand> -h' for flags.
+`)
+}
+
+// recordConfig carries the record subcommand's parameters (separated from
+// flag parsing so tests can record deterministic fixture traces directly).
+type recordConfig struct {
+	Topo      string
+	N         int
+	Deg       int
+	Algo      string
+	Rumor     string
+	Schedule  string
+	Tau       int
+	Seed      uint64
+	MaxRounds int
+	Classical bool
+}
+
+// recordTrace runs one simulation per cfg and streams its trace to traceTo
+// (and, when non-nil, its metrics summary to metricsTo).
+func recordTrace(cfg recordConfig, traceTo, metricsTo io.Writer) error {
+	topo, err := mobiletel.BuildTopology(cfg.Topo, cfg.N, cfg.Deg, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	sched, err := mobiletel.BuildSchedule(cfg.Schedule, topo, cfg.Tau, cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	opts := mobiletel.Options{
+		Seed:      cfg.Seed + 2,
+		MaxRounds: cfg.MaxRounds,
+		Classical: cfg.Classical,
+		TraceTo:   traceTo,
+		MetricsTo: metricsTo,
+	}
+	if cfg.Rumor != "" {
+		strategy := mobiletel.PushPull
+		switch cfg.Rumor {
+		case "pushpull":
+		case "ppush":
+			strategy = mobiletel.PPush
+		default:
+			return fmt.Errorf("unknown rumor strategy %q", cfg.Rumor)
+		}
+		_, err := mobiletel.SpreadRumor(sched, strategy, []int{0}, opts)
+		return err
+	}
+	algo, err := mobiletel.ParseAlgorithm(cfg.Algo)
+	if err != nil {
+		return err
+	}
+	_, err = mobiletel.ElectLeader(sched, algo, opts)
+	return err
+}
+
+func cmdRecord(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mtmtrace record", flag.ContinueOnError)
+	var cfg recordConfig
+	fs.StringVar(&cfg.Topo, "topo", "regular", "topology: "+mobiletel.TopologyNames)
+	fs.IntVar(&cfg.N, "n", 128, "number of devices (interpreted per topology)")
+	fs.IntVar(&cfg.Deg, "deg", 8, "degree for -topo regular")
+	fs.StringVar(&cfg.Algo, "algo", "blindgossip", "leader election algorithm: blindgossip|bitconv|asyncbitconv")
+	fs.StringVar(&cfg.Rumor, "rumor", "", "run rumor spreading instead: pushpull|ppush")
+	fs.StringVar(&cfg.Schedule, "schedule", "static", "schedule: "+mobiletel.ScheduleNames)
+	fs.IntVar(&cfg.Tau, "tau", 4, "stability factor for dynamic schedules")
+	fs.Uint64Var(&cfg.Seed, "seed", 1, "random seed (traces are deterministic per seed)")
+	fs.IntVar(&cfg.MaxRounds, "max-rounds", 10_000_000, "abort if not stabilized by this round")
+	fs.BoolVar(&cfg.Classical, "classical", false, "use classical telephone semantics")
+	out := fs.String("o", "-", "trace output file ('-' = stdout)")
+	metricsOut := fs.String("metrics", "", "also write a JSON metrics summary to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	traceTo, closeTrace, err := openOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+	var metricsTo io.Writer
+	if *metricsOut != "" {
+		w, closeMetrics, err := openOut(*metricsOut, stdout)
+		if err != nil {
+			return err
+		}
+		defer closeMetrics()
+		metricsTo = w
+	}
+	return recordTrace(cfg, traceTo, metricsTo)
+}
+
+// openOut resolves an output path: "-" is stdout, anything else is created.
+// The returned closer reports close errors to stderr (writes are checked by
+// the callers through the sinks' latched errors).
+func openOut(path string, stdout io.Writer) (io.Writer, func(), error) {
+	if path == "-" {
+		return stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mtmtrace:", err)
+		}
+	}, nil
+}
+
+// openIn resolves an input path: "-" is stdin.
+func openIn(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
 	"mobiletel/internal/xrand"
 )
@@ -70,7 +71,11 @@ func decodeTag(tag uint64) (position int, bit uint64) {
 // position) and returns the encoded (position, bit) advertisement.
 func (p *AsyncBitConv) Advertise(ctx *sim.Context) uint64 {
 	if p.localRound%p.params.GroupLen == 0 {
-		p.position = 1 + ctx.RNG.Intn(p.params.K)
+		next := 1 + ctx.RNG.Intn(p.params.K)
+		if next != p.position {
+			ctx.EmitTransition(obs.KindPosition, uint64(p.position), uint64(next))
+			p.position = next
+		}
 	}
 	return encodeTag(p.position, p.bitValue())
 }
@@ -95,12 +100,15 @@ func (p *AsyncBitConv) Outgoing(*sim.Context, int32) sim.Message {
 }
 
 // Deliver adopts the peer's pair immediately if smaller.
-func (p *AsyncBitConv) Deliver(_ *sim.Context, _ int32, msg sim.Message) {
+func (p *AsyncBitConv) Deliver(ctx *sim.Context, _ int32, msg sim.Message) {
 	if len(msg.UIDs) != 1 {
 		return
 	}
 	got := IDPair{UID: msg.UIDs[0], Tag: msg.Aux}
 	if got.Less(p.best) {
+		if got.UID != p.best.UID {
+			ctx.EmitTransition(obs.KindLeader, p.best.UID, got.UID)
+		}
 		p.best = got
 	}
 }

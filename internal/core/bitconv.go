@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
 	"mobiletel/internal/xrand"
 )
@@ -66,6 +67,10 @@ type BitConv struct {
 	best    IDPair // smallest pair adopted at the last phase start
 	pending IDPair // smallest pair seen so far (takes effect next phase)
 	leader  uint64
+
+	// lastBit tracks the previously advertised tag bit so Advertise can
+	// emit a KindBit transition when it flips (-1 before the first round).
+	lastBit int8
 }
 
 var _ sim.Protocol = (*BitConv)(nil)
@@ -79,7 +84,7 @@ func NewBitConv(uid, tag uint64, params BitConvParams) *BitConv {
 		panic(fmt.Sprintf("core: tag %d outside [1, 2^%d)", tag, params.K))
 	}
 	pair := IDPair{UID: uid, Tag: tag}
-	return &BitConv{params: params, self: pair, best: pair, pending: pair, leader: uid}
+	return &BitConv{params: params, self: pair, best: pair, pending: pair, leader: uid, lastBit: -1}
 }
 
 // phasePosition decomposes a 1-based global round into its position inside
@@ -100,11 +105,18 @@ func (p *BitConv) groupBit(group int) uint64 {
 // round) and returns the group's tag bit.
 func (p *BitConv) Advertise(ctx *sim.Context) uint64 {
 	group, phaseStart := p.phasePosition(ctx.Round)
-	if phaseStart {
+	if phaseStart && p.pending != p.best {
+		ctx.EmitTransition(obs.KindPhase, p.best.UID, p.pending.UID)
+		ctx.EmitTransition(obs.KindLeader, p.leader, p.pending.UID)
 		p.best = p.pending
 		p.leader = p.best.UID
 	}
-	return p.groupBit(group)
+	bit := p.groupBit(group)
+	if p.lastBit >= 0 && uint64(p.lastBit) != bit {
+		ctx.EmitTransition(obs.KindBit, uint64(p.lastBit), bit)
+	}
+	p.lastBit = int8(bit)
+	return bit
 }
 
 // Decide runs the PPUSH step: 0-bit nodes propose to a uniformly random

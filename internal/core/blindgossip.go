@@ -1,6 +1,9 @@
 package core
 
-import "mobiletel/internal/sim"
+import (
+	"mobiletel/internal/obs"
+	"mobiletel/internal/sim"
+)
 
 // BlindGossip is the Section VI algorithm for b = 0: each round, flip a fair
 // coin to send or receive; senders propose to a uniformly random neighbor;
@@ -50,8 +53,9 @@ func (p *BlindGossip) Outgoing(*sim.Context, int32) sim.Message {
 }
 
 // Deliver adopts the peer's UID if smaller.
-func (p *BlindGossip) Deliver(_ *sim.Context, _ int32, msg sim.Message) {
+func (p *BlindGossip) Deliver(ctx *sim.Context, _ int32, msg sim.Message) {
 	if len(msg.UIDs) == 1 && msg.UIDs[0] < p.best {
+		ctx.EmitTransition(obs.KindLeader, p.best, msg.UIDs[0])
 		p.best = msg.UIDs[0]
 	}
 }

@@ -1,0 +1,109 @@
+package core_test
+
+// Transition-emission tests: each protocol must publish its state changes
+// to the observability sink so mtmtrace can audit executions against the
+// paper's per-round dynamics.
+
+import (
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/obs"
+	"mobiletel/internal/sim"
+)
+
+// traceElection runs one election with a ring sink and returns per-kind
+// transition counts plus the events.
+func traceElection(t *testing.T, protocols []sim.Protocol, tagBits int, seed uint64) map[obs.Kind]int {
+	t.Helper()
+	ring := obs.NewRing(1 << 20)
+	eng, err := sim.New(
+		dyngraph.NewStatic(gen.RandomRegular(len(protocols), 4, 9)),
+		protocols,
+		sim.Config{Seed: seed, TagBits: tagBits, Sink: ring},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(sim.AllLeadersEqual); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[obs.Kind]int)
+	for _, e := range ring.Events() {
+		if e.Type == obs.TypeTransition {
+			counts[e.Kind]++
+		}
+	}
+	return counts
+}
+
+func TestBlindGossipEmitsLeaderTransitions(t *testing.T) {
+	const n = 24
+	counts := traceElection(t, core.NewBlindGossipNetwork(core.UniqueUIDs(n, 1)), 0, 1)
+	// Every node except the minimum's owner must change its estimate at
+	// least once, so there are at least n-1 leader transitions.
+	if counts[obs.KindLeader] < n-1 {
+		t.Errorf("leader transitions = %d, want >= %d", counts[obs.KindLeader], n-1)
+	}
+}
+
+func TestBitConvEmitsPhaseBitLeaderTransitions(t *testing.T) {
+	const n = 24
+	uids := core.UniqueUIDs(n, 2)
+	params := core.DefaultBitConvParams(n, 4)
+	protocols, _ := core.NewBitConvNetwork(uids, params, 3)
+	counts := traceElection(t, protocols, 1, 2)
+	if counts[obs.KindLeader] < n-1 {
+		t.Errorf("leader transitions = %d, want >= %d", counts[obs.KindLeader], n-1)
+	}
+	if counts[obs.KindPhase] == 0 {
+		t.Error("no phase-adoption transitions emitted")
+	}
+	if counts[obs.KindBit] == 0 {
+		t.Error("no advertised-bit transitions emitted")
+	}
+}
+
+func TestAsyncBitConvEmitsPositionLeaderTransitions(t *testing.T) {
+	const n = 24
+	uids := core.UniqueUIDs(n, 4)
+	params := core.DefaultBitConvParams(n, 4)
+	protocols, _ := core.NewAsyncBitConvNetwork(uids, params, 5)
+	counts := traceElection(t, protocols, core.TagBitsNeeded(params), 4)
+	if counts[obs.KindLeader] < n-1 {
+		t.Errorf("leader transitions = %d, want >= %d", counts[obs.KindLeader], n-1)
+	}
+	if counts[obs.KindPosition] == 0 {
+		t.Error("no position transitions emitted")
+	}
+}
+
+// TestTracedRunBitIdentical pins that attaching a sink does not perturb the
+// execution itself: same seed with and without tracing elects the same
+// leader in the same round (tracing must be read-only).
+func TestTracedRunBitIdentical(t *testing.T) {
+	const n = 32
+	build := func(sink obs.Sink) (uint64, int) {
+		eng, err := sim.New(
+			dyngraph.NewStatic(gen.RandomRegular(n, 4, 6)),
+			core.NewBlindGossipNetwork(core.UniqueUIDs(n, 8)),
+			sim.Config{Seed: 8, Workers: 1, Sink: sink},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(sim.AllLeadersEqual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Protocols()[0].Leader(), res.StabilizedRound
+	}
+	plainLeader, plainRound := build(nil)
+	tracedLeader, tracedRound := build(obs.NewRing(1024))
+	if plainLeader != tracedLeader || plainRound != tracedRound {
+		t.Errorf("traced run diverged: leader %#x/%#x, round %d/%d",
+			plainLeader, tracedLeader, plainRound, tracedRound)
+	}
+}

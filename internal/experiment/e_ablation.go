@@ -67,7 +67,7 @@ func runA1(cfg Config) (*trace.Table, error) {
 			},
 		}}
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +194,7 @@ func runA3(cfg Config) (*trace.Table, error) {
 			},
 		}}
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}

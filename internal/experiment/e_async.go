@@ -82,7 +82,7 @@ func runE8(cfg Config) (*trace.Table, error) {
 			},
 		}})
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}

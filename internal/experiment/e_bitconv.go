@@ -97,7 +97,7 @@ func runE6(cfg Config) (*trace.Table, error) {
 			}})
 		}
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +194,7 @@ func runE7(cfg Config) (*trace.Table, error) {
 			},
 		}})
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}

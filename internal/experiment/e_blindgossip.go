@@ -101,7 +101,7 @@ func runE1(cfg Config) (*trace.Table, error) {
 			},
 		}}
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +153,7 @@ func runE2(cfg Config) (*trace.Table, error) {
 			},
 		}}
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +183,7 @@ func runE3(cfg Config) (*trace.Table, error) {
 	for pi, pt := range points {
 		specs[pi] = pointSpec{Trials: trials, Spec: rumorSpec(cfg.Seed, pi+100, pt, false)}
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}

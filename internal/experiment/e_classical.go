@@ -73,7 +73,7 @@ func runE12(cfg Config) (*trace.Table, error) {
 		specs = append(specs, pointSpec{Trials: trials, Spec: mkSpec(true)})
 		specs = append(specs, pointSpec{Trials: trials, Spec: mkSpec(false)})
 	}
-	allRounds, err := runPointTrials(specs)
+	allRounds, err := runPointTrials(cfg, specs)
 	if err != nil {
 		return nil, err
 	}

@@ -11,11 +11,14 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
 	"mobiletel/internal/trace"
 	"mobiletel/internal/xrand"
@@ -30,6 +33,21 @@ type Config struct {
 	Trials int
 	// Quick reduces problem sizes for fast CI runs.
 	Quick bool
+	// Progress, when non-nil, receives throttled live progress lines while
+	// a trial batch runs: trials and points completed, elapsed wall time,
+	// and an ETA. It is written from worker goroutines under a mutex, so
+	// any io.Writer is safe. Results are unaffected.
+	Progress io.Writer
+	// Now supplies the wall clock for Progress elapsed/ETA figures. This
+	// package never reads the clock itself (results must be reproducible),
+	// so callers wanting timed progress pass time.Now; when nil, progress
+	// lines carry counts only.
+	Now func() time.Time
+	// Sink, when non-nil, receives the structured event trace of the
+	// batch's first trial (point 0, trial 0); all other trials run
+	// untraced so the batch keeps its parallel throughput. Experiments
+	// that bypass runPointTrials ignore it.
+	Sink obs.Sink
 }
 
 // Experiment is one registered reproduction target.
@@ -109,7 +127,11 @@ type pointSpec struct {
 // (point, trial) and never depend on execution order.
 //
 // The first error in (point, trial) order aborts the batch.
-func runPointTrials(points []pointSpec) ([][]int, error) {
+//
+// When cfg.Sink is non-nil, the batch's first trial (point 0, trial 0)
+// runs with the sink attached; when cfg.Progress is non-nil, throttled
+// progress lines are written as trials complete. Neither affects results.
+func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 	total := 0
 	rounds := make([][]int, len(points))
 	errs := make([][]error, len(points))
@@ -125,6 +147,8 @@ func runPointTrials(points []pointSpec) ([][]int, error) {
 		return rounds, nil
 	}
 
+	progress := newProgress(cfg.Progress, cfg.Now, total, points)
+
 	type task struct{ point, trial int }
 	workers := runtime.GOMAXPROCS(0)
 	if workers > total {
@@ -138,24 +162,30 @@ func runPointTrials(points []pointSpec) ([][]int, error) {
 			defer wg.Done()
 			for t := range next {
 				spec := &points[t.point].Spec
-				sched, protocols, cfg := spec.Build(t.trial)
+				sched, protocols, simCfg := spec.Build(t.trial)
 				// Inner engine steps stay sequential: parallelism lives at
 				// the (point, trial) level here.
-				cfg.Workers = 1
-				eng, err := sim.New(sched, protocols, cfg)
+				simCfg.Workers = 1
+				if cfg.Sink != nil && t.point == 0 && t.trial == 0 {
+					simCfg.Sink = cfg.Sink
+				}
+				eng, err := sim.New(sched, protocols, simCfg)
 				if err != nil {
 					errs[t.point][t.trial] = err
+					progress.done(t.point)
 					continue
 				}
 				res, err := eng.Run(spec.Stop)
 				if err != nil {
 					errs[t.point][t.trial] = err
+					progress.done(t.point)
 					continue
 				}
 				rounds[t.point][t.trial] = res.StabilizedRound
 				if spec.Check != nil {
 					errs[t.point][t.trial] = spec.Check(t.trial, protocols)
 				}
+				progress.done(t.point)
 			}
 		}()
 	}
@@ -180,12 +210,81 @@ func runPointTrials(points []pointSpec) ([][]int, error) {
 // runTrials executes `trials` independent simulations of a single point and
 // returns the stabilization round of each. Any engine error or failed Check
 // aborts with that error.
-func runTrials(trials int, spec trialSpec) ([]int, error) {
-	rounds, err := runPointTrials([]pointSpec{{Trials: trials, Spec: spec}})
+func runTrials(cfg Config, trials int, spec trialSpec) ([]int, error) {
+	rounds, err := runPointTrials(cfg, []pointSpec{{Trials: trials, Spec: spec}})
 	if err != nil {
 		return nil, err
 	}
 	return rounds[0], nil
+}
+
+// progressReporter emits throttled live progress lines for a trial batch.
+// The zero-value-like nil-writer form is a no-op, so call sites need no
+// branching.
+type progressReporter struct {
+	w     io.Writer
+	now   func() time.Time // injected clock; nil = counts-only lines
+	total int
+
+	mu         sync.Mutex
+	start      time.Time
+	lastReport time.Time
+	completed  int
+	perPoint   []int // trials finished per point
+	trialsPer  []int // trials expected per point
+	pointsDone int
+}
+
+// progressInterval is the minimum spacing between progress lines; the final
+// line (batch complete) is always written.
+const progressInterval = 500 * time.Millisecond
+
+// newProgress builds a reporter for the batch; w == nil disables it.
+func newProgress(w io.Writer, now func() time.Time, total int, points []pointSpec) *progressReporter {
+	p := &progressReporter{w: w, now: now, total: total}
+	if w != nil {
+		if now != nil {
+			p.start = now()
+		}
+		p.perPoint = make([]int, len(points))
+		p.trialsPer = make([]int, len(points))
+		for i := range points {
+			p.trialsPer[i] = points[i].Trials
+		}
+	}
+	return p
+}
+
+// done records one finished trial of the given point and reports progress if
+// the throttle interval elapsed (or the batch just completed).
+func (p *progressReporter) done(point int) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.completed++
+	p.perPoint[point]++
+	if p.perPoint[point] == p.trialsPer[point] {
+		p.pointsDone++
+	}
+	if p.now == nil {
+		// No clock injected: report every trial, counts only. Progress is
+		// best-effort diagnostics, so write errors are discarded.
+		_, _ = fmt.Fprintf(p.w, "progress: %d/%d trials, %d/%d points\n",
+			p.completed, p.total, p.pointsDone, len(p.perPoint))
+		return
+	}
+	now := p.now()
+	if p.completed < p.total && now.Sub(p.lastReport) < progressInterval {
+		return
+	}
+	p.lastReport = now
+	elapsed := now.Sub(p.start)
+	eta := time.Duration(float64(elapsed) / float64(p.completed) * float64(p.total-p.completed))
+	_, _ = fmt.Fprintf(p.w, "progress: %d/%d trials, %d/%d points, %s elapsed, ~%s left\n",
+		p.completed, p.total, p.pointsDone, len(p.perPoint),
+		elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond))
 }
 
 // trialSeed derives a per-(experiment, point, trial) seed.

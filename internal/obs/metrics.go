@@ -1,0 +1,303 @@
+package obs
+
+import "math"
+
+// MetricsSchema identifies the run-summary JSON layout.
+const MetricsSchema = "mtmtrace-metrics/v1"
+
+// Metrics is a streaming aggregator sink: it folds the event stream into a
+// per-run Summary without retaining the events themselves. It works equally
+// attached live to an engine or replaying a JSONL trace (mtmtrace summary).
+type Metrics struct {
+	header Header
+
+	rounds      int
+	proposals   int64
+	accepts     int64
+	rejects     int64
+	lost        int64
+	connections int64
+
+	// Per-round curves, one entry per observed round_end.
+	connCurve      []int
+	acceptCurve    []float64 // accepts/proposals (0 when no proposals)
+	imbalanceCurve []float64 // max load / mean load so far
+
+	transitions      [len(kindNames)]int64
+	convergenceRound int // last round a leader/informed transition fired
+
+	// Lifetime per-node connection counts, maintained incrementally from
+	// connect events so the imbalance curve costs O(1) per connection.
+	connCount []int64
+	maxLoad   int64
+
+	// Scratch for the current round (reset at round_start).
+	roundProposals int64
+	roundAccepts   int64
+	roundConns     int64
+
+	gammaBound float64
+}
+
+// NewMetrics creates an empty aggregator.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// SetGammaBound supplies the topology's exact cut-matching number γ
+// (matching.GammaExact) so the summary can relate observed matching sizes
+// to the Lemma V.1 guarantee. Call before or after the run; zero means
+// unknown (the summary omits the comparison).
+func (m *Metrics) SetGammaBound(gamma float64) { m.gammaBound = gamma }
+
+// Begin sizes the per-node state from the run header.
+func (m *Metrics) Begin(h Header) {
+	m.header = h
+	if h.N > 0 {
+		m.connCount = make([]int64, h.N)
+	}
+}
+
+// Event folds one event into the aggregate.
+func (m *Metrics) Event(e Event) {
+	switch e.Type {
+	case TypeRoundStart:
+		m.roundProposals, m.roundAccepts, m.roundConns = 0, 0, 0
+	case TypePropose:
+		m.proposals++
+		m.roundProposals++
+	case TypeAccept:
+		m.accepts++
+		m.roundAccepts++
+	case TypeReject:
+		// Busy-target proposals are "lost" (the target was itself sending);
+		// contention rejects reached a receiver but were not the one chosen.
+		if e.Kind == KindBusy {
+			m.lost++
+		} else {
+			m.rejects++
+		}
+	case TypeConnect:
+		m.connections++
+		m.roundConns++
+		m.bumpLoad(e.Node)
+		m.bumpLoad(e.Peer)
+	case TypeTransition:
+		if int(e.Kind) < len(m.transitions) {
+			m.transitions[e.Kind]++
+		}
+		if e.Kind == KindLeader || e.Kind == KindInformed {
+			m.convergenceRound = e.Round
+		}
+	case TypeRoundEnd:
+		if e.Round > m.rounds {
+			m.rounds = e.Round
+		}
+		m.connCurve = append(m.connCurve, int(m.roundConns))
+		rate := 0.0
+		if m.roundProposals > 0 {
+			rate = float64(m.roundAccepts) / float64(m.roundProposals)
+		}
+		m.acceptCurve = append(m.acceptCurve, rate)
+		m.imbalanceCurve = append(m.imbalanceCurve, m.imbalance())
+	}
+}
+
+// End is a no-op; the aggregate is read via Summary.
+func (m *Metrics) End() {}
+
+func (m *Metrics) bumpLoad(node int32) {
+	if node < 0 || int(node) >= len(m.connCount) {
+		return
+	}
+	m.connCount[node]++
+	if m.connCount[node] > m.maxLoad {
+		m.maxLoad = m.connCount[node]
+	}
+}
+
+// imbalance returns max/mean of the lifetime per-node connection counts so
+// far (0 before any connection).
+func (m *Metrics) imbalance() float64 {
+	if len(m.connCount) == 0 || m.connections == 0 {
+		return 0
+	}
+	mean := 2 * float64(m.connections) / float64(len(m.connCount))
+	return float64(m.maxLoad) / mean
+}
+
+// LoadSummary summarizes lifetime per-node connection load.
+type LoadSummary struct {
+	Min       int64   `json:"min"`
+	Max       int64   `json:"max"`
+	Mean      float64 `json:"mean"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// Summary is the per-run metrics report (JSON layout versioned by
+// MetricsSchema). Curves are max-pooled to at most CurvePoints entries so
+// summaries of million-round runs stay small.
+type Summary struct {
+	Schema   string `json:"schema"`
+	Seed     uint64 `json:"seed"`
+	Schedule string `json:"schedule"`
+	N        int    `json:"n"`
+
+	Rounds    int   `json:"rounds"`
+	Proposals int64 `json:"proposals"`
+	Accepts   int64 `json:"accepts"`
+	// Rejects counts contention rejects (the proposal reached a receiver
+	// that chose another suitor); Lost counts busy-target proposals (the
+	// target was itself sending). Accepts + Rejects + Lost == Proposals.
+	Rejects     int64 `json:"rejects"`
+	Lost        int64 `json:"lost"`
+	Connections int64 `json:"connections"`
+
+	// AcceptanceRate is accepts/proposals over the whole run.
+	AcceptanceRate float64 `json:"acceptance_rate"`
+
+	// ConvergenceRound is the last round any node's leader estimate (or
+	// informed status, for rumor runs) changed — the run's effective
+	// rounds-to-convergence as observed from the event stream.
+	ConvergenceRound int `json:"convergence_round"`
+
+	// Transitions counts protocol state transitions per kind.
+	Transitions map[string]int64 `json:"transitions"`
+
+	// MeanMatching / MaxMatching describe per-round connection-set sizes
+	// (each round's connections form a matching in the mobile telephone
+	// model).
+	MeanMatching float64 `json:"mean_matching"`
+	MaxMatching  int     `json:"max_matching"`
+
+	// GammaBound is the topology's exact γ (matching.GammaExact) when known.
+	// MatchingVsBound relates the observed mean matching size to the
+	// Lemma V.1 scale γ·n/2 — the matching size the lemma guarantees is
+	// reachable for a fully-active round.
+	GammaBound      float64 `json:"gamma_bound,omitempty"`
+	MatchingVsBound float64 `json:"matching_vs_bound,omitempty"`
+
+	Load LoadSummary `json:"load"`
+
+	ConnectionsCurve []int     `json:"connections_curve"`
+	AcceptanceCurve  []float64 `json:"acceptance_curve"`
+	ImbalanceCurve   []float64 `json:"imbalance_curve"`
+}
+
+// CurvePoints bounds the curve lengths embedded in a Summary.
+const CurvePoints = 128
+
+// Summary renders the aggregate.
+func (m *Metrics) Summary() Summary {
+	s := Summary{
+		Schema:           MetricsSchema,
+		Seed:             m.header.Seed,
+		Schedule:         m.header.Schedule,
+		N:                m.header.N,
+		Rounds:           m.rounds,
+		Proposals:        m.proposals,
+		Accepts:          m.accepts,
+		Rejects:          m.rejects,
+		Lost:             m.lost,
+		Connections:      m.connections,
+		ConvergenceRound: m.convergenceRound,
+		Transitions:      make(map[string]int64),
+		ConnectionsCurve: downsampleInts(m.connCurve, CurvePoints),
+		AcceptanceCurve:  downsampleFloats(m.acceptCurve, CurvePoints),
+		ImbalanceCurve:   downsampleFloats(m.imbalanceCurve, CurvePoints),
+	}
+	if m.proposals > 0 {
+		s.AcceptanceRate = float64(m.accepts) / float64(m.proposals)
+	}
+	for k, c := range m.transitions {
+		if c > 0 {
+			s.Transitions[Kind(k).String()] = c
+		}
+	}
+	total := 0
+	for _, c := range m.connCurve {
+		total += c
+		if c > s.MaxMatching {
+			s.MaxMatching = c
+		}
+	}
+	if len(m.connCurve) > 0 {
+		s.MeanMatching = float64(total) / float64(len(m.connCurve))
+	}
+	if m.gammaBound > 0 && m.header.N > 0 {
+		s.GammaBound = m.gammaBound
+		scale := m.gammaBound * float64(m.header.N) / 2
+		if scale > 0 {
+			s.MatchingVsBound = s.MeanMatching / scale
+		}
+	}
+	s.Load = m.loadSummary()
+	return s
+}
+
+func (m *Metrics) loadSummary() LoadSummary {
+	if len(m.connCount) == 0 {
+		return LoadSummary{}
+	}
+	minLoad := m.connCount[0]
+	var total int64
+	for _, c := range m.connCount {
+		total += c
+		if c < minLoad {
+			minLoad = c
+		}
+	}
+	mean := float64(total) / float64(len(m.connCount))
+	imb := 0.0
+	if mean > 0 {
+		imb = float64(m.maxLoad) / mean
+	}
+	return LoadSummary{Min: minLoad, Max: m.maxLoad, Mean: mean, Imbalance: imb}
+}
+
+// downsampleInts max-pools a series to at most width points (peaks are what
+// matter for matching-size curves).
+func downsampleInts(values []int, width int) []int {
+	if len(values) <= width {
+		return append([]int(nil), values...)
+	}
+	out := make([]int, width)
+	for i := 0; i < width; i++ {
+		lo, hi := bucket(i, width, len(values))
+		m := values[lo]
+		for _, v := range values[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// downsampleFloats max-pools a float series to at most width points.
+func downsampleFloats(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return append([]float64(nil), values...)
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo, hi := bucket(i, width, len(values))
+		m := math.Inf(-1)
+		for _, v := range values[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// bucket returns the [lo, hi) source range of downsample bucket i.
+func bucket(i, width, n int) (lo, hi int) {
+	lo = i * n / width
+	hi = (i + 1) * n / width
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}

@@ -13,6 +13,7 @@
 package rumor
 
 import (
+	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
 )
 
@@ -81,8 +82,9 @@ func (p *PushPull) Outgoing(*sim.Context, int32) sim.Message {
 
 // Deliver learns the rumor if the peer had it (PUSH and PULL both work
 // because the exchange is bidirectional).
-func (p *PushPull) Deliver(_ *sim.Context, _ int32, msg sim.Message) {
-	if msg.Aux == 1 {
+func (p *PushPull) Deliver(ctx *sim.Context, _ int32, msg sim.Message) {
+	if msg.Aux == 1 && !p.informed {
+		ctx.EmitTransition(obs.KindInformed, 0, 1)
 		p.informed = true
 	}
 }
@@ -144,8 +146,9 @@ func (p *PPush) Outgoing(*sim.Context, int32) sim.Message {
 }
 
 // Deliver learns the rumor from an informed peer.
-func (p *PPush) Deliver(_ *sim.Context, _ int32, msg sim.Message) {
-	if msg.Aux == 1 {
+func (p *PPush) Deliver(ctx *sim.Context, _ int32, msg sim.Message) {
+	if msg.Aux == 1 && !p.informed {
+		ctx.EmitTransition(obs.KindInformed, 0, 1)
 		p.informed = true
 	}
 }

@@ -8,13 +8,17 @@ import (
 	"mobiletel/internal/core"
 	"mobiletel/internal/dyngraph"
 	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
 )
 
 // TestSteadyStateZeroAllocs pins the engine's zero-allocation contract: once
 // warm, a blind-gossip round on a static mesh with Workers=1 must not
 // allocate at all. Any regression here (an escaping Context, a per-round
-// closure, a message slice literal) shows up as a nonzero average.
+// closure, a message slice literal) shows up as a nonzero average. With no
+// Config.Sink configured, every observability emission site must reduce to
+// one predictable nil-check branch — this test is what holds the tracing
+// layer to its zero-overhead-when-disabled invariant.
 func TestSteadyStateZeroAllocs(t *testing.T) {
 	const n = 256
 	eng, err := sim.New(
@@ -34,5 +38,31 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state round allocates: %v allocs/round, want 0", avg)
+	}
+}
+
+// TestSteadyStateZeroAllocsTraced pins the stronger claim: even with
+// tracing *enabled*, the emit path itself allocates nothing — events are
+// flat values passed on the stack, and the ring sink overwrites in place
+// once warm. Only a sink that itself allocates (e.g. JSONL encoding) adds
+// allocations to a traced round.
+func TestSteadyStateZeroAllocsTraced(t *testing.T) {
+	const n = 256
+	eng, err := sim.New(
+		dyngraph.NewStatic(gen.RandomRegular(n, 8, 1)),
+		core.NewBlindGossipNetwork(core.UniqueUIDs(n, 42)),
+		sim.Config{Seed: 42, Workers: 1, Sink: obs.NewRing(4096)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunRounds(1, 50)
+	next := 51
+	avg := testing.AllocsPerRun(200, func() {
+		eng.RunRounds(next, 1)
+		next++
+	})
+	if avg != 0 {
+		t.Fatalf("traced steady-state round allocates: %v allocs/round, want 0", avg)
 	}
 }

@@ -1,0 +1,19 @@
+package sim
+
+import "testing"
+
+// TestLoadZeroNodes pins the empty-engine edge case: Load on an engine
+// tracking no nodes must return the zero LoadStats, not a 1<<62-1 sentinel
+// Min and a NaN Mean. (sim.New rejects empty networks, but a zero-value
+// Engine — e.g. a partially initialized embedding — must still be safe to
+// query.)
+func TestLoadZeroNodes(t *testing.T) {
+	var e Engine
+	got := e.Load()
+	if got != (LoadStats{}) {
+		t.Errorf("Load() on zero-node engine = %+v, want zero LoadStats", got)
+	}
+	if load := e.NodeLoad(); len(load) != 0 {
+		t.Errorf("NodeLoad() on zero-node engine has %d entries, want 0", len(load))
+	}
+}

@@ -1,0 +1,169 @@
+// External test package: uses core protocols, which implement sim.Protocol.
+package sim_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/obs"
+	"mobiletel/internal/sim"
+)
+
+// runTraced executes one blind-gossip election with a ring sink attached
+// and returns the sink plus the observed per-round stats.
+func runTraced(t *testing.T, seed uint64) (*obs.Ring, []sim.RoundStats) {
+	t.Helper()
+	const n = 32
+	ring := obs.NewRing(1 << 20)
+	var stats []sim.RoundStats
+	eng, err := sim.New(
+		dyngraph.NewStatic(gen.RandomRegular(n, 4, 7)),
+		core.NewBlindGossipNetwork(core.UniqueUIDs(n, seed)),
+		sim.Config{
+			Seed:     seed,
+			Sink:     ring,
+			Observer: func(s sim.RoundStats) { stats = append(stats, s) },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(sim.AllLeadersEqual); err != nil {
+		t.Fatal(err)
+	}
+	return ring, stats
+}
+
+// TestTraceDeterminism is the contract mtmtrace diff relies on: two runs of
+// the same (seed, schedule, protocol, config) emit identical event streams.
+func TestTraceDeterminism(t *testing.T) {
+	a, _ := runTraced(t, 11)
+	b, _ := runTraced(t, 11)
+	if a.Total() != b.Total() {
+		t.Fatalf("event counts differ: %d vs %d", a.Total(), b.Total())
+	}
+	ae, be := a.Events(), b.Events()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+	c, _ := runTraced(t, 12)
+	if a.Total() == c.Total() {
+		same := true
+		for i, e := range a.Events() {
+			if e != c.Events()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+// TestTraceCountersMatchStats cross-checks the event stream against the
+// engine's own RoundStats: per round, the emitted propose/accept/reject/
+// connect events must reconcile with the counters, and every proposal must
+// be accounted for as accepted, rejected, or lost.
+func TestTraceCountersMatchStats(t *testing.T) {
+	ring, stats := runTraced(t, 3)
+	if ring.Header().N != 32 {
+		t.Errorf("header N = %d, want 32", ring.Header().N)
+	}
+
+	type counts struct{ proposes, accepts, rejects, connects, starts, ends int }
+	perRound := make(map[int]*counts)
+	get := func(r int) *counts {
+		c := perRound[r]
+		if c == nil {
+			c = &counts{}
+			perRound[r] = c
+		}
+		return c
+	}
+	for _, e := range ring.Events() {
+		c := get(e.Round)
+		switch e.Type {
+		case obs.TypeRoundStart:
+			c.starts++
+		case obs.TypeRoundEnd:
+			c.ends++
+		case obs.TypePropose:
+			c.proposes++
+		case obs.TypeAccept:
+			c.accepts++
+		case obs.TypeReject:
+			c.rejects++
+		case obs.TypeConnect:
+			c.connects++
+		}
+	}
+
+	for _, s := range stats {
+		c := perRound[s.Round]
+		if c == nil {
+			t.Fatalf("round %d has stats but no events", s.Round)
+		}
+		if c.starts != 1 || c.ends != 1 {
+			t.Errorf("round %d: %d round_start, %d round_end; want 1 each", s.Round, c.starts, c.ends)
+		}
+		if c.proposes != s.Proposals {
+			t.Errorf("round %d: %d propose events, stats say %d", s.Round, c.proposes, s.Proposals)
+		}
+		if c.accepts != s.Accepts || c.connects != s.Connections {
+			t.Errorf("round %d: accepts %d/%d, connects %d/%d (events/stats)",
+				s.Round, c.accepts, s.Accepts, c.connects, s.Connections)
+		}
+		if s.Accepts != s.Connections {
+			t.Errorf("round %d: Accepts %d != Connections %d in MTM mode", s.Round, s.Accepts, s.Connections)
+		}
+		if lost := s.Proposals - s.Accepts - s.Rejects; lost < 0 {
+			t.Errorf("round %d: negative lost proposals (%d)", s.Round, lost)
+		}
+		// Event-stream rejects cover both contention and busy-target losses.
+		if c.rejects != c.proposes-c.accepts {
+			t.Errorf("round %d: %d reject events, want proposals-accepts = %d",
+				s.Round, c.rejects, c.proposes-c.accepts)
+		}
+	}
+}
+
+// TestTraceClassicalMode checks the classicalFinish emission path: every
+// proposal is accepted, and rejects stay zero.
+func TestTraceClassicalMode(t *testing.T) {
+	const n = 16
+	ring := obs.NewRing(1 << 16)
+	eng, err := sim.New(
+		dyngraph.NewStatic(gen.Clique(n)),
+		core.NewBlindGossipNetwork(core.UniqueUIDs(n, 5)),
+		sim.Config{Seed: 5, Classical: true, Sink: ring},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(sim.AllLeadersEqual); err != nil {
+		t.Fatal(err)
+	}
+	if !ring.Header().Classical {
+		t.Error("header does not mark the run classical")
+	}
+	proposes, accepts, rejects := 0, 0, 0
+	for _, e := range ring.Events() {
+		switch e.Type {
+		case obs.TypePropose:
+			proposes++
+		case obs.TypeAccept:
+			accepts++
+		case obs.TypeReject:
+			rejects++
+		}
+	}
+	if proposes == 0 || proposes != accepts || rejects != 0 {
+		t.Errorf("classical trace: proposes=%d accepts=%d rejects=%d; want all proposals accepted",
+			proposes, accepts, rejects)
+	}
+}

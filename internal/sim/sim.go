@@ -31,6 +31,7 @@ import (
 
 	"mobiletel/internal/dyngraph"
 	"mobiletel/internal/graph"
+	"mobiletel/internal/obs"
 	"mobiletel/internal/xrand"
 )
 
@@ -52,7 +53,23 @@ type Context struct {
 
 	g    *graph.Graph
 	tags []uint64
-	act  []bool // activity per node (nil means all active)
+	act  []bool   // activity per node (nil means all active)
+	sink obs.Sink // event sink, nil when tracing is disabled
+}
+
+// EmitTransition publishes a protocol state transition (leader-estimate
+// change, bit flip, phase change, ...) to the configured observability sink.
+// It is a cheap no-op when no sink is configured, so protocols can call it
+// unconditionally at every transition site without perturbing the engine's
+// zero-allocation steady state.
+func (c *Context) EmitTransition(kind obs.Kind, old, new uint64) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Event(obs.Event{
+		Type: obs.TypeTransition, Kind: kind, Round: c.Round,
+		Node: c.Node, Peer: obs.NoNode, A: old, B: new,
+	})
 }
 
 // Degree returns the number of active neighbors visible in this round's scan.
@@ -208,6 +225,16 @@ type Config struct {
 	// order — the hook behind execution recording (see Recorder in
 	// record.go). The slice is reused across rounds; copy it to retain.
 	OnConnections func(round int, pairs [][2]int32)
+
+	// Sink, when non-nil, receives the run's structured event trace:
+	// round boundaries, proposals sent/accepted/rejected, connections,
+	// message deliveries, and protocol state transitions (see internal/obs
+	// for the event schema). Configuring a sink forces Workers = 1 so the
+	// event order is a deterministic function of (seed, schedule, protocol,
+	// config) — the property mtmtrace diff relies on. With Sink nil every
+	// emission site reduces to one predictable branch and the engine's
+	// steady state stays at exactly 0 allocs/round.
+	Sink obs.Sink
 }
 
 // AcceptPolicy selects how a receiver chooses among incoming proposals.
@@ -231,6 +258,16 @@ type RoundStats struct {
 	Proposals   int
 	Connections int
 	ActiveNodes int
+
+	// Accepts counts proposals a receiver accepted (in the mobile telephone
+	// model this equals Connections; in classical mode every proposal is
+	// accepted). Rejects counts proposals that reached a receiver but were
+	// not the one chosen. Proposals - Accepts - Rejects is the number of
+	// proposals lost because their target was itself sending — reporting
+	// the three separately disambiguates multi-proposal contention, which
+	// "proposals minus connections" alone cannot.
+	Accepts int
+	Rejects int
 }
 
 // Result summarizes an execution.
@@ -321,6 +358,11 @@ type Engine struct {
 	pairScratch [][2]int32 // reused buffer for Config.OnConnections
 
 	connCount []int64 // lifetime connections per node (battery accounting)
+
+	// sinkBegan/sinkEnded track the Begin/End lifecycle of Config.Sink so
+	// the header is written exactly once even across RunRounds calls.
+	sinkBegan bool
+	sinkEnded bool
 }
 
 const (
@@ -375,6 +417,13 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Sink != nil {
+		// Tracing forces sequential execution: sinks are not required to be
+		// goroutine-safe, and a deterministic event order (ascending node
+		// order within each phase) is what makes two same-seed traces
+		// comparable event by event.
+		workers = 1
+	}
 	stopGate := 1
 	for _, a := range cfg.Activations {
 		if a > stopGate {
@@ -417,6 +466,7 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 // On timeout it returns the partial result and an error wrapping
 // ErrNotStabilized.
 func (e *Engine) Run(stop StopCondition) (Result, error) {
+	defer e.endSink()
 	var res Result
 	for r := 1; r <= e.cfg.MaxRounds; r++ {
 		stats := e.step(r)
@@ -434,10 +484,35 @@ func (e *Engine) Run(stop StopCondition) (Result, error) {
 	return res, fmt.Errorf("%w (MaxRounds=%d, schedule=%s)", ErrNotStabilized, e.cfg.MaxRounds, e.sched.Name())
 }
 
+// beginSink writes the trace header on the first emitted event.
+func (e *Engine) beginSink() {
+	if e.cfg.Sink == nil || e.sinkBegan {
+		return
+	}
+	e.sinkBegan = true
+	e.cfg.Sink.Begin(obs.Header{
+		Seed:      e.cfg.Seed,
+		Schedule:  e.sched.Name(),
+		N:         e.n,
+		TagBits:   e.cfg.TagBits,
+		Classical: e.cfg.Classical,
+	})
+}
+
+// endSink finalizes the trace stream exactly once (also on timeout).
+func (e *Engine) endSink() {
+	if e.cfg.Sink == nil || !e.sinkBegan || e.sinkEnded {
+		return
+	}
+	e.sinkEnded = true
+	e.cfg.Sink.End()
+}
+
 // RunRounds executes exactly k more rounds regardless of any condition,
 // continuing the round counter from previous calls to Run/RunRounds.
 // It is used by stability-validation tests.
 func (e *Engine) RunRounds(startRound, k int) {
+	e.beginSink()
 	for r := startRound; r < startRound+k; r++ {
 		e.step(r)
 	}
@@ -466,6 +541,13 @@ func (e *Engine) step(r int) RoundStats {
 	}
 	e.curRound, e.curG, e.curAct = r, g, act
 
+	sink := e.cfg.Sink
+	if sink != nil {
+		e.beginSink()
+		sink.Event(obs.Event{Type: obs.TypeRoundStart, Round: r,
+			Node: obs.NoNode, Peer: obs.NoNode, A: uint64(activeCount)})
+	}
+
 	// Steps 2-3: advertise then decide, in parallel over nodes. Each node's
 	// RNG is derived from (seed, node, round) so ordering is irrelevant.
 	e.parallelFor(e.phAdvertise)
@@ -483,10 +565,17 @@ func (e *Engine) step(r int) RoundStats {
 	}
 	for u := 0; u < e.n; u++ {
 		if t := e.actions[u]; t >= 0 {
+			if sink != nil {
+				sink.Event(obs.Event{Type: obs.TypePropose, Round: r,
+					Node: int32(u), Peer: t, A: e.tags[u], B: e.tags[t]})
+			}
 			// A proposal to a node that itself proposed is lost (the model:
 			// a node that sends cannot also receive).
 			if e.actions[t] == actionReceive {
 				e.inboxAt[t+1]++
+			} else if sink != nil {
+				sink.Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindBusy,
+					Round: r, Node: t, Peer: int32(u)})
 			}
 			proposals++
 		}
@@ -515,6 +604,7 @@ func (e *Engine) step(r int) RoundStats {
 	}
 
 	connections := 0
+	rejects := 0
 	for u := 0; u < e.n; u++ {
 		e.partner[u] = noPartner
 	}
@@ -544,6 +634,21 @@ func (e *Engine) step(r int) RoundStats {
 		e.connCount[v]++
 		e.connCount[chosen]++
 		connections++
+		rejects += len(inbox) - 1
+		if sink != nil {
+			sink.Event(obs.Event{Type: obs.TypeAccept, Round: r, Node: int32(v), Peer: chosen})
+			for _, s := range inbox {
+				if s != chosen {
+					sink.Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindContention,
+						Round: r, Node: int32(v), Peer: s})
+				}
+			}
+			lo, hi := int32(v), chosen
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			sink.Event(obs.Event{Type: obs.TypeConnect, Round: r, Node: lo, Peer: hi})
+		}
 	}
 
 	if e.cfg.OnConnections != nil {
@@ -563,7 +668,14 @@ func (e *Engine) step(r int) RoundStats {
 	// End of round.
 	e.parallelFor(e.phEndRound)
 
-	return RoundStats{Round: r, Proposals: proposals, Connections: connections, ActiveNodes: activeCount}
+	if sink != nil {
+		sink.Event(obs.Event{Type: obs.TypeRoundEnd, Round: r,
+			Node: int32(connections), Peer: int32(rejects),
+			A: uint64(proposals), B: uint64(connections)})
+	}
+
+	return RoundStats{Round: r, Proposals: proposals, Connections: connections,
+		ActiveNodes: activeCount, Accepts: connections, Rejects: rejects}
 }
 
 // bindCtx points the scratch Context at the current round's state.
@@ -572,6 +684,7 @@ func (e *Engine) bindCtx(c *Context) {
 	c.g = e.curG
 	c.tags = e.tags
 	c.act = e.curAct
+	c.sink = e.cfg.Sink
 }
 
 // phaseAdvertise runs step 2 for nodes [lo, hi) using worker w's scratch.
@@ -639,9 +752,26 @@ func (e *Engine) phaseExchange(w, lo, hi int) {
 		mv := e.protocols[v].Outgoing(ctxV, int32(u))
 		e.checkMessage(u, mu)
 		e.checkMessage(int(v), mv)
+		e.emitDeliver(int32(u), v, mv)
 		e.protocols[u].Deliver(ctxU, v, mv)
+		e.emitDeliver(v, int32(u), mu)
 		e.protocols[v].Deliver(ctxV, int32(u), mu)
 	}
+}
+
+// emitDeliver publishes one message delivery (recipient <- sender) to the
+// sink; the event precedes the Deliver callback so any transition the
+// message causes appears after its delivery in the trace.
+func (e *Engine) emitDeliver(to, from int32, m Message) {
+	if e.cfg.Sink == nil {
+		return
+	}
+	var uid uint64
+	if len(m.UIDs) > 0 {
+		uid = m.UIDs[0]
+	}
+	e.cfg.Sink.Event(obs.Event{Type: obs.TypeDeliver, Round: e.curRound,
+		Node: to, Peer: from, A: uid, B: m.Aux})
 }
 
 // phaseEndRound runs the end-of-round callback for nodes [lo, hi).
@@ -678,6 +808,7 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		}
 		e.cfg.OnConnections(r, e.pairScratch)
 	}
+	sink := e.cfg.Sink
 	for u := 0; u < e.n; u++ {
 		v := e.actions[u]
 		if v < 0 {
@@ -687,6 +818,16 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		connections++
 		e.connCount[u]++
 		e.connCount[v]++
+		if sink != nil {
+			sink.Event(obs.Event{Type: obs.TypePropose, Round: r,
+				Node: int32(u), Peer: v, A: e.tags[u], B: e.tags[v]})
+			sink.Event(obs.Event{Type: obs.TypeAccept, Round: r, Node: v, Peer: int32(u)})
+			lo, hi := int32(u), v
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			sink.Event(obs.Event{Type: obs.TypeConnect, Round: r, Node: lo, Peer: hi})
+		}
 		ctxU.Node = int32(u)
 		ctxU.RNG = &e.rngs[u]
 		ctxV.Node = v
@@ -695,12 +836,20 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		mv := e.protocols[v].Outgoing(ctxV, int32(u))
 		e.checkMessage(u, mu)
 		e.checkMessage(int(v), mv)
+		e.emitDeliver(int32(u), v, mv)
 		e.protocols[u].Deliver(ctxU, v, mv)
+		e.emitDeliver(v, int32(u), mu)
 		e.protocols[v].Deliver(ctxV, int32(u), mu)
 	}
 
 	e.parallelFor(e.phEndRound)
-	return RoundStats{Round: r, Proposals: proposals, Connections: connections, ActiveNodes: activeCount}
+	if sink != nil {
+		sink.Event(obs.Event{Type: obs.TypeRoundEnd, Round: r,
+			Node: int32(connections), Peer: 0,
+			A: uint64(proposals), B: uint64(connections)})
+	}
+	return RoundStats{Round: r, Proposals: proposals, Connections: connections,
+		ActiveNodes: activeCount, Accepts: connections, Rejects: 0}
 }
 
 func (e *Engine) checkMessage(u int, m Message) {
@@ -773,7 +922,12 @@ type LoadStats struct {
 }
 
 // Load computes LoadStats over the engine's lifetime connection counts.
+// An engine tracking no nodes yields the zero LoadStats (rather than a
+// sentinel Min and NaN Mean).
 func (e *Engine) Load() LoadStats {
+	if len(e.connCount) == 0 {
+		return LoadStats{}
+	}
 	var total, maxLoad int64
 	minLoad := int64(1<<62 - 1)
 	for _, c := range e.connCount {

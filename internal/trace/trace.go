@@ -142,6 +142,28 @@ func (r *Recorder) ConnectionsCurve() []int {
 	return out
 }
 
+// AcceptsCurve returns the per-round accepted-proposal counts.
+func (r *Recorder) AcceptsCurve() []int {
+	out := make([]int, len(r.Stats))
+	for i, s := range r.Stats {
+		out[i] = s.Accepts
+	}
+	return out
+}
+
+// AcceptanceRateCurve returns the per-round fraction of proposals that were
+// accepted (Accepts/Proposals). Rounds with no proposals report 0 rather
+// than NaN so the curve stays plottable.
+func (r *Recorder) AcceptanceRateCurve() []float64 {
+	out := make([]float64, len(r.Stats))
+	for i, s := range r.Stats {
+		if s.Proposals > 0 {
+			out[i] = float64(s.Accepts) / float64(s.Proposals)
+		}
+	}
+	return out
+}
+
 // Sparkline renders a series of non-negative values as a compact unicode
 // bar chart (▁▂▃▄▅▆▇█), scaled to the series maximum. Useful for showing a
 // convergence curve in terminal output. Empty input yields an empty string.

@@ -51,6 +51,47 @@ func TestFormatFloat(t *testing.T) {
 	}
 }
 
+func TestFormatFloatBoundaries(t *testing.T) {
+	cases := map[float64]string{
+		// The integer fast path is gated on |v| < 1e15 (above that, float64
+		// integers lose precision and %d would print a misleading exact
+		// value), so exactly ±1e15 falls through to %.4g.
+		1e15:  "1e+15",
+		-1e15: "-1e+15",
+		// Just inside the gate: still rendered as an exact integer.
+		1e15 - 1:    "999999999999999",
+		-(1e15 - 1): "-999999999999999",
+		// The scientific-notation branch is v < 0.01 strictly, so exactly
+		// 0.01 uses the %.4g path while values just below switch to %.3e.
+		0.01:   "0.01",
+		-0.01:  "-0.01",
+		0.0099: "9.900e-03",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("esc", "field", "value")
+	tb.AddRow("comma", "a,b")
+	tb.AddRow("quote", `say "hi"`)
+	tb.AddRow("newline", "line1\nline2")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "field,value\n" +
+		"comma,\"a,b\"\n" +
+		"quote,\"say \"\"hi\"\"\"\n" +
+		"newline,\"line1\nline2\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
 func TestColumnAlignment(t *testing.T) {
 	tb := NewTable("", "short", "x")
 	tb.AddRow("longer-cell", 1)
@@ -73,6 +114,25 @@ func TestRecorder(t *testing.T) {
 	curve := r.ConnectionsCurve()
 	if len(curve) != 2 || curve[0] != 3 || curve[1] != 5 {
 		t.Fatalf("curve = %v", curve)
+	}
+}
+
+func TestRecorderAcceptanceCurves(t *testing.T) {
+	r := &Recorder{}
+	r.Observe(sim.RoundStats{Round: 1, Proposals: 8, Accepts: 4, Rejects: 2, Connections: 4})
+	r.Observe(sim.RoundStats{Round: 2, Proposals: 0, Accepts: 0, Connections: 0})
+	r.Observe(sim.RoundStats{Round: 3, Proposals: 5, Accepts: 5, Connections: 5})
+	accepts := r.AcceptsCurve()
+	if len(accepts) != 3 || accepts[0] != 4 || accepts[1] != 0 || accepts[2] != 5 {
+		t.Fatalf("accepts curve = %v", accepts)
+	}
+	rate := r.AcceptanceRateCurve()
+	if len(rate) != 3 || rate[0] != 0.5 || rate[2] != 1 {
+		t.Fatalf("acceptance rate curve = %v", rate)
+	}
+	// A round with zero proposals must report 0, not NaN.
+	if rate[1] != 0 {
+		t.Fatalf("zero-proposal round rate = %v, want 0", rate[1])
 	}
 }
 

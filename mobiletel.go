@@ -27,11 +27,15 @@
 package mobiletel
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"mobiletel/internal/aggregate"
 	"mobiletel/internal/consensus"
@@ -40,8 +44,8 @@ import (
 	"mobiletel/internal/experiment"
 	"mobiletel/internal/gossip"
 	"mobiletel/internal/graph/gen"
-	"strings"
-
+	"mobiletel/internal/matching"
+	"mobiletel/internal/obs"
 	"mobiletel/internal/rumor"
 	"mobiletel/internal/sim"
 	"mobiletel/internal/stats"
@@ -230,6 +234,17 @@ type Options struct {
 	// debugging artifact and determinism proof (replaying the same seed and
 	// configuration reproduces it byte for byte).
 	RecordTo io.Writer
+	// TraceTo, when non-nil, receives a structured JSONL event trace of the
+	// run (schema mtmtrace/v1 — proposals, accepts, rejects, connections,
+	// deliveries, and protocol state transitions; inspect or diff it with
+	// cmd/mtmtrace). Tracing forces sequential execution so the event order
+	// is deterministic; a run with no trace configured pays zero overhead.
+	TraceTo io.Writer
+	// MetricsTo, when non-nil, receives a JSON run-metrics summary (schema
+	// mtmtrace-metrics/v1: rounds to convergence, acceptance rate, matching
+	// sizes vs the Lemma V.1 γ bound, load imbalance, transition counts)
+	// after the run. Like TraceTo, it forces sequential execution.
+	MetricsTo io.Writer
 	// Classical runs the execution under *classical* telephone model
 	// semantics (a device may serve unboundedly many incoming connections
 	// per round) — the related-work baseline, not the paper's model. See
@@ -243,6 +258,61 @@ func (o Options) observer() func(sim.RoundStats) {
 		return nil
 	}
 	return func(s sim.RoundStats) { o.OnRound(s.Round, s.Connections) }
+}
+
+// buildSink assembles the engine event sink for TraceTo/MetricsTo; every
+// return is nil when neither destination is set.
+func (o Options) buildSink() (obs.Sink, *obs.JSONL, *obs.Metrics) {
+	var jsonl *obs.JSONL
+	var metrics *obs.Metrics
+	var sinks []obs.Sink
+	if o.TraceTo != nil {
+		jsonl = obs.NewJSONL(o.TraceTo)
+		sinks = append(sinks, jsonl)
+	}
+	if o.MetricsTo != nil {
+		metrics = obs.NewMetrics()
+		sinks = append(sinks, metrics)
+	}
+	switch len(sinks) {
+	case 0:
+		return nil, nil, nil
+	case 1:
+		return sinks[0], jsonl, metrics
+	default:
+		return obs.Tee(sinks...), jsonl, metrics
+	}
+}
+
+// drainSinks finalizes trace/metrics output after a run: it surfaces any
+// latched trace write error and renders the metrics summary to metricsTo.
+func drainSinks(jsonl *obs.JSONL, metrics *obs.Metrics, metricsTo io.Writer) error {
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("mobiletel: writing trace: %w", err)
+		}
+	}
+	if metrics != nil {
+		enc := json.NewEncoder(metricsTo)
+		enc.SetIndent("", "  ")
+		summary := metrics.Summary()
+		if err := enc.Encode(&summary); err != nil {
+			return fmt.Errorf("mobiletel: writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// setGammaBound supplies the exact cut-matching number γ to the metrics
+// aggregator when it is computable: a static schedule small enough for
+// matching.GammaExact's exhaustive cut enumeration.
+func setGammaBound(metrics *obs.Metrics, s Schedule) {
+	if metrics == nil {
+		return
+	}
+	if n := s.sched.N(); s.sched.Tau() == math.MaxInt && n >= 2 && n <= 16 {
+		metrics.SetGammaBound(matching.GammaExact(s.sched.GraphAt(1)))
+	}
 }
 
 // ElectionResult reports a stabilized leader election.
@@ -294,6 +364,7 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		return ElectionResult{}, fmt.Errorf("mobiletel: unknown algorithm %v", algo)
 	}
 
+	sink, jsonl, metrics := opts.buildSink()
 	cfg := sim.Config{
 		Seed:        opts.Seed,
 		TagBits:     tagBits,
@@ -302,6 +373,7 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		Workers:     opts.Workers,
 		Observer:    opts.observer(),
 		Classical:   opts.Classical,
+		Sink:        sink,
 	}
 	if recorder != nil {
 		recorder.Attach(&cfg)
@@ -318,6 +390,10 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		if err := recorder.Finish(protocols).WriteJSONL(opts.RecordTo); err != nil {
 			return ElectionResult{}, fmt.Errorf("mobiletel: writing recording: %w", err)
 		}
+	}
+	setGammaBound(metrics, s)
+	if err := drainSinks(jsonl, metrics, opts.MetricsTo); err != nil {
+		return ElectionResult{}, err
 	}
 	return ElectionResult{
 		Leader:      protocols[0].Leader(),
@@ -378,6 +454,7 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 	default:
 		return RumorResult{}, fmt.Errorf("mobiletel: unknown strategy %v", strategy)
 	}
+	sink, jsonl, metrics := opts.buildSink()
 	eng, err := sim.New(s.sched, protocols, sim.Config{
 		Seed:      opts.Seed,
 		TagBits:   tagBits,
@@ -385,12 +462,17 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 		Workers:   opts.Workers,
 		Observer:  opts.observer(),
 		Classical: opts.Classical,
+		Sink:      sink,
 	})
 	if err != nil {
 		return RumorResult{}, err
 	}
 	res, err := eng.Run(rumor.AllInformed)
 	if err != nil {
+		return RumorResult{}, err
+	}
+	setGammaBound(metrics, s)
+	if err := drainSinks(jsonl, metrics, opts.MetricsTo); err != nil {
 		return RumorResult{}, err
 	}
 	return RumorResult{Rounds: res.StabilizedRound, Connections: res.Connections}, nil
@@ -418,6 +500,17 @@ type ExperimentOptions struct {
 	Trials int  // 0 = experiment default
 	Quick  bool // reduced scales
 	CSV    bool // render CSV instead of an aligned text table
+	// Progress, when non-nil, receives throttled live progress lines
+	// (trials/points completed, elapsed time, ETA) while trial batches run —
+	// point it at os.Stderr for long experiments.
+	Progress io.Writer
+	// TraceTo, when non-nil, receives a JSONL event trace (schema
+	// mtmtrace/v1) of the experiment's first trial. Experiments that do not
+	// run trial batches leave it empty.
+	TraceTo io.Writer
+	// MetricsTo, when non-nil, receives a JSON metrics summary (schema
+	// mtmtrace-metrics/v1) of the experiment's first trial.
+	MetricsTo io.Writer
 }
 
 // RunExperiment regenerates one experiment's table and returns it rendered.
@@ -426,8 +519,21 @@ func RunExperiment(id string, opts ExperimentOptions) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("mobiletel: unknown experiment %q", id)
 	}
-	table, err := e.Run(experiment.Config{Seed: opts.Seed, Trials: opts.Trials, Quick: opts.Quick})
+	sink, jsonl, metrics := Options{TraceTo: opts.TraceTo, MetricsTo: opts.MetricsTo}.buildSink()
+	// The harness never reads the clock itself (reproducibility); inject it
+	// here so progress lines can show elapsed time and an ETA.
+	table, err := e.Run(experiment.Config{
+		Seed:     opts.Seed,
+		Trials:   opts.Trials,
+		Quick:    opts.Quick,
+		Progress: opts.Progress,
+		Now:      time.Now,
+		Sink:     sink,
+	})
 	if err != nil {
+		return "", err
+	}
+	if err := drainSinks(jsonl, metrics, opts.MetricsTo); err != nil {
 		return "", err
 	}
 	if opts.CSV {
