@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint check bench bench-smoke trace-smoke
+.PHONY: build vet test race lint check bench bench-smoke trace-smoke fault-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,24 @@ bench:
 # signal; ns/op only trips on catastrophic slowdowns).
 bench-smoke:
 	$(GO) run ./cmd/mtmbench -quick -label smoke -out - -compare BENCH_seed.json
+
+# fault-smoke mirrors the CI fault-smoke job, the crash-safe harness
+# contract end to end: (1) a checkpointed sweep killed mid-run (-die-after)
+# and resumed must render the byte-identical CSV of an uninterrupted run;
+# (2) two recordings under the same fault plan must be byte-identical —
+# fault injection is as deterministic as the fault-free engine.
+fault-smoke:
+	rm -rf /tmp/mtm-fault-smoke && mkdir -p /tmp/mtm-fault-smoke
+	$(GO) build -o /tmp/mtm-fault-smoke/mtmexp ./cmd/mtmexp
+	/tmp/mtm-fault-smoke/mtmexp -run R2-corruption-recovery -quick -trials 2 -csv > /tmp/mtm-fault-smoke/baseline.csv
+	/tmp/mtm-fault-smoke/mtmexp -run R2-corruption-recovery -quick -trials 2 -csv -checkpoint /tmp/mtm-fault-smoke/ck -die-after 2 > /dev/null 2>&1; \
+	  test $$? -eq 3 || { echo "fault-smoke: -die-after run did not exit 3" >&2; exit 1; }
+	/tmp/mtm-fault-smoke/mtmexp -run R2-corruption-recovery -quick -trials 2 -csv -checkpoint /tmp/mtm-fault-smoke/ck > /tmp/mtm-fault-smoke/resumed.csv
+	cmp /tmp/mtm-fault-smoke/baseline.csv /tmp/mtm-fault-smoke/resumed.csv
+	$(GO) run ./cmd/mtmtrace record -topo regular -n 64 -deg 8 -algo blindgossip -proposal-loss 0.3 -conn-loss 0.2 -tagflip-rate 0.05 -seed 11 -o /tmp/mtm-fault-smoke/a.jsonl
+	$(GO) run ./cmd/mtmtrace record -topo regular -n 64 -deg 8 -algo blindgossip -proposal-loss 0.3 -conn-loss 0.2 -tagflip-rate 0.05 -seed 11 -o /tmp/mtm-fault-smoke/b.jsonl
+	$(GO) run ./cmd/mtmtrace diff /tmp/mtm-fault-smoke/a.jsonl /tmp/mtm-fault-smoke/b.jsonl
+	$(GO) run ./cmd/mtmtrace summary /tmp/mtm-fault-smoke/a.jsonl
 
 # trace-smoke mirrors the CI obs-smoke job: record the same run twice and
 # require byte-identical traces — executions (and their event streams) are

@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"mobiletel/internal/atomicwrite"
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump only on
@@ -50,13 +52,14 @@ func ReadRecording(path string) (*Recording, error) {
 	return &r, nil
 }
 
-// WriteRecording writes a recording as indented JSON.
+// WriteRecording atomically writes a recording as indented JSON, so an
+// interrupted -record never leaves a torn baseline for later -compare runs.
 func WriteRecording(path string, r *Recording) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicwrite.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // CompareOptions tunes regression detection.

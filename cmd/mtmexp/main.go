@@ -13,14 +13,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
 	"mobiletel"
+	"mobiletel/internal/atomicwrite"
 	"mobiletel/internal/prof"
 )
 
@@ -39,9 +42,16 @@ type benchFile struct {
 	Experiments []benchEntry `json:"experiments"`
 }
 
+// defaultCheckpointDir is where -resume looks for checkpoints when
+// -checkpoint does not name a directory explicitly.
+const defaultCheckpointDir = ".mtmexp-checkpoint"
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "mtmexp:", err)
+		if errors.Is(err, mobiletel.ErrInterrupted) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -61,8 +71,18 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("bench-json", "", "write per-experiment wall-clock timings as JSON to this file")
+		checkpoint = flag.String("checkpoint", "", "checkpoint completed trials into this directory; reruns with the same seed/trials/quick resume from them")
+		resume     = flag.Bool("resume", false, "resume from checkpoints (shorthand for -checkpoint "+defaultCheckpointDir+" when -checkpoint is unset)")
+		dieAfter   = flag.Int("die-after", 0, "kill the process (exit 3) after N newly checkpointed trials; testing hook for -resume")
 	)
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		*checkpoint = defaultCheckpointDir
+	}
+	if *dieAfter > 0 && *checkpoint == "" {
+		return errors.New("-die-after requires -checkpoint (or -resume)")
+	}
 
 	if *list || *runID == "" {
 		fmt.Println("Registered experiments (run with -run <ID> or -run all):")
@@ -84,10 +104,28 @@ func run() error {
 		}()
 	}
 
-	opts := mobiletel.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick, CSV: *csv}
+	opts := mobiletel.ExperimentOptions{
+		Seed: *seed, Trials: *trials, Quick: *quick, CSV: *csv,
+		CheckpointDir: *checkpoint, DieAfter: *dieAfter,
+	}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
+
+	// First ^C drains gracefully: in-flight trials finish (and checkpoint),
+	// then the sweep aborts with ErrInterrupted. A second ^C kills the
+	// process immediately.
+	interrupt := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "mtmexp: interrupt — draining in-flight trials (^C again to kill immediately)")
+		close(interrupt)
+		<-sigs
+		os.Exit(130)
+	}()
+	opts.Interrupt = interrupt
 
 	ids := []string{*runID}
 	if *runID == "all" {
@@ -109,7 +147,7 @@ func run() error {
 	failed := 0
 	for _, id := range ids {
 		runOpts := opts
-		var sinkFiles []*os.File
+		var sinkFiles []*atomicwrite.File
 		for _, sink := range []struct {
 			dir    string
 			suffix string
@@ -121,7 +159,7 @@ func run() error {
 			if sink.dir == "" {
 				continue
 			}
-			f, err := os.Create(filepath.Join(sink.dir, id+sink.suffix))
+			f, err := atomicwrite.Create(filepath.Join(sink.dir, id+sink.suffix))
 			if err != nil {
 				return err
 			}
@@ -131,13 +169,29 @@ func run() error {
 		start := time.Now()
 		out, err := mobiletel.RunExperiment(id, runOpts)
 		elapsed := time.Since(start).Seconds()
+		// Sink files publish atomically on success; a failed experiment
+		// aborts them so no torn trace/metrics file is left behind.
 		for _, f := range sinkFiles {
-			if cerr := f.Close(); cerr != nil {
-				fmt.Fprintf(os.Stderr, "mtmexp: closing %s: %v\n", f.Name(), cerr)
+			op, ferr := "committing", error(nil)
+			if err != nil {
+				op, ferr = "closing", f.Close()
+			} else {
+				ferr = f.Commit()
+			}
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "mtmexp: %s %s: %v\n", op, f.Name(), ferr)
 				failed++
 			}
 		}
 		bench.Experiments = append(bench.Experiments, benchEntry{ID: id, Seconds: elapsed, OK: err == nil})
+		if errors.Is(err, mobiletel.ErrInterrupted) {
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "mtmexp: %s interrupted; completed trials are checkpointed — rerun with -resume to continue\n", id)
+			} else {
+				fmt.Fprintf(os.Stderr, "mtmexp: %s interrupted; rerun with -checkpoint DIR (or -resume) to make sweeps resumable\n", id)
+			}
+			return err
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtmexp: %s failed: %v\n", id, err)
 			failed++
@@ -153,7 +207,7 @@ func run() error {
 			csvOut, err := mobiletel.RunExperiment(id, csvOpts)
 			if err == nil {
 				path := filepath.Join(*outDir, id+".csv")
-				if werr := os.WriteFile(path, []byte(csvOut), 0o644); werr != nil {
+				if werr := atomicwrite.WriteFile(path, []byte(csvOut), 0o644); werr != nil {
 					fmt.Fprintf(os.Stderr, "mtmexp: writing %s: %v\n", path, werr)
 					failed++
 				}
@@ -166,7 +220,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+		if err := atomicwrite.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"mobiletel/internal/atomicwrite"
 	"mobiletel/internal/bounds"
 	"mobiletel/internal/expansion"
 	"mobiletel/internal/graph/gen"
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	if *dot != "" {
-		if err := os.WriteFile(*dot, []byte(g.DOT(f.Name)), 0o644); err != nil {
+		if err := atomicwrite.WriteFile(*dot, []byte(g.DOT(f.Name)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "mtmgraph:", err)
 			os.Exit(1)
 		}

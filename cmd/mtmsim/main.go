@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"mobiletel"
+	"mobiletel/internal/atomicwrite"
 	"mobiletel/internal/prof"
 	"mobiletel/internal/trace"
 )
@@ -46,6 +47,15 @@ func run() error {
 		metricsFile = flag.String("metrics", "", "write a JSON run-metrics summary (mtmtrace-metrics/v1) to this file")
 		classical   = flag.Bool("classical", false, "use classical telephone semantics (unbounded incoming connections; baseline, not the paper's model)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+
+		crashRate    = flag.Float64("crash-rate", 0, "per-round probability that one up device crashes")
+		recoverRate  = flag.Float64("recover-rate", 0, "per-round probability that one down device recovers")
+		maxDown      = flag.Int("max-down", 0, "cap on simultaneously crashed devices (0 = n-1)")
+		resetRecover = flag.Bool("reset-on-recover", true, "recovering devices restart from their initial protocol state")
+		proposalLoss = flag.Float64("proposal-loss", 0, "probability that a sent proposal is dropped")
+		connLoss     = flag.Float64("conn-loss", 0, "probability that an accepted connection fails before transfer")
+		tagFlipRate  = flag.Float64("tagflip-rate", 0, "probability that an advertised tag has one bit flipped")
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -77,6 +87,23 @@ func run() error {
 	}
 
 	opts := mobiletel.Options{Seed: *seed + 2, MaxRounds: *maxRounds, Classical: *classical}
+	if *crashRate > 0 || *recoverRate > 0 || *proposalLoss > 0 || *connLoss > 0 || *tagFlipRate > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed + 3
+		}
+		opts.Faults = &mobiletel.FaultPlan{
+			Seed:           fseed,
+			CrashRate:      *crashRate,
+			RecoverRate:    *recoverRate,
+			MaxDown:        *maxDown,
+			ResetOnRecover: *resetRecover,
+			ProposalLoss:   *proposalLoss,
+			ConnLoss:       *connLoss,
+			TagFlipRate:    *tagFlipRate,
+		}
+	}
+	var outFiles []*atomicwrite.File
 	for _, out := range []struct {
 		path string
 		dst  *io.Writer
@@ -88,16 +115,25 @@ func run() error {
 		if out.path == "" {
 			continue
 		}
-		f, err := os.Create(out.path)
+		f, err := atomicwrite.Create(out.path)
 		if err != nil {
 			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "mtmsim:", err)
-			}
-		}()
+		// Aborts the write unless committed after a clean run; an abort-path
+		// close error cannot lose published data.
+		defer func() { _ = f.Close() }()
+		outFiles = append(outFiles, f)
 		*out.dst = f
+	}
+	// commitOutputs atomically publishes the recordings once the run has
+	// succeeded; a failed run leaves previous files (if any) intact.
+	commitOutputs := func() error {
+		for _, f := range outFiles {
+			if err := f.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	var connCurve []int
 	if *curve {
@@ -124,6 +160,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if err := commitOutputs(); err != nil {
+			return err
+		}
 		fmt.Printf("rumor %s: informed all %d devices in %d rounds (%d connections)\n",
 			strategy, topo.N(), res.Rounds, res.Connections)
 		printCurve(*curve, connCurve)
@@ -136,6 +175,9 @@ func run() error {
 	}
 	res, err := mobiletel.ElectLeader(sched, algo, opts)
 	if err != nil {
+		return err
+	}
+	if err := commitOutputs(); err != nil {
 		return err
 	}
 	fmt.Printf("leader election %s: stabilized to leader %#x in %d rounds (%d connections)\n",

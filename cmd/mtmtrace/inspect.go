@@ -71,6 +71,9 @@ func writeSummaryText(w io.Writer, s obs.Summary) error {
 	t.AddRow("accepts", s.Accepts)
 	t.AddRow("rejects (contention)", s.Rejects)
 	t.AddRow("lost (busy target)", s.Lost)
+	if s.FaultLost > 0 {
+		t.AddRow("lost (injected faults)", s.FaultLost)
+	}
 	t.AddRow("connections", s.Connections)
 	t.AddRow("acceptance rate", s.AcceptanceRate)
 	t.AddRow("mean matching", s.MeanMatching)
@@ -83,6 +86,13 @@ func writeSummaryText(w io.Writer, s obs.Summary) error {
 	t.AddRow("load imbalance", s.Load.Imbalance)
 	for _, kv := range sortedTransitions(s.Transitions) {
 		t.AddRow("transitions: "+kv.name, kv.count)
+	}
+	for _, kv := range sortedTransitions(s.Faults) {
+		t.AddRow("faults: "+kv.name, kv.count)
+	}
+	if s.LastFaultRound > 0 {
+		t.AddRow("last fault round", s.LastFaultRound)
+		t.AddRow("recovery rounds", s.RecoveryRounds)
 	}
 	if err := t.WriteText(w); err != nil {
 		return err

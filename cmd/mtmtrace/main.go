@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"mobiletel"
+	"mobiletel/internal/atomicwrite"
 )
 
 func main() {
@@ -93,6 +94,39 @@ type recordConfig struct {
 	Seed      uint64
 	MaxRounds int
 	Classical bool
+
+	// Fault-injection knobs (all zero = fault-free). Faulted traces are as
+	// deterministic as clean ones: same seed, same fault events.
+	CrashRate    float64
+	RecoverRate  float64
+	MaxDown      int
+	ProposalLoss float64
+	ConnLoss     float64
+	TagFlipRate  float64
+	FaultSeed    uint64
+}
+
+// faults converts the fault knobs into an Options.Faults plan, or nil when
+// every knob is zero (keeping the fault-free fast path allocation-free).
+func (cfg recordConfig) faults() *mobiletel.FaultPlan {
+	if cfg.CrashRate == 0 && cfg.RecoverRate == 0 && cfg.ProposalLoss == 0 &&
+		cfg.ConnLoss == 0 && cfg.TagFlipRate == 0 {
+		return nil
+	}
+	fseed := cfg.FaultSeed
+	if fseed == 0 {
+		fseed = cfg.Seed + 3
+	}
+	return &mobiletel.FaultPlan{
+		Seed:           fseed,
+		CrashRate:      cfg.CrashRate,
+		RecoverRate:    cfg.RecoverRate,
+		MaxDown:        cfg.MaxDown,
+		ResetOnRecover: true,
+		ProposalLoss:   cfg.ProposalLoss,
+		ConnLoss:       cfg.ConnLoss,
+		TagFlipRate:    cfg.TagFlipRate,
+	}
 }
 
 // recordTrace runs one simulation per cfg and streams its trace to traceTo
@@ -112,6 +146,7 @@ func recordTrace(cfg recordConfig, traceTo, metricsTo io.Writer) error {
 		Classical: cfg.Classical,
 		TraceTo:   traceTo,
 		MetricsTo: metricsTo,
+		Faults:    cfg.faults(),
 	}
 	if cfg.Rumor != "" {
 		strategy := mobiletel.PushPull
@@ -146,45 +181,72 @@ func cmdRecord(args []string, stdout io.Writer) error {
 	fs.Uint64Var(&cfg.Seed, "seed", 1, "random seed (traces are deterministic per seed)")
 	fs.IntVar(&cfg.MaxRounds, "max-rounds", 10_000_000, "abort if not stabilized by this round")
 	fs.BoolVar(&cfg.Classical, "classical", false, "use classical telephone semantics")
+	fs.Float64Var(&cfg.CrashRate, "crash-rate", 0, "per-round probability that one up device crashes")
+	fs.Float64Var(&cfg.RecoverRate, "recover-rate", 0, "per-round probability that one down device recovers")
+	fs.IntVar(&cfg.MaxDown, "max-down", 0, "cap on simultaneously crashed devices (0 = n-1)")
+	fs.Float64Var(&cfg.ProposalLoss, "proposal-loss", 0, "probability that a sent proposal is dropped")
+	fs.Float64Var(&cfg.ConnLoss, "conn-loss", 0, "probability that an accepted connection fails before transfer")
+	fs.Float64Var(&cfg.TagFlipRate, "tagflip-rate", 0, "probability that an advertised tag has one bit flipped")
+	fs.Uint64Var(&cfg.FaultSeed, "fault-seed", 0, "fault plan seed (0 = derive from -seed)")
 	out := fs.String("o", "-", "trace output file ('-' = stdout)")
 	metricsOut := fs.String("metrics", "", "also write a JSON metrics summary to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	traceTo, closeTrace, err := openOut(*out, stdout)
+	traceTo, traceFile, err := openOut(*out, stdout)
 	if err != nil {
 		return err
 	}
-	defer closeTrace()
+	defer closeOut(traceFile) // aborts the write unless committed below
 	var metricsTo io.Writer
+	var metricsFile *atomicwrite.File
 	if *metricsOut != "" {
-		w, closeMetrics, err := openOut(*metricsOut, stdout)
+		w, f, err := openOut(*metricsOut, stdout)
 		if err != nil {
 			return err
 		}
-		defer closeMetrics()
-		metricsTo = w
+		defer closeOut(f)
+		metricsTo, metricsFile = w, f
 	}
-	return recordTrace(cfg, traceTo, metricsTo)
+	if err := recordTrace(cfg, traceTo, metricsTo); err != nil {
+		return err
+	}
+	// Publish atomically only after the run succeeded: an aborted or failed
+	// record leaves the previous file (if any) intact rather than a torn one.
+	for _, f := range []*atomicwrite.File{traceFile, metricsFile} {
+		if f != nil {
+			if err := f.Commit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
-// openOut resolves an output path: "-" is stdout, anything else is created.
-// The returned closer reports close errors to stderr (writes are checked by
-// the callers through the sinks' latched errors).
-func openOut(path string, stdout io.Writer) (io.Writer, func(), error) {
+// openOut resolves an output path: "-" is stdout (nil file), anything else
+// is an atomic writer that the caller must Commit on success; a deferred
+// closeOut aborts it on failure.
+func openOut(path string, stdout io.Writer) (io.Writer, *atomicwrite.File, error) {
 	if path == "-" {
-		return stdout, func() {}, nil
+		return stdout, nil, nil
 	}
-	f, err := os.Create(path)
+	f, err := atomicwrite.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() {
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "mtmtrace:", err)
-		}
-	}, nil
+	return f, f, nil
+}
+
+// closeOut aborts an uncommitted atomic write (no-op after Commit or for
+// stdout), reporting cleanup errors to stderr.
+func closeOut(f *atomicwrite.File) {
+	if f == nil {
+		return
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtmtrace:", err)
+	}
 }
 
 // openIn resolves an input path: "-" is stdin.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -204,6 +205,127 @@ func TestEventsFilter(t *testing.T) {
 	}
 	if tailLines[0] != lines[len(lines)-2] || tailLines[1] != lines[len(lines)-1] {
 		t.Errorf("tail returned wrong events:\n%v\nvs full tail:\n%v", tailLines, lines[len(lines)-2:])
+	}
+}
+
+// truncateGolden writes a copy of the golden fixture with its tail chopped
+// mid-record (the torn tail a crashed writer without atomic renames would
+// leave) and returns the path plus the 1-based line number of the damage.
+func truncateGolden(t *testing.T) (string, int) {
+	t.Helper()
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := want[:len(want)-20]
+	tornLine := bytes.Count(torn, []byte("\n")) + 1
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, tornLine
+}
+
+// TestSummaryTruncatedTrace checks that a trace cut off mid-record fails
+// loudly with the line number of the damage instead of producing a silently
+// partial summary.
+func TestSummaryTruncatedTrace(t *testing.T) {
+	path, tornLine := truncateGolden(t)
+	var out bytes.Buffer
+	_, err := run([]string{"summary", path}, &out)
+	if err == nil {
+		t.Fatalf("truncated trace summarized without error:\n%s", out.String())
+	}
+	want := fmt.Sprintf("line %d", tornLine)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name %q", err, want)
+	}
+	if !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Errorf("error %q does not say the trace is damaged", err)
+	}
+}
+
+// TestSummaryCorruptLine checks that a garbage line in the middle of a trace
+// is reported by its line number, not skipped.
+func TestSummaryCorruptLine(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(want, []byte("\n"))
+	if len(lines) < 10 {
+		t.Fatalf("golden fixture too short: %d lines", len(lines))
+	}
+	lines[4] = []byte(`{"type":"propose","round":`) // torn mid-write
+	path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, err = run([]string{"summary", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("corrupt line 5 not reported: err=%v", err)
+	}
+}
+
+// TestDiffTruncatedTrace checks that diffing against a damaged trace is an
+// error (exit 2) naming the damaged file and line, distinct from the
+// "traces diverge" exit 1.
+func TestDiffTruncatedTrace(t *testing.T) {
+	path, tornLine := truncateGolden(t)
+	var out bytes.Buffer
+	code, err := run([]string{"diff", goldenPath, path}, &out)
+	if err == nil {
+		t.Fatalf("diff against truncated trace succeeded (code %d):\n%s", code, out.String())
+	}
+	if code != 2 {
+		t.Errorf("code = %d, want 2 (error, not divergence)", code)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the damaged file %q", err, path)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("line %d", tornLine)) {
+		t.Errorf("error %q does not name line %d", err, tornLine)
+	}
+}
+
+// TestFaultedRecordDeterministic pins the fault path end to end: two
+// recordings with the same fault plan are byte-identical, and their summary
+// reports the injected-fault rows.
+func TestFaultedRecordDeterministic(t *testing.T) {
+	cfg := goldenConfig
+	cfg.Topo, cfg.N, cfg.Algo = "regular", 24, "asyncbitconv"
+	cfg.Deg = 6
+	cfg.CrashRate, cfg.RecoverRate, cfg.MaxDown = 0.05, 0.3, 4
+	cfg.ProposalLoss = 0.1
+	var a, b bytes.Buffer
+	if err := recordTrace(cfg, &a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := recordTrace(cfg, &b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed faulted recordings differ")
+	}
+	s, err := replay(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Faults) == 0 {
+		t.Fatal("faulted run reported no fault events")
+	}
+	if s.LastFaultRound == 0 {
+		t.Error("faulted run reported LastFaultRound = 0")
+	}
+	var sb strings.Builder
+	if err := writeSummaryText(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"faults: ", "last fault round"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("summary text missing %q:\n%s", want, sb.String())
+		}
 	}
 }
 

@@ -1,0 +1,124 @@
+// Package atomicwrite provides crash-safe file writes for result outputs:
+// data lands in a temp file in the target directory, is fsynced, and is
+// renamed into place. A reader therefore sees either the complete old file
+// or the complete new file — never a torn one — and an interrupted run
+// leaves at worst an orphaned *.tmp-* file, not a half-written table.
+//
+// All result/output writes in the cmd/ binaries must go through this
+// package; the mtmlint atomicwrite analyzer enforces it.
+package atomicwrite
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: temp file in path's
+// directory, write, fsync, rename.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := create(path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // aborting; the write error is the one worth reporting
+		return err
+	}
+	return f.Commit()
+}
+
+// File is a streaming atomic writer. Write as much as needed, then Commit
+// to atomically publish the file at its final path; Close without a prior
+// Commit aborts, removing the temp file. The usual shape is:
+//
+//	f, err := atomicwrite.Create(path)
+//	if err != nil { ... }
+//	defer f.Close() // no-op after Commit; aborts on early return
+//	...write...
+//	return f.Commit()
+type File struct {
+	f         *os.File
+	path      string // final destination
+	tmp       string // temp file currently holding the data
+	perm      os.FileMode
+	committed bool
+	err       error // first write error, latched
+}
+
+// Create opens a streaming atomic writer that will publish to path (mode
+// 0o644) on Commit.
+func Create(path string) (*File, error) {
+	return create(path, 0o644)
+}
+
+func create(path string, perm os.FileMode) (*File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	// The temp file must live in the destination directory: rename(2) is
+	// only atomic within a filesystem.
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicwrite: %w", err)
+	}
+	return &File{f: f, path: path, tmp: f.Name(), perm: perm}, nil
+}
+
+// Write appends to the pending temp file. The first error is latched and
+// re-returned by Commit, so intermediate errors may be ignored.
+func (w *File) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.f.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}
+
+// Name returns the final destination path.
+func (w *File) Name() string { return w.path }
+
+// Commit fsyncs the temp file, fixes its permissions, and renames it over
+// the destination. After Commit, Close is a no-op.
+func (w *File) Commit() error {
+	if w.committed {
+		return fmt.Errorf("atomicwrite: double Commit of %s", w.path)
+	}
+	w.committed = true
+	err := w.err
+	if err == nil {
+		err = w.f.Sync()
+	}
+	if err == nil {
+		err = w.f.Chmod(w.perm)
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(w.tmp, w.path)
+	}
+	if err != nil {
+		_ = os.Remove(w.tmp) // best-effort cleanup; the commit error dominates
+		return fmt.Errorf("atomicwrite: %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Close aborts an uncommitted write, closing and removing the temp file so
+// a failed run leaves no partial output behind. After Commit it is a no-op.
+func (w *File) Close() error {
+	if w.committed {
+		return nil
+	}
+	w.committed = true
+	err := w.f.Close()
+	if rerr := os.Remove(w.tmp); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,134 @@
+package atomicwrite
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFile(path, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a,b\n1,2\n" {
+		t.Errorf("content = %q", got)
+	}
+	// Overwrite replaces the whole file.
+	if err := WriteFile(path, []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "x\n" {
+		t.Errorf("after overwrite = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestStreamingCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != path {
+		t.Errorf("Name = %q, want %q", f.Name(), path)
+	}
+	if _, err := f.Write([]byte("line 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The destination must not exist until Commit.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("destination visible before Commit")
+	}
+	if _, err := f.Write([]byte("line 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "line 1\nline 2\n" {
+		t.Errorf("content = %q", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("Close after Commit = %v, want nil", err)
+	}
+	if err := f.Commit(); err == nil {
+		t.Error("double Commit succeeded")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestCloseAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	// Pre-existing content must survive an aborted rewrite.
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half-written")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Errorf("aborted write clobbered destination: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// The temp file is gone; a Write must surface an error that Commit
+	// would latch rather than publishing a truncated file.
+	if _, err := f.Write([]byte("late")); err == nil {
+		t.Error("Write after Close succeeded")
+	}
+}
+
+func TestCreateInMissingDir(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("Create in missing directory succeeded")
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "x"), nil, 0o644); err == nil {
+		t.Error("WriteFile in missing directory succeeded")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}

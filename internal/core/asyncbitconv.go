@@ -31,7 +31,10 @@ type AsyncBitConv struct {
 	position   int // 1-based tag bit position for the current group
 }
 
-var _ sim.Protocol = (*AsyncBitConv)(nil)
+var (
+	_ sim.Protocol    = (*AsyncBitConv)(nil)
+	_ sim.Corruptible = (*AsyncBitConv)(nil)
+)
 
 // NewAsyncBitConv creates the protocol instance for one node.
 func NewAsyncBitConv(uid, tag uint64, params BitConvParams) *AsyncBitConv {
@@ -118,6 +121,15 @@ func (p *AsyncBitConv) EndRound(*sim.Context) { p.localRound++ }
 
 // Leader returns the UID of the node's current smallest ID pair.
 func (p *AsyncBitConv) Leader() uint64 { return p.best.UID }
+
+// CorruptState implements sim.Corruptible: the node reverts to its exact
+// initial state — own pair, local clock zeroed, no group position (the next
+// Advertise starts a fresh local group and draws one). This is the
+// Section VIII adversary: the algorithm's self-stabilization claim is that
+// it converges from any such reset, which the R-series experiments measure.
+func (p *AsyncBitConv) CorruptState(*xrand.RNG) {
+	p.best, p.localRound, p.position = p.self, 0, 0
+}
 
 // Best returns the node's current smallest ID pair (for tests/trace).
 func (p *AsyncBitConv) Best() IDPair { return p.best }

@@ -73,7 +73,10 @@ type BitConv struct {
 	lastBit int8
 }
 
-var _ sim.Protocol = (*BitConv)(nil)
+var (
+	_ sim.Protocol    = (*BitConv)(nil)
+	_ sim.Corruptible = (*BitConv)(nil)
+)
 
 // NewBitConv creates the protocol instance for one node.
 func NewBitConv(uid, tag uint64, params BitConvParams) *BitConv {
@@ -154,6 +157,14 @@ func (p *BitConv) EndRound(*sim.Context) {}
 
 // Leader returns the leader variable, updated at phase boundaries.
 func (p *BitConv) Leader() uint64 { return p.leader }
+
+// CorruptState implements sim.Corruptible: the node reverts to its initial
+// state (own pair adopted and pending, itself as leader), as if it had just
+// started. Phase positions are global-round derived, so a corrupted node
+// stays phase-aligned — what BitConv's synchronized-start assumption needs.
+func (p *BitConv) CorruptState(*xrand.RNG) {
+	p.best, p.pending, p.leader, p.lastBit = p.self, p.self, p.self.UID, -1
+}
 
 // Best returns the node's current smallest ID pair (for tests/trace).
 func (p *BitConv) Best() IDPair { return p.best }

@@ -3,6 +3,7 @@ package core
 import (
 	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
+	"mobiletel/internal/xrand"
 )
 
 // BlindGossip is the Section VI algorithm for b = 0: each round, flip a fair
@@ -23,7 +24,10 @@ type BlindGossip struct {
 	buf [1]uint64
 }
 
-var _ sim.Protocol = (*BlindGossip)(nil)
+var (
+	_ sim.Protocol    = (*BlindGossip)(nil)
+	_ sim.Corruptible = (*BlindGossip)(nil)
+)
 
 // NewBlindGossip returns the protocol instance for one node with the given
 // UID. Leader is initialized to the node's own UID per Section IV.
@@ -65,6 +69,10 @@ func (p *BlindGossip) EndRound(*sim.Context) {}
 
 // Leader returns the current leader variable: the smallest UID seen.
 func (p *BlindGossip) Leader() uint64 { return p.best }
+
+// CorruptState implements sim.Corruptible: the node forgets every UID it
+// has seen and restarts from its own, exactly as a fresh activation.
+func (p *BlindGossip) CorruptState(*xrand.RNG) { p.best = p.uid }
 
 // UID returns the node's own immutable UID.
 func (p *BlindGossip) UID() uint64 { return p.uid }

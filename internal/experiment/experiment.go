@@ -48,6 +48,16 @@ type Config struct {
 	// untraced so the batch keeps its parallel throughput. Experiments
 	// that bypass runPointTrials ignore it.
 	Sink obs.Sink
+	// Checkpoint, when non-nil, makes the sweep crash-safe: every completed
+	// trial is recorded as it finishes and already-recorded trials are
+	// replayed instead of re-simulated, so a killed run resumed with the
+	// same checkpoint produces a bit-identical table. Experiments that
+	// bypass runPointTrials ignore it (they re-run from scratch).
+	Checkpoint *Checkpoint
+	// Interrupt, when non-nil, requests a graceful abort when closed:
+	// the feeder stops handing out new trials, in-flight trials drain (and
+	// are still checkpointed), and the run returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // Experiment is one registered reproduction target.
@@ -104,6 +114,11 @@ type trialSpec struct {
 	Build func(trial int) (dyngraph.Schedule, []sim.Protocol, sim.Config)
 	// Stop is the stop condition (defaults to sim.AllLeadersEqual).
 	Stop sim.StopCondition
+	// MakeStop, if non-nil, builds a per-trial stop condition and overrides
+	// Stop. It is called after Build, in the trial's goroutine, with the
+	// trial's engine config — so fault experiments can close over the
+	// trial's injector (e.g. "all *up* nodes agree").
+	MakeStop func(trial int, simCfg sim.Config) sim.StopCondition
 	// Check, if non-nil, validates the converged state (e.g. elected leader
 	// equals the true minimum); failures become errors.
 	Check func(trial int, protocols []sim.Protocol) error
@@ -143,6 +158,12 @@ func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 		errs[p] = make([]error, points[p].Trials)
 		total += points[p].Trials
 	}
+	// The batch ordinal must advance even for empty batches so a resumed
+	// process hands out the same ordinals to the same runPointTrials calls.
+	batch := -1
+	if cfg.Checkpoint != nil {
+		batch = cfg.Checkpoint.NextBatch()
+	}
 	if total == 0 {
 		return rounds, nil
 	}
@@ -162,6 +183,19 @@ func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 			defer wg.Done()
 			for t := range next {
 				spec := &points[t.point].Spec
+				if cfg.Checkpoint != nil {
+					// Replay a recorded cell instead of re-simulating. The
+					// result is identical because the trial's seed depends
+					// only on (cfg.Seed, point, trial); Check already passed
+					// before the cell was recorded. A replayed (0,0) trial
+					// does not re-emit its trace, so a resumed -trace sink
+					// stays empty.
+					if r, ok := cfg.Checkpoint.Lookup(batch, t.point, t.trial); ok {
+						rounds[t.point][t.trial] = r
+						progress.done(t.point)
+						continue
+					}
+				}
 				sched, protocols, simCfg := spec.Build(t.trial)
 				// Inner engine steps stay sequential: parallelism lives at
 				// the (point, trial) level here.
@@ -169,13 +203,17 @@ func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 				if cfg.Sink != nil && t.point == 0 && t.trial == 0 {
 					simCfg.Sink = cfg.Sink
 				}
+				stop := spec.Stop
+				if spec.MakeStop != nil {
+					stop = spec.MakeStop(t.trial, simCfg)
+				}
 				eng, err := sim.New(sched, protocols, simCfg)
 				if err != nil {
 					errs[t.point][t.trial] = err
 					progress.done(t.point)
 					continue
 				}
-				res, err := eng.Run(spec.Stop)
+				res, err := eng.Run(stop)
 				if err != nil {
 					errs[t.point][t.trial] = err
 					progress.done(t.point)
@@ -185,13 +223,34 @@ func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 				if spec.Check != nil {
 					errs[t.point][t.trial] = spec.Check(t.trial, protocols)
 				}
+				if errs[t.point][t.trial] == nil && cfg.Checkpoint != nil {
+					errs[t.point][t.trial] = cfg.Checkpoint.Record(batch, t.point, t.trial, res.StabilizedRound)
+				}
 				progress.done(t.point)
 			}
 		}()
 	}
+	interrupted := false
+feed:
 	for p := range points {
 		for trial := 0; trial < points[p].Trials; trial++ {
-			next <- task{p, trial}
+			// The pre-check makes an already-signalled interrupt win even
+			// when a worker is simultaneously ready to receive (a two-way
+			// select would pick between the ready cases at random).
+			select {
+			case <-cfg.Interrupt:
+				interrupted = true
+				break feed
+			default:
+			}
+			select {
+			case next <- task{p, trial}:
+			case <-cfg.Interrupt:
+				// Graceful abort: stop feeding, let in-flight trials drain
+				// (they still checkpoint), then report the interruption.
+				interrupted = true
+				break feed
+			}
 		}
 	}
 	close(next)
@@ -200,9 +259,12 @@ func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 	for p := range errs {
 		for trial, err := range errs[p] {
 			if err != nil {
-				return nil, fmt.Errorf("trial %d: %w", trial, err)
+				return nil, fmt.Errorf("point %d trial %d: %w", p, trial, err)
 			}
 		}
+	}
+	if interrupted {
+		return nil, ErrInterrupted
 	}
 	return rounds, nil
 }

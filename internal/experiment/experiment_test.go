@@ -23,6 +23,9 @@ func TestRegistryComplete(t *testing.T) {
 		"A1-ablation-grouplen",
 		"A2-ablation-tagbits",
 		"A3-ablation-accept",
+		"R1-leader-crash-reelection",
+		"R2-corruption-recovery",
+		"R3-message-loss-slowdown",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

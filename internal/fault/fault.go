@@ -1,0 +1,346 @@
+// Package fault is the simulator's deterministic fault-injection layer: a
+// seed-derived Plan of crashes, recoveries, message loss, advertisement
+// corruption, and adversarial state resets, compiled into an Injector the
+// engine consults at fixed points of each round.
+//
+// Design constraints, in priority order:
+//
+//  1. Determinism. Every fault draw comes from a dedicated per-round RNG
+//     stream derived from (Plan.Seed, round) — never from the node streams —
+//     so a faulted execution is a pure function of (seed, schedule, protocol,
+//     config, plan), at any worker count. The engine consumes draws only in
+//     its sequential sections, in a fixed documented order per round: churn
+//     (ascending node), tag flips (ascending active node), proposal drops
+//     (ascending proposer), connection drops (ascending receiver). Rates of
+//     zero consume no draws, so adding an unused knob never perturbs runs.
+//  2. Composability. Faults stack on top of any schedule: a crashed node is
+//     treated exactly like a node outside its activation window (invisible,
+//     no callbacks), and recovers into whatever topology the schedule then
+//     prescribes.
+//  3. Zero cost when absent. A nil *Injector in sim.Config adds only
+//     nil-checks to the round loop; the fault-free steady state stays at
+//     0 allocs/round (TestSteadyStateZeroAllocs).
+//
+// The Injector is single-run state: build one per engine with NewInjector
+// and do not share or reuse it across runs.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"mobiletel/internal/xrand"
+)
+
+// faultStream salts the per-round fault RNG stream so it can never collide
+// with the engine's per-(node, round) streams.
+const faultStream = 0xfa171
+
+// NodeRound schedules a scripted fault for one node at the start of one
+// round (rounds are 1-based, matching the engine).
+type NodeRound struct {
+	Round int
+	Node  int
+}
+
+// Burst schedules an adversarial state reset of a set of nodes at the start
+// of one round — the Section VIII self-stabilization adversary: corrupted
+// nodes forget everything they learned and restart from their initial state.
+type Burst struct {
+	Round int
+	Nodes []int
+}
+
+// Plan describes the faults to inject into one execution. The zero value is
+// a fault-free plan. Scripted faults (Crashes, Recoveries, Corruptions) fire
+// at exact rounds; rates draw independently each round from the plan's own
+// seed-derived stream.
+type Plan struct {
+	// Seed derives the fault RNG streams. Independent of sim.Config.Seed so
+	// the same fault pattern can be replayed against different executions
+	// (and vice versa).
+	Seed uint64
+
+	// CrashRate is the per-round probability that each up node crashes;
+	// RecoverRate the per-round probability that each down node recovers.
+	CrashRate   float64
+	RecoverRate float64
+
+	// MaxDown caps the number of simultaneously-down nodes reachable via
+	// CrashRate (scripted crashes are exempt). 0 means no cap.
+	MaxDown int
+
+	// ResetOnRecover models crash-with-amnesia: a recovering node's protocol
+	// state is reset (via sim.Corruptible) as if freshly activated. False
+	// models a transient disconnect that preserves state.
+	ResetOnRecover bool
+
+	// ProposalLoss is the per-proposal probability that a connection
+	// proposal is dropped in transit. ConnLoss is the per-acceptance
+	// probability that an accepted connection fails before the message
+	// exchange. TagFlipRate is the per-(active node, round) probability that
+	// one uniformly chosen bit of its advertisement is flipped on the air.
+	ProposalLoss float64
+	ConnLoss     float64
+	TagFlipRate  float64
+
+	// Scripted faults, applied at the start of their round before any rate
+	// draws. A crash of an already-down node (or recovery of an up one) is a
+	// no-op.
+	Crashes    []NodeRound
+	Recoveries []NodeRound
+
+	// Corruptions are adversarial state-reset bursts. Only nodes active in
+	// the burst round are corrupted.
+	Corruptions []Burst
+}
+
+// Enabled reports whether the plan can inject any fault at all.
+func (p *Plan) Enabled() bool {
+	return p.CrashRate > 0 || p.RecoverRate > 0 ||
+		p.ProposalLoss > 0 || p.ConnLoss > 0 || p.TagFlipRate > 0 ||
+		len(p.Crashes) > 0 || len(p.Recoveries) > 0 || len(p.Corruptions) > 0
+}
+
+// Validate checks the plan against a network of n nodes.
+func (p *Plan) Validate(n int) error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"CrashRate", p.CrashRate},
+		{"RecoverRate", p.RecoverRate},
+		{"ProposalLoss", p.ProposalLoss},
+		{"ConnLoss", p.ConnLoss},
+		{"TagFlipRate", p.TagFlipRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s = %v, want [0, 1]", r.name, r.v)
+		}
+	}
+	if p.MaxDown < 0 || p.MaxDown > n {
+		return fmt.Errorf("fault: MaxDown = %d, want [0, %d]", p.MaxDown, n)
+	}
+	check := func(what string, round, node int) error {
+		if round < 1 {
+			return fmt.Errorf("fault: %s round %d, rounds are 1-based", what, round)
+		}
+		if node < 0 || node >= n {
+			return fmt.Errorf("fault: %s node %d out of range [0, %d)", what, node, n)
+		}
+		return nil
+	}
+	for _, c := range p.Crashes {
+		if err := check("scripted crash", c.Round, c.Node); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.Recoveries {
+		if err := check("scripted recovery", c.Round, c.Node); err != nil {
+			return err
+		}
+	}
+	for _, b := range p.Corruptions {
+		if len(b.Nodes) == 0 {
+			return fmt.Errorf("fault: corruption burst at round %d has no nodes", b.Round)
+		}
+		for _, u := range b.Nodes {
+			if err := check("corruption", b.Round, u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Injector is a Plan compiled for one n-node execution. The engine calls
+// BeginRound once per round in its sequential prologue, then consults the
+// query methods; all mutating methods are single-goroutine by contract.
+type Injector struct {
+	plan Plan
+	n    int
+	rng  xrand.RNG // per-round fault stream, reseeded in BeginRound
+
+	down      []bool
+	downCount int
+
+	// Scripted faults indexed by round (single-key lookups only; iteration
+	// order never matters).
+	crashAt   map[int][]int32
+	recoverAt map[int][]int32
+	corruptAt map[int][]int32
+
+	// Per-round scratch, valid until the next BeginRound.
+	newlyDown      []int32
+	newlyRecovered []int32
+}
+
+// NewInjector validates plan against an n-node network and compiles it.
+func NewInjector(plan Plan, n int) (*Injector, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fault: n = %d, want >= 1", n)
+	}
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
+	in := &Injector{plan: plan, n: n}
+	if plan.CrashRate > 0 || plan.RecoverRate > 0 || len(plan.Crashes) > 0 {
+		in.down = make([]bool, n)
+		in.newlyDown = make([]int32, 0, 8)
+		in.newlyRecovered = make([]int32, 0, 8)
+	}
+	in.crashAt = indexByRound(plan.Crashes)
+	in.recoverAt = indexByRound(plan.Recoveries)
+	if len(plan.Corruptions) > 0 {
+		in.corruptAt = make(map[int][]int32, len(plan.Corruptions))
+		for _, b := range plan.Corruptions {
+			nodes := append(in.corruptAt[b.Round], toInt32Sorted(b.Nodes)...)
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			in.corruptAt[b.Round] = nodes
+		}
+	}
+	return in, nil
+}
+
+func indexByRound(events []NodeRound) map[int][]int32 {
+	if len(events) == 0 {
+		return nil
+	}
+	idx := make(map[int][]int32, len(events))
+	for _, e := range events {
+		idx[e.Round] = append(idx[e.Round], int32(e.Node))
+	}
+	for r, nodes := range idx {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		idx[r] = nodes
+	}
+	return idx
+}
+
+func toInt32Sorted(nodes []int) []int32 {
+	out := make([]int32, len(nodes))
+	for i, u := range nodes {
+		out[i] = int32(u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// N returns the network size the injector was compiled for.
+func (in *Injector) N() int { return in.n }
+
+// ResetOnRecover reports whether recovering nodes lose their state.
+func (in *Injector) ResetOnRecover() bool { return in.plan.ResetOnRecover }
+
+// RNG returns the current round's fault stream, for corruption draws.
+func (in *Injector) RNG() *xrand.RNG { return &in.rng }
+
+// BeginRound advances the churn state machine into round r: it reseeds the
+// round's fault stream, applies scripted crashes and recoveries, then draws
+// random churn in ascending node order. It must be called exactly once per
+// round, in ascending round order, before any other query for that round.
+func (in *Injector) BeginRound(r int) {
+	in.rng.Reseed(in.plan.Seed, faultStream, uint64(r))
+	in.newlyDown = in.newlyDown[:0]
+	in.newlyRecovered = in.newlyRecovered[:0]
+	if in.down == nil {
+		return
+	}
+	for _, u := range in.crashAt[r] {
+		in.setDown(u, true)
+	}
+	for _, u := range in.recoverAt[r] {
+		in.setDown(u, false)
+	}
+	if in.plan.CrashRate == 0 && in.plan.RecoverRate == 0 {
+		return
+	}
+	for u := 0; u < in.n; u++ {
+		if in.down[u] {
+			if in.plan.RecoverRate > 0 && in.rng.Float64() < in.plan.RecoverRate {
+				in.setDown(int32(u), false)
+			}
+		} else if in.plan.CrashRate > 0 && in.rng.Float64() < in.plan.CrashRate {
+			if in.plan.MaxDown > 0 && in.downCount >= in.plan.MaxDown {
+				continue
+			}
+			in.setDown(int32(u), true)
+		}
+	}
+}
+
+func (in *Injector) setDown(u int32, d bool) {
+	if in.down[u] == d {
+		return
+	}
+	in.down[u] = d
+	if d {
+		in.downCount++
+		in.newlyDown = append(in.newlyDown, u)
+	} else {
+		in.downCount--
+		in.newlyRecovered = append(in.newlyRecovered, u)
+	}
+}
+
+// DownMask returns the per-node down flags, or nil when every node is up —
+// the engine skips the mask check entirely in the common case.
+func (in *Injector) DownMask() []bool {
+	if in.downCount == 0 {
+		return nil
+	}
+	return in.down
+}
+
+// Down reports whether node u is currently down.
+func (in *Injector) Down(u int) bool { return in.down != nil && in.down[u] }
+
+// DownCount returns the number of currently-down nodes.
+func (in *Injector) DownCount() int { return in.downCount }
+
+// NewlyDown returns the nodes that crashed at this round's BeginRound, in
+// the order the transitions fired (scripted first, then churn; ascending
+// within each). Valid until the next BeginRound.
+func (in *Injector) NewlyDown() []int32 { return in.newlyDown }
+
+// NewlyRecovered returns the nodes that recovered at this round's
+// BeginRound. Valid until the next BeginRound.
+func (in *Injector) NewlyRecovered() []int32 { return in.newlyRecovered }
+
+// CorruptTargets returns the nodes to corrupt at the start of round r, in
+// ascending order (nil for rounds without a burst).
+func (in *Injector) CorruptTargets(r int) []int32 {
+	if in.corruptAt == nil {
+		return nil
+	}
+	return in.corruptAt[r]
+}
+
+// FlipTag decides whether a node's advertisement is corrupted this round;
+// it returns the (possibly flipped) tag. The engine calls it once per
+// active node in ascending order after the advertise phase. A zero
+// TagFlipRate consumes no draws.
+func (in *Injector) FlipTag(tagBits int, tag uint64) (uint64, bool) {
+	if in.plan.TagFlipRate == 0 || tagBits == 0 {
+		return tag, false
+	}
+	if in.rng.Float64() >= in.plan.TagFlipRate {
+		return tag, false
+	}
+	bit := in.rng.Intn(tagBits)
+	return tag ^ (1 << uint(bit)), true
+}
+
+// DropProposal decides whether one in-flight proposal is lost. The engine
+// calls it once per proposal in ascending proposer order. A zero
+// ProposalLoss consumes no draws.
+func (in *Injector) DropProposal() bool {
+	return in.plan.ProposalLoss > 0 && in.rng.Float64() < in.plan.ProposalLoss
+}
+
+// DropConnection decides whether one accepted connection fails before the
+// exchange. The engine calls it once per acceptance in ascending receiver
+// order. A zero ConnLoss consumes no draws.
+func (in *Injector) DropConnection() bool {
+	return in.plan.ConnLoss > 0 && in.rng.Float64() < in.plan.ConnLoss
+}

@@ -1,0 +1,293 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero plan", Plan{}, true},
+		{"rates in range", Plan{CrashRate: 0.5, RecoverRate: 1, ProposalLoss: 0.1, ConnLoss: 0.2, TagFlipRate: 0.3}, true},
+		{"negative rate", Plan{CrashRate: -0.1}, false},
+		{"rate above one", Plan{ProposalLoss: 1.5}, false},
+		{"scripted ok", Plan{Crashes: []NodeRound{{Round: 3, Node: 7}}}, true},
+		{"crash round zero", Plan{Crashes: []NodeRound{{Round: 0, Node: 0}}}, false},
+		{"crash node out of range", Plan{Crashes: []NodeRound{{Round: 1, Node: 8}}}, false},
+		{"recovery node negative", Plan{Recoveries: []NodeRound{{Round: 1, Node: -1}}}, false},
+		{"corruption ok", Plan{Corruptions: []Burst{{Round: 2, Nodes: []int{0, 7}}}}, true},
+		{"corruption empty", Plan{Corruptions: []Burst{{Round: 2}}}, false},
+		{"corruption node out of range", Plan{Corruptions: []Burst{{Round: 2, Nodes: []int{8}}}}, false},
+		{"maxdown negative", Plan{MaxDown: -1}, false},
+		{"maxdown above n", Plan{MaxDown: 9}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(8)
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+	if _, err := NewInjector(Plan{}, 0); err == nil {
+		t.Error("NewInjector accepted n=0")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (&Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	for _, p := range []Plan{
+		{CrashRate: 0.1},
+		{RecoverRate: 0.1},
+		{ProposalLoss: 0.1},
+		{ConnLoss: 0.1},
+		{TagFlipRate: 0.1},
+		{Crashes: []NodeRound{{Round: 1, Node: 0}}},
+		{Recoveries: []NodeRound{{Round: 1, Node: 0}}},
+		{Corruptions: []Burst{{Round: 1, Nodes: []int{0}}}},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v reports disabled", p)
+		}
+	}
+}
+
+func TestScriptedChurn(t *testing.T) {
+	plan := Plan{
+		Crashes:    []NodeRound{{Round: 2, Node: 3}, {Round: 2, Node: 1}, {Round: 5, Node: 1}},
+		Recoveries: []NodeRound{{Round: 4, Node: 1}, {Round: 4, Node: 3}},
+	}
+	in, err := NewInjector(plan, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in.BeginRound(1)
+	if in.DownMask() != nil || in.DownCount() != 0 {
+		t.Fatal("round 1: nodes down before any scripted crash")
+	}
+
+	in.BeginRound(2)
+	if got := in.NewlyDown(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("round 2 NewlyDown = %v, want [1 3] (ascending)", got)
+	}
+	if !in.Down(1) || !in.Down(3) || in.Down(0) || in.DownCount() != 2 {
+		t.Fatalf("round 2 down state wrong")
+	}
+	mask := in.DownMask()
+	if mask == nil || !mask[1] || !mask[3] || mask[0] {
+		t.Fatalf("round 2 DownMask = %v", mask)
+	}
+
+	in.BeginRound(3)
+	if len(in.NewlyDown()) != 0 || len(in.NewlyRecovered()) != 0 || in.DownCount() != 2 {
+		t.Fatal("round 3: churn fired without scripted events or rates")
+	}
+
+	in.BeginRound(4)
+	if got := in.NewlyRecovered(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("round 4 NewlyRecovered = %v, want [1 3]", got)
+	}
+	if in.DownMask() != nil {
+		t.Fatal("round 4: mask non-nil after full recovery")
+	}
+
+	// Re-crash of node 1 at round 5 works; crash of a down node is a no-op.
+	in.BeginRound(5)
+	if got := in.NewlyDown(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("round 5 NewlyDown = %v, want [1]", got)
+	}
+	in2, _ := NewInjector(Plan{Crashes: []NodeRound{{Round: 1, Node: 0}, {Round: 2, Node: 0}}}, 4)
+	in2.BeginRound(1)
+	in2.BeginRound(2)
+	if len(in2.NewlyDown()) != 0 || in2.DownCount() != 1 {
+		t.Error("double crash of the same node was not a no-op")
+	}
+}
+
+func TestChurnDeterminism(t *testing.T) {
+	plan := Plan{Seed: 99, CrashRate: 0.2, RecoverRate: 0.5}
+	run := func() ([]int, []int) {
+		in, err := NewInjector(plan, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var downs, recovers []int
+		for r := 1; r <= 200; r++ {
+			in.BeginRound(r)
+			for _, u := range in.NewlyDown() {
+				downs = append(downs, r*1000+int(u))
+			}
+			for _, u := range in.NewlyRecovered() {
+				recovers = append(recovers, r*1000+int(u))
+			}
+		}
+		return downs, recovers
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if len(d1) == 0 {
+		t.Fatal("no crashes at CrashRate 0.2 over 200 rounds")
+	}
+	if len(r1) == 0 {
+		t.Fatal("no recoveries at RecoverRate 0.5")
+	}
+	if !equalInts(d1, d2) || !equalInts(r1, r2) {
+		t.Error("same plan produced different churn across runs")
+	}
+
+	// A different fault seed produces a different pattern.
+	other := plan
+	other.Seed = 100
+	in, _ := NewInjector(other, 64)
+	var d3 []int
+	for r := 1; r <= 200; r++ {
+		in.BeginRound(r)
+		for _, u := range in.NewlyDown() {
+			d3 = append(d3, r*1000+int(u))
+		}
+	}
+	if equalInts(d1, d3) {
+		t.Error("different fault seeds produced identical churn")
+	}
+}
+
+func TestMaxDownCap(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 7, CrashRate: 1, MaxDown: 3}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginRound(1)
+	if in.DownCount() != 3 {
+		t.Errorf("DownCount = %d, want capped at 3", in.DownCount())
+	}
+	// Scripted crashes are exempt from the cap.
+	in2, _ := NewInjector(Plan{Seed: 7, CrashRate: 1, MaxDown: 1,
+		Crashes: []NodeRound{{Round: 1, Node: 4}, {Round: 1, Node: 5}}}, 16)
+	in2.BeginRound(1)
+	if !in2.Down(4) || !in2.Down(5) {
+		t.Error("scripted crashes were blocked by MaxDown")
+	}
+}
+
+func TestDropAndFlipDeterminism(t *testing.T) {
+	plan := Plan{Seed: 5, ProposalLoss: 0.3, ConnLoss: 0.2, TagFlipRate: 0.4}
+	run := func() []uint64 {
+		in, err := NewInjector(plan, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []uint64
+		for r := 1; r <= 50; r++ {
+			in.BeginRound(r)
+			for u := 0; u < 8; u++ {
+				tag, flipped := in.FlipTag(3, uint64(u))
+				if flipped {
+					got = append(got, uint64(r)<<32|tag)
+				}
+			}
+			for i := 0; i < 6; i++ {
+				if in.DropProposal() {
+					got = append(got, uint64(r)<<16|uint64(i))
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if in.DropConnection() {
+					got = append(got, uint64(r)<<8|uint64(i))
+				}
+			}
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults drawn at high rates")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("draw counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs", i)
+		}
+	}
+}
+
+func TestFlipTagStaysInRange(t *testing.T) {
+	in, _ := NewInjector(Plan{Seed: 3, TagFlipRate: 1}, 4)
+	in.BeginRound(1)
+	const bits = 4
+	for i := 0; i < 100; i++ {
+		tag, flipped := in.FlipTag(bits, 0b1010)
+		if !flipped {
+			t.Fatal("TagFlipRate 1 did not flip")
+		}
+		if tag >= 1<<bits {
+			t.Fatalf("flipped tag %#x exceeds %d bits", tag, bits)
+		}
+		if tag == 0b1010 {
+			t.Fatal("flip produced the original tag")
+		}
+	}
+	// Zero tag bits (no advertisements) can never flip.
+	if _, flipped := in.FlipTag(0, 0); flipped {
+		t.Error("flip with 0 tag bits")
+	}
+}
+
+func TestZeroRatesConsumeNoDraws(t *testing.T) {
+	// With all rates zero, query methods must not touch the RNG, so a plan
+	// that only scripts faults leaves the stream untouched for corruption
+	// draws — and adding unused knobs can never perturb existing runs.
+	in, _ := NewInjector(Plan{Seed: 11, Crashes: []NodeRound{{Round: 1, Node: 0}}}, 4)
+	in.BeginRound(1)
+	before := in.RNG().Uint64()
+	in.BeginRound(1) // reseed to replay the round
+	if in.DropProposal() || in.DropConnection() {
+		t.Fatal("zero-rate drop fired")
+	}
+	if _, flipped := in.FlipTag(3, 1); flipped {
+		t.Fatal("zero-rate flip fired")
+	}
+	if got := in.RNG().Uint64(); got != before {
+		t.Error("zero-rate queries consumed RNG draws")
+	}
+}
+
+func TestCorruptTargets(t *testing.T) {
+	in, err := NewInjector(Plan{Corruptions: []Burst{
+		{Round: 3, Nodes: []int{5, 1}},
+		{Round: 3, Nodes: []int{2}},
+		{Round: 7, Nodes: []int{0}},
+	}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.CorruptTargets(2); got != nil {
+		t.Errorf("round 2 targets = %v, want nil", got)
+	}
+	got := in.CorruptTargets(3)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("round 3 targets = %v, want [1 2 5]", got)
+	}
+	if got := in.CorruptTargets(7); len(got) != 1 || got[0] != 0 {
+		t.Errorf("round 7 targets = %v", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

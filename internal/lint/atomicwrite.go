@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicwrite forbids direct os.WriteFile / os.Create output in cmd/
+// packages: a command killed mid-write (crash, ^C, mtmexp -die-after)
+// leaves a torn half-file that later tooling misparses or that silently
+// replaces a good previous result. Command output must go through
+// internal/atomicwrite (temp file in the destination directory + fsync +
+// rename), which publishes either the whole file or nothing. Reads
+// (os.Open, os.ReadFile) are unaffected, _test.go files are never loaded,
+// and genuinely non-atomic sinks (an append-only log, a named pipe) can be
+// waived with //mtmlint:atomicwrite-ok <reason>.
+var Atomicwrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "forbid os.WriteFile/os.Create in cmd/; route output through internal/atomicwrite so interrupted commands never leave torn files",
+	Run:  runAtomicwrite,
+}
+
+func runAtomicwrite(p *Pass) {
+	if !p.Within("cmd") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			if fn.Name() == "WriteFile" || fn.Name() == "Create" {
+				p.Reportf(id.Pos(), "os.%s in cmd/ leaves a torn file if the process dies mid-write; use internal/atomicwrite, which publishes whole files or nothing", fn.Name())
+			}
+			return true
+		})
+	}
+}

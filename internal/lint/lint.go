@@ -33,7 +33,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Norand, Maporder, Seedflow, Errdrop, Sharedwrite}
+	return []*Analyzer{Norand, Maporder, Seedflow, Errdrop, Sharedwrite, Atomicwrite}
 }
 
 // Lookup returns the analyzer with the given name, or nil.

@@ -124,6 +124,24 @@ func TestSharedwriteFixture(t *testing.T) {
 	checkFixture(t, "internal/shared", Sharedwrite)
 }
 
+func TestAtomicwriteFixture(t *testing.T) {
+	checkFixture(t, "cmd/mtmfake", Atomicwrite)
+}
+
+// TestAtomicwriteScopedToCmd proves the rule stays silent outside cmd/:
+// internal packages (e.g. atomicwrite itself, which must call os.Create)
+// and the root package are exempt.
+func TestAtomicwriteScopedToCmd(t *testing.T) {
+	l := fixtureModule(t)
+	pkg := loadFixture(t, l, "internal/errs") // fixture calls os.WriteFile-free os APIs but lives outside cmd/
+	findings := Run(l, []*Package{pkg}, []*Analyzer{Atomicwrite})
+	for _, f := range findings {
+		if f.Analyzer == "atomicwrite" {
+			t.Errorf("atomicwrite fired outside cmd/: %s", f)
+		}
+	}
+}
+
 // TestFixtureSweep runs every analyzer over every fixture package at once:
 // cross-package wants must still line up exactly, proving analyzers do not
 // fire outside their scope (e.g. maporder stays silent outside

@@ -1,0 +1,24 @@
+// Command mtmfake is an atomicwrite fixture: direct file writes in cmd/
+// are flagged, reads and suppressed writes are not.
+package main
+
+import "os"
+
+func main() {
+	// Writes bypassing internal/atomicwrite are flagged: a crash mid-write
+	// leaves a torn file.
+	_ = os.WriteFile("out.csv", []byte("a,b\n"), 0o644) // want `os.WriteFile in cmd/ leaves a torn file`
+
+	f, _ := os.Create("trace.jsonl") // want `os.Create in cmd/ leaves a torn file`
+	_ = f.Close()
+
+	// Reads are fine.
+	_, _ = os.ReadFile("in.csv")
+	in, _ := os.Open("in.jsonl")
+	_ = in.Close()
+
+	// Reasoned suppressions are honored.
+	_ = os.WriteFile("audit.log", nil, 0o644) //mtmlint:atomicwrite-ok append-only audit log, torn tail is tolerated
+
+	_ = os.Remove("out.csv") // other os calls are out of scope
+}

@@ -26,6 +26,11 @@ type Metrics struct {
 	transitions      [len(kindNames)]int64
 	convergenceRound int // last round a leader/informed transition fired
 
+	// Injected-fault accounting (TypeFault events, internal/fault).
+	faults         [len(kindNames)]int64
+	faultLost      int64 // proposals killed by proploss/connloss faults
+	lastFaultRound int   // last round any fault fired (0 = none)
+
 	// Lifetime per-node connection counts, maintained incrementally from
 	// connect events so the imbalance curve costs O(1) per connection.
 	connCount []int64
@@ -87,6 +92,16 @@ func (m *Metrics) Event(e Event) {
 		if e.Kind == KindLeader || e.Kind == KindInformed {
 			m.convergenceRound = e.Round
 		}
+	case TypeFault:
+		if int(e.Kind) < len(m.faults) {
+			m.faults[e.Kind]++
+		}
+		if e.Kind == KindPropLoss || e.Kind == KindConnLoss {
+			m.faultLost++
+		}
+		if e.Round > m.lastFaultRound {
+			m.lastFaultRound = e.Round
+		}
 	case TypeRoundEnd:
 		if e.Round > m.rounds {
 			m.rounds = e.Round
@@ -146,9 +161,12 @@ type Summary struct {
 	Accepts   int64 `json:"accepts"`
 	// Rejects counts contention rejects (the proposal reached a receiver
 	// that chose another suitor); Lost counts busy-target proposals (the
-	// target was itself sending). Accepts + Rejects + Lost == Proposals.
+	// target was itself sending); FaultLost counts proposals killed by
+	// injected faults (proploss/connloss).
+	// Accepts + Rejects + Lost + FaultLost == Proposals.
 	Rejects     int64 `json:"rejects"`
 	Lost        int64 `json:"lost"`
+	FaultLost   int64 `json:"fault_lost,omitempty"`
 	Connections int64 `json:"connections"`
 
 	// AcceptanceRate is accepts/proposals over the whole run.
@@ -161,6 +179,17 @@ type Summary struct {
 
 	// Transitions counts protocol state transitions per kind.
 	Transitions map[string]int64 `json:"transitions"`
+
+	// Faults counts injected faults per kind (omitted for fault-free runs).
+	Faults map[string]int64 `json:"faults,omitempty"`
+
+	// LastFaultRound is the last round any fault fired (0 = fault-free run).
+	// RecoveryRounds is the recovery metric for fault-burst runs: rounds from
+	// the last fault to the last leader/informed transition
+	// (ConvergenceRound - LastFaultRound, floored at 0) — re-election /
+	// re-stabilization time when the burst precedes final convergence.
+	LastFaultRound int `json:"last_fault_round,omitempty"`
+	RecoveryRounds int `json:"recovery_rounds,omitempty"`
 
 	// MeanMatching / MaxMatching describe per-round connection-set sizes
 	// (each round's connections form a matching in the mobile telephone
@@ -197,6 +226,7 @@ func (m *Metrics) Summary() Summary {
 		Accepts:          m.accepts,
 		Rejects:          m.rejects,
 		Lost:             m.lost,
+		FaultLost:        m.faultLost,
 		Connections:      m.connections,
 		ConvergenceRound: m.convergenceRound,
 		Transitions:      make(map[string]int64),
@@ -210,6 +240,20 @@ func (m *Metrics) Summary() Summary {
 	for k, c := range m.transitions {
 		if c > 0 {
 			s.Transitions[Kind(k).String()] = c
+		}
+	}
+	for k, c := range m.faults {
+		if c > 0 {
+			if s.Faults == nil {
+				s.Faults = make(map[string]int64)
+			}
+			s.Faults[Kind(k).String()] = c
+		}
+	}
+	if m.lastFaultRound > 0 {
+		s.LastFaultRound = m.lastFaultRound
+		if m.convergenceRound > m.lastFaultRound {
+			s.RecoveryRounds = m.convergenceRound - m.lastFaultRound
 		}
 	}
 	total := 0

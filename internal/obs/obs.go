@@ -74,6 +74,17 @@ const (
 	// TypeTransition is a protocol state transition. Node = the node,
 	// Kind = which variable changed, A = old value, B = new value.
 	TypeTransition
+
+	// TypeFault is an injected fault (internal/fault). Kind says which:
+	// KindCrash / KindRecover (Node = the node; for recover, A/B are the
+	// old/new leader estimates, which differ only when the plan resets state
+	// on recovery), KindCorrupt (Node = the node, A/B = old/new leader
+	// estimates after the adversarial state reset), KindTagFlip (Node = the
+	// node, A/B = old/new advertisement tags), KindPropLoss (a proposal
+	// dropped in transit; Node = target, Peer = proposer), and KindConnLoss
+	// (an accepted connection that failed before the exchange; Node =
+	// receiver, Peer = accepted proposer).
+	TypeFault
 )
 
 // typeNames is the frozen wire encoding of Type (part of the schema).
@@ -87,6 +98,7 @@ var typeNames = [...]string{
 	TypeConnect:    "connect",
 	TypeDeliver:    "deliver",
 	TypeTransition: "transition",
+	TypeFault:      "fault",
 }
 
 // String returns the wire name of the type.
@@ -161,6 +173,28 @@ const (
 	// KindContention: a proposal reached a receiver that accepted a
 	// different proposal.
 	KindContention
+
+	// KindCrash: the node went down (TypeFault). While down it is invisible
+	// to the network, exactly like a node outside its activation window.
+	KindCrash
+
+	// KindRecover: the node came back up (TypeFault).
+	KindRecover
+
+	// KindCorrupt: the adversary reset the node's protocol state (TypeFault).
+	KindCorrupt
+
+	// KindTagFlip: a bit of the node's advertisement was corrupted on the
+	// air this round (TypeFault); neighbors see the flipped tag.
+	KindTagFlip
+
+	// KindPropLoss: a proposal was dropped in transit by the fault plan
+	// (TypeFault), before reaching its target.
+	KindPropLoss
+
+	// KindConnLoss: an accepted connection failed before the message
+	// exchange (TypeFault); no messages flowed.
+	KindConnLoss
 )
 
 // kindNames is the frozen wire encoding of Kind (part of the schema).
@@ -173,6 +207,12 @@ var kindNames = [...]string{
 	KindInformed:   "informed",
 	KindBusy:       "busy",
 	KindContention: "contention",
+	KindCrash:      "crash",
+	KindRecover:    "recover",
+	KindCorrupt:    "corrupt",
+	KindTagFlip:    "tagflip",
+	KindPropLoss:   "proploss",
+	KindConnLoss:   "connloss",
 }
 
 // String returns the wire name of the kind ("" for KindNone).
@@ -250,6 +290,13 @@ func (e Event) String() string {
 		return fmt.Sprintf("r%-6d deliver      %d <- %d uid=%#x aux=%#x", e.Round, e.Node, e.Peer, e.A, e.B)
 	case TypeTransition:
 		return fmt.Sprintf("r%-6d transition   node=%d %s %d -> %d", e.Round, e.Node, e.Kind, e.A, e.B)
+	case TypeFault:
+		switch e.Kind {
+		case KindPropLoss, KindConnLoss:
+			return fmt.Sprintf("r%-6d fault        %s %d from %d", e.Round, e.Kind, e.Node, e.Peer)
+		default:
+			return fmt.Sprintf("r%-6d fault        %s node=%d %d -> %d", e.Round, e.Kind, e.Node, e.A, e.B)
+		}
 	default:
 		return fmt.Sprintf("r%-6d %s node=%d peer=%d kind=%s a=%d b=%d",
 			e.Round, e.Type, e.Node, e.Peer, e.Kind, e.A, e.B)

@@ -8,13 +8,13 @@ import (
 )
 
 func TestTypeKindWireNames(t *testing.T) {
-	for ty := TypeNone; ty <= TypeTransition; ty++ {
+	for ty := TypeNone; ty <= TypeFault; ty++ {
 		got, err := ParseType(ty.String())
 		if err != nil || got != ty {
 			t.Errorf("ParseType(%q) = %v, %v; want %v", ty.String(), got, err, ty)
 		}
 	}
-	for k := KindNone; k <= KindContention; k++ {
+	for k := KindNone; k <= KindConnLoss; k++ {
 		got, err := ParseKind(k.String())
 		if err != nil || got != k {
 			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
@@ -120,6 +120,73 @@ func TestJSONLRoundTrip(t *testing.T) {
 		if got[i] != events[i] {
 			t.Errorf("event %d: got %+v, want %+v", i, got[i], events[i])
 		}
+	}
+}
+
+func TestReaderReportsCorruptLine(t *testing.T) {
+	header := `{"schema":"` + Schema + `","n":2}`
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the expected error
+	}{
+		{"truncated event", header + "\n" + `{"t":"propose","r":1,"node":0,` + "\n", "line 2"},
+		{"garbage line", header + "\n" + `{"t":"connect","r":1}` + "\nnot json\n", "line 3"},
+		{"empty line", header + "\n\n", "line 2"},
+		{"bad type name", header + "\n" + `{"t":"warp","r":1}` + "\n", "warp"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rd, err := NewReader(strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("header rejected: %v", err)
+			}
+			_, err = rd.ReadAll()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	// A truncated header is an error too, not a zero-value header.
+	if _, err := NewReader(strings.NewReader(`{"schema":"mtmtr`)); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestMetricsFaults(t *testing.T) {
+	m := NewMetrics()
+	m.Begin(Header{N: 4})
+	synthRound(m, 1, 2, 2, 0)
+	m.Event(Event{Type: TypeFault, Kind: KindCrash, Round: 2, Node: 1})
+	m.Event(Event{Type: TypeFault, Kind: KindPropLoss, Round: 2, Node: 0, Peer: 3})
+	m.Event(Event{Type: TypeFault, Kind: KindCorrupt, Round: 3, Node: 2, A: 9, B: 2})
+	m.Event(Event{Type: TypeTransition, Kind: KindLeader, Round: 7, Node: 2, A: 9, B: 1})
+	m.End()
+
+	s := m.Summary()
+	if s.Faults["crash"] != 1 || s.Faults["proploss"] != 1 || s.Faults["corrupt"] != 1 {
+		t.Errorf("Faults = %v", s.Faults)
+	}
+	if s.FaultLost != 1 {
+		t.Errorf("FaultLost = %d, want 1", s.FaultLost)
+	}
+	if s.LastFaultRound != 3 {
+		t.Errorf("LastFaultRound = %d, want 3", s.LastFaultRound)
+	}
+	if s.RecoveryRounds != 4 {
+		t.Errorf("RecoveryRounds = %d, want 4 (convergence 7 - last fault 3)", s.RecoveryRounds)
+	}
+
+	// Fault-free runs omit the fault fields entirely.
+	clean := NewMetrics()
+	clean.Begin(Header{N: 2})
+	synthRound(clean, 1, 1, 1, 0)
+	cs := clean.Summary()
+	if cs.Faults != nil || cs.LastFaultRound != 0 || cs.RecoveryRounds != 0 {
+		t.Errorf("fault-free summary has fault fields: %+v", cs)
 	}
 }
 

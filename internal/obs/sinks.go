@@ -104,36 +104,75 @@ func (j *JSONL) encode(v interface{}) {
 }
 
 // Reader parses a JSONL trace produced by the JSONL sink, streaming events
-// one at a time so multi-gigabyte traces never need to fit in memory.
+// one at a time so multi-gigabyte traces never need to fit in memory. It
+// reads line by line and reports the 1-based line number of any malformed
+// or truncated line, so a corrupt trace names the exact point of damage
+// instead of misparsing past it.
 type Reader struct {
-	dec    *json.Decoder
+	sc     *bufio.Scanner
+	line   int // lines consumed so far (header = line 1)
 	header Header
 }
 
+// maxTraceLine bounds a single trace line (far above anything the JSONL
+// sink emits; a longer line means the file is not a trace).
+const maxTraceLine = 1 << 20
+
 // NewReader reads and validates the header line of a trace.
 func NewReader(r io.Reader) (*Reader, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	var h Header
-	if err := dec.Decode(&h); err != nil {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
+	rd := &Reader{sc: sc}
+	data, err := rd.scanLine()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("obs: trace header: empty trace")
+		}
 		return nil, fmt.Errorf("obs: trace header: %w", err)
+	}
+	var h Header
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("obs: trace header (line 1): %w", err)
 	}
 	if h.Schema != Schema {
 		return nil, fmt.Errorf("obs: trace schema %q, this reader speaks %q", h.Schema, Schema)
 	}
-	return &Reader{dec: dec, header: h}, nil
+	rd.header = h
+	return rd, nil
+}
+
+// scanLine returns the next raw line, or io.EOF at a clean end of input.
+func (r *Reader) scanLine() ([]byte, error) {
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", r.line+1, err)
+		}
+		return nil, io.EOF
+	}
+	r.line++
+	return r.sc.Bytes(), nil
 }
 
 // Header returns the trace's run header.
 func (r *Reader) Header() Header { return r.header }
 
-// Next returns the next event, or io.EOF after the last one.
+// Line returns the 1-based number of the last line consumed.
+func (r *Reader) Line() int { return r.line }
+
+// Next returns the next event, or io.EOF after the last one. A malformed or
+// truncated line (e.g. a write cut off mid-record) is an error naming the
+// offending line number, never silently skipped.
 func (r *Reader) Next() (Event, error) {
-	var e Event
-	if err := r.dec.Decode(&e); err != nil {
+	data, err := r.scanLine()
+	if err != nil {
 		if err == io.EOF {
 			return Event{}, io.EOF
 		}
-		return Event{}, fmt.Errorf("obs: trace event: %w", err)
+		return Event{}, fmt.Errorf("obs: trace: %w", err)
+	}
+	var e Event
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Event{}, fmt.Errorf("obs: trace line %d: corrupt or truncated event: %w", r.line, err)
 	}
 	return e, nil
 }

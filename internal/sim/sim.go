@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/fault"
 	"mobiletel/internal/graph"
 	"mobiletel/internal/obs"
 	"mobiletel/internal/xrand"
@@ -226,6 +227,19 @@ type Config struct {
 	// record.go). The slice is reused across rounds; copy it to retain.
 	OnConnections func(round int, pairs [][2]int32)
 
+	// Faults, when non-nil, injects the compiled fault plan into the
+	// execution: crash/recover churn (a down node is treated exactly like a
+	// node outside its activation window), advertisement tag flips, proposal
+	// and connection loss, and adversarial state resets of Corruptible
+	// protocols (see internal/fault). All fault randomness comes from the
+	// plan's own per-round stream, consumed only in the engine's sequential
+	// sections, so faulted executions stay deterministic at any worker count
+	// and the node RNG streams are exactly those of the fault-free run. The
+	// injector is single-run state: build a fresh one per engine. With
+	// Faults nil every hook reduces to one predictable branch and the
+	// steady state stays at exactly 0 allocs/round.
+	Faults *fault.Injector
+
 	// Sink, when non-nil, receives the run's structured event trace:
 	// round boundaries, proposals sent/accepted/rejected, connections,
 	// message deliveries, and protocol state transitions (see internal/obs
@@ -368,8 +382,19 @@ type Engine struct {
 const (
 	actionReceive  = int32(-1)
 	actionInactive = int32(-2)
+	actionSendLost = int32(-3) // sender whose proposal a fault dropped in transit
 	noPartner      = int32(-1)
 )
+
+// Corruptible is implemented by protocols that support fault-injected state
+// resets — the internal/fault corruption adversary and crash-with-amnesia
+// recovery. CorruptState must return the node to a legal initial state (the
+// Section VIII self-stabilization experiments measure how the protocol
+// recovers from exactly this), drawing any randomness it needs from rng,
+// the injector's deterministic fault stream.
+type Corruptible interface {
+	CorruptState(rng *xrand.RNG)
+}
 
 // New validates the configuration and builds an engine. protocols must have
 // one entry per node of the schedule.
@@ -423,6 +448,9 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 		// order within each phase) is what makes two same-seed traces
 		// comparable event by event.
 		workers = 1
+	}
+	if cfg.Faults != nil && cfg.Faults.N() != n {
+		return nil, fmt.Errorf("sim: fault injector compiled for %d nodes, network has %d", cfg.Faults.N(), n)
 	}
 	stopGate := 1
 	for _, a := range cfg.Activations {
@@ -524,10 +552,20 @@ func (e *Engine) Protocols() []Protocol { return e.protocols }
 // step runs one full round and returns its statistics.
 func (e *Engine) step(r int) RoundStats {
 	g := e.sched.GraphAt(r)
+	var downMask []bool
+	if e.cfg.Faults != nil {
+		// Advance the churn state machine before the active set is computed:
+		// a crashed node is exactly a node outside its activation window.
+		e.cfg.Faults.BeginRound(r)
+		downMask = e.cfg.Faults.DownMask()
+	}
 	activeCount := 0
 	for u := 0; u < e.n; u++ {
 		a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
 		if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
+			a = false
+		}
+		if a && downMask != nil && downMask[u] {
 			a = false
 		}
 		e.active[u] = a
@@ -547,10 +585,18 @@ func (e *Engine) step(r int) RoundStats {
 		sink.Event(obs.Event{Type: obs.TypeRoundStart, Round: r,
 			Node: obs.NoNode, Peer: obs.NoNode, A: uint64(activeCount)})
 	}
+	if e.cfg.Faults != nil {
+		e.applyRoundStartFaults(r)
+	}
 
 	// Steps 2-3: advertise then decide, in parallel over nodes. Each node's
 	// RNG is derived from (seed, node, round) so ordering is irrelevant.
 	e.parallelFor(e.phAdvertise)
+	if e.cfg.Faults != nil && e.cfg.TagBits > 0 {
+		// Corrupt advertisements between advertise and decide, so deciders
+		// (and the propose events below) see the flipped tags.
+		e.applyTagFlips(r)
+	}
 	e.parallelFor(e.phDecide)
 
 	if e.cfg.Classical {
@@ -569,6 +615,18 @@ func (e *Engine) step(r int) RoundStats {
 				sink.Event(obs.Event{Type: obs.TypePropose, Round: r,
 					Node: int32(u), Peer: t, A: e.tags[u], B: e.tags[t]})
 			}
+			proposals++
+			// One fault draw per proposal, ascending proposer order: a
+			// dropped proposal never reaches its target (but the node still
+			// transmitted, so proposals aimed at it stay busy-lost).
+			if e.cfg.Faults != nil && e.cfg.Faults.DropProposal() {
+				e.actions[u] = actionSendLost
+				if sink != nil {
+					sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindPropLoss,
+						Round: r, Node: t, Peer: int32(u)})
+				}
+				continue
+			}
 			// A proposal to a node that itself proposed is lost (the model:
 			// a node that sends cannot also receive).
 			if e.actions[t] == actionReceive {
@@ -577,7 +635,6 @@ func (e *Engine) step(r int) RoundStats {
 				sink.Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindBusy,
 					Round: r, Node: t, Peer: int32(u)})
 			}
-			proposals++
 		}
 	}
 	for u := 0; u < e.n; u++ {
@@ -629,6 +686,24 @@ func (e *Engine) step(r int) RoundStats {
 		default:
 			panic(fmt.Sprintf("sim: unknown accept policy %d", e.cfg.Accept))
 		}
+		// One fault draw per acceptance, ascending receiver order (after the
+		// accept choice, so the node RNG streams match the fault-free run):
+		// a dropped connection exchanges nothing, and the proposals the
+		// receiver turned down stay contention rejects.
+		if e.cfg.Faults != nil && e.cfg.Faults.DropConnection() {
+			rejects += len(inbox) - 1
+			if sink != nil {
+				sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindConnLoss,
+					Round: r, Node: int32(v), Peer: chosen})
+				for _, s := range inbox {
+					if s != chosen {
+						sink.Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindContention,
+							Round: r, Node: int32(v), Peer: s})
+					}
+				}
+			}
+			continue
+		}
 		e.partner[v] = chosen
 		e.partner[chosen] = int32(v)
 		e.connCount[v]++
@@ -676,6 +751,69 @@ func (e *Engine) step(r int) RoundStats {
 
 	return RoundStats{Round: r, Proposals: proposals, Connections: connections,
 		ActiveNodes: activeCount, Accepts: connections, Rejects: rejects}
+}
+
+// applyRoundStartFaults publishes this round's churn and applies state
+// resets: crash-with-amnesia recoveries (Plan.ResetOnRecover) and scripted
+// corruption bursts. Runs sequentially after the active set is computed and
+// before the advertise phase; resets draw from the injector's fault stream
+// in ascending node order.
+func (e *Engine) applyRoundStartFaults(r int) {
+	in := e.cfg.Faults
+	sink := e.cfg.Sink
+	if sink != nil {
+		for _, u := range in.NewlyDown() {
+			sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindCrash,
+				Round: r, Node: u, Peer: obs.NoNode})
+		}
+	}
+	for _, u := range in.NewlyRecovered() {
+		old := e.protocols[u].Leader()
+		if in.ResetOnRecover() {
+			if c, ok := e.protocols[u].(Corruptible); ok {
+				c.CorruptState(in.RNG())
+			}
+		}
+		if sink != nil {
+			sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindRecover,
+				Round: r, Node: u, Peer: obs.NoNode, A: old, B: e.protocols[u].Leader()})
+		}
+	}
+	for _, u := range in.CorruptTargets(r) {
+		if !e.active[u] {
+			continue // corruption targets participating nodes only
+		}
+		c, ok := e.protocols[u].(Corruptible)
+		if !ok {
+			continue
+		}
+		old := e.protocols[u].Leader()
+		c.CorruptState(in.RNG())
+		if sink != nil {
+			sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindCorrupt,
+				Round: r, Node: u, Peer: obs.NoNode, A: old, B: e.protocols[u].Leader()})
+		}
+	}
+}
+
+// applyTagFlips corrupts advertisements on the air: one fault draw per
+// active node in ascending order, between the advertise and decide phases.
+func (e *Engine) applyTagFlips(r int) {
+	sink := e.cfg.Sink
+	for u := 0; u < e.n; u++ {
+		if !e.active[u] {
+			continue
+		}
+		tag, flipped := e.cfg.Faults.FlipTag(e.cfg.TagBits, e.tags[u])
+		if !flipped {
+			continue
+		}
+		if sink != nil {
+			sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindTagFlip,
+				Round: r, Node: int32(u), Peer: obs.NoNode, A: e.tags[u], B: tag})
+		}
+		e.tags[u] = tag
+	}
 }
 
 // bindCtx points the scratch Context at the current round's state.
@@ -799,28 +937,38 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 	e.bindCtx(ctxV)
 	connections := 0
 	proposals := 0
+	sink := e.cfg.Sink
 	if e.cfg.OnConnections != nil {
 		e.pairScratch = e.pairScratch[:0]
-		for u := 0; u < e.n; u++ {
-			if v := e.actions[u]; v >= 0 {
-				e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
-			}
-		}
-		e.cfg.OnConnections(r, e.pairScratch)
 	}
-	sink := e.cfg.Sink
 	for u := 0; u < e.n; u++ {
 		v := e.actions[u]
 		if v < 0 {
 			continue
 		}
 		proposals++
-		connections++
-		e.connCount[u]++
-		e.connCount[v]++
 		if sink != nil {
 			sink.Event(obs.Event{Type: obs.TypePropose, Round: r,
 				Node: int32(u), Peer: v, A: e.tags[u], B: e.tags[v]})
+		}
+		// Classical mode has no accept step, so only proposal loss applies
+		// (ConnLoss draws nothing here — classical connects every proposal
+		// that arrives).
+		if e.cfg.Faults != nil && e.cfg.Faults.DropProposal() {
+			e.actions[u] = actionSendLost
+			if sink != nil {
+				sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindPropLoss,
+					Round: r, Node: v, Peer: int32(u)})
+			}
+			continue
+		}
+		connections++
+		e.connCount[u]++
+		e.connCount[v]++
+		if e.cfg.OnConnections != nil {
+			e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
+		}
+		if sink != nil {
 			sink.Event(obs.Event{Type: obs.TypeAccept, Round: r, Node: v, Peer: int32(u)})
 			lo, hi := int32(u), v
 			if hi < lo {
@@ -840,6 +988,13 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		e.protocols[u].Deliver(ctxU, v, mv)
 		e.emitDeliver(v, int32(u), mu)
 		e.protocols[v].Deliver(ctxV, int32(u), mu)
+	}
+
+	// The callback fires after the loop (unlike the main path's
+	// pre-exchange call) so fault-dropped proposals are excluded; it still
+	// observes the same pairs-in-sender-order contract.
+	if e.cfg.OnConnections != nil {
+		e.cfg.OnConnections(r, e.pairScratch)
 	}
 
 	e.parallelFor(e.phEndRound)

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -42,6 +44,7 @@ import (
 	"mobiletel/internal/core"
 	"mobiletel/internal/dyngraph"
 	"mobiletel/internal/experiment"
+	"mobiletel/internal/fault"
 	"mobiletel/internal/gossip"
 	"mobiletel/internal/graph/gen"
 	"mobiletel/internal/matching"
@@ -250,6 +253,87 @@ type Options struct {
 	// per round) — the related-work baseline, not the paper's model. See
 	// experiment E12 for the gap this exposes.
 	Classical bool
+	// Faults, when non-nil, injects deterministic faults (crash/recover
+	// churn, message loss, advertisement corruption, adversarial state
+	// resets) into the execution. Faulted runs remain a pure function of
+	// (Seed, schedule, algorithm, Options, Faults) at any worker count.
+	// With crash faults, ElectLeader's stop condition and reported Leader
+	// quantify over up devices only (a crashed device keeps stale state).
+	Faults *FaultPlan
+}
+
+// FaultEvent schedules a scripted crash or recovery of one device at the
+// start of one round (rounds are 1-based).
+type FaultEvent struct {
+	Round  int
+	Device int
+}
+
+// FaultBurst schedules an adversarial state reset of a set of devices at
+// the start of one round — the Section VIII self-stabilization adversary.
+type FaultBurst struct {
+	Round   int
+	Devices []int
+}
+
+// FaultPlan mirrors internal/fault.Plan: a deterministic, seed-derived
+// description of the faults to inject. The zero value injects nothing.
+type FaultPlan struct {
+	// Seed derives the fault randomness, independently of Options.Seed, so
+	// the same fault pattern can be replayed against different executions.
+	Seed uint64
+	// CrashRate / RecoverRate are per-round per-device probabilities of an
+	// up device crashing and a down device recovering. MaxDown caps the
+	// random churn (scripted crashes are exempt); 0 means no cap.
+	CrashRate   float64
+	RecoverRate float64
+	MaxDown     int
+	// ResetOnRecover models crash-with-amnesia: a recovering device's
+	// protocol state is reset as if freshly started.
+	ResetOnRecover bool
+	// ProposalLoss / ConnLoss are per-message loss probabilities for
+	// connection proposals and accepted connections; TagFlipRate is the
+	// per-(device, round) probability of one advertisement bit flipping.
+	ProposalLoss float64
+	ConnLoss     float64
+	TagFlipRate  float64
+	// Scripted faults, applied at the start of their round.
+	Crashes     []FaultEvent
+	Recoveries  []FaultEvent
+	Corruptions []FaultBurst
+}
+
+// compile converts the public plan into a validated engine injector.
+func (p *FaultPlan) compile(n int) (*fault.Injector, error) {
+	if p == nil {
+		return nil, nil
+	}
+	plan := fault.Plan{
+		Seed:           p.Seed,
+		CrashRate:      p.CrashRate,
+		RecoverRate:    p.RecoverRate,
+		MaxDown:        p.MaxDown,
+		ResetOnRecover: p.ResetOnRecover,
+		ProposalLoss:   p.ProposalLoss,
+		ConnLoss:       p.ConnLoss,
+		TagFlipRate:    p.TagFlipRate,
+	}
+	for _, e := range p.Crashes {
+		plan.Crashes = append(plan.Crashes, fault.NodeRound{Round: e.Round, Node: e.Device})
+	}
+	for _, e := range p.Recoveries {
+		plan.Recoveries = append(plan.Recoveries, fault.NodeRound{Round: e.Round, Node: e.Device})
+	}
+	for _, b := range p.Corruptions {
+		plan.Corruptions = append(plan.Corruptions, fault.Burst{Round: b.Round, Nodes: b.Devices})
+	}
+	return fault.NewInjector(plan, n)
+}
+
+// mayCrash reports whether the plan can ever take a device down — the case
+// where stop conditions must ignore down devices.
+func (p *FaultPlan) mayCrash() bool {
+	return p != nil && (p.CrashRate > 0 || len(p.Crashes) > 0)
 }
 
 // observer adapts Options.OnRound to the engine's observer hook.
@@ -364,6 +448,11 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		return ElectionResult{}, fmt.Errorf("mobiletel: unknown algorithm %v", algo)
 	}
 
+	injector, err := opts.Faults.compile(n)
+	if err != nil {
+		return ElectionResult{}, err
+	}
+
 	sink, jsonl, metrics := opts.buildSink()
 	cfg := sim.Config{
 		Seed:        opts.Seed,
@@ -374,6 +463,7 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		Observer:    opts.observer(),
 		Classical:   opts.Classical,
 		Sink:        sink,
+		Faults:      injector,
 	}
 	if recorder != nil {
 		recorder.Attach(&cfg)
@@ -382,7 +472,28 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 	if err != nil {
 		return ElectionResult{}, err
 	}
-	res, err := eng.Run(sim.AllLeadersEqual)
+	stop := sim.StopCondition(sim.AllLeadersEqual)
+	if opts.Faults.mayCrash() {
+		// A crashed device keeps whatever leader it last held, so demanding
+		// network-wide agreement would never fire. Elections under crash
+		// faults stabilize when every *up* device agrees.
+		stop = func(round int, protocols []sim.Protocol) bool {
+			var want uint64
+			first := true
+			for u, p := range protocols {
+				if injector.Down(u) {
+					continue
+				}
+				if first {
+					want, first = p.Leader(), false
+				} else if p.Leader() != want {
+					return false
+				}
+			}
+			return !first // at least one device must be up
+		}
+	}
+	res, err := eng.Run(stop)
 	if err != nil {
 		return ElectionResult{}, err
 	}
@@ -395,12 +506,24 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 	if err := drainSinks(jsonl, metrics, opts.MetricsTo); err != nil {
 		return ElectionResult{}, err
 	}
+	leaderOf := 0
+	for u := range protocols {
+		if !injectorDown(injector, u) {
+			leaderOf = u
+			break
+		}
+	}
 	return ElectionResult{
-		Leader:      protocols[0].Leader(),
+		Leader:      protocols[leaderOf].Leader(),
 		Rounds:      res.StabilizedRound,
 		Connections: res.Connections,
 		UIDs:        uids,
 	}, nil
+}
+
+// injectorDown reports whether device u is down, tolerating a nil injector.
+func injectorDown(in *fault.Injector, u int) bool {
+	return in != nil && in.Down(u)
 }
 
 // RumorStrategy selects a rumor spreading strategy from Section V.
@@ -454,6 +577,15 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 	default:
 		return RumorResult{}, fmt.Errorf("mobiletel: unknown strategy %v", strategy)
 	}
+	// Loss faults (ProposalLoss, ConnLoss) slow spreading realistically;
+	// crash faults would leave the crashed device uninformed forever and the
+	// AllInformed stop condition would never fire — callers who want churn
+	// experiments should use ElectLeader, whose stop quantifies over up
+	// devices only.
+	injector, err := opts.Faults.compile(n)
+	if err != nil {
+		return RumorResult{}, err
+	}
 	sink, jsonl, metrics := opts.buildSink()
 	eng, err := sim.New(s.sched, protocols, sim.Config{
 		Seed:      opts.Seed,
@@ -463,6 +595,7 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 		Observer:  opts.observer(),
 		Classical: opts.Classical,
 		Sink:      sink,
+		Faults:    injector,
 	})
 	if err != nil {
 		return RumorResult{}, err
@@ -511,7 +644,26 @@ type ExperimentOptions struct {
 	// MetricsTo, when non-nil, receives a JSON metrics summary (schema
 	// mtmtrace-metrics/v1) of the experiment's first trial.
 	MetricsTo io.Writer
+	// CheckpointDir, when non-empty, enables crash-safe per-trial
+	// checkpointing: completed trial results are appended to
+	// <CheckpointDir>/<id>.ckpt.jsonl and replayed on the next run with the
+	// same (id, seed, trials, quick) key, producing a bit-identical table.
+	// Stale checkpoints (different key) are rejected with an error.
+	CheckpointDir string
+	// DieAfter, when > 0, kills the process (exit 3) after that many newly
+	// recorded checkpoint cells. Test hook for the resume path; requires
+	// CheckpointDir.
+	DieAfter int
+	// Interrupt, when non-nil, aborts the sweep gracefully once the channel
+	// is closed: in-flight trials drain (and checkpoint), no new trials
+	// start, and RunExperiment returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
+
+// ErrInterrupted is returned by RunExperiment when the sweep was aborted via
+// ExperimentOptions.Interrupt. Completed trials were checkpointed (if
+// CheckpointDir was set) and a rerun with the same options resumes from them.
+var ErrInterrupted = experiment.ErrInterrupted
 
 // RunExperiment regenerates one experiment's table and returns it rendered.
 func RunExperiment(id string, opts ExperimentOptions) (string, error) {
@@ -520,15 +672,35 @@ func RunExperiment(id string, opts ExperimentOptions) (string, error) {
 		return "", fmt.Errorf("mobiletel: unknown experiment %q", id)
 	}
 	sink, jsonl, metrics := Options{TraceTo: opts.TraceTo, MetricsTo: opts.MetricsTo}.buildSink()
+	var ck *experiment.Checkpoint
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return "", fmt.Errorf("mobiletel: creating checkpoint dir: %w", err)
+		}
+		var err error
+		ck, err = experiment.OpenCheckpoint(
+			filepath.Join(opts.CheckpointDir, id+".ckpt.jsonl"),
+			experiment.CheckpointKey{ID: id, Seed: opts.Seed, Trials: opts.Trials, Quick: opts.Quick},
+		)
+		if err != nil {
+			return "", err
+		}
+		// Recorded cells are flushed per Record; a close error here cannot
+		// lose them.
+		defer func() { _ = ck.Close() }()
+		ck.SetDieAfter(opts.DieAfter)
+	}
 	// The harness never reads the clock itself (reproducibility); inject it
 	// here so progress lines can show elapsed time and an ETA.
 	table, err := e.Run(experiment.Config{
-		Seed:     opts.Seed,
-		Trials:   opts.Trials,
-		Quick:    opts.Quick,
-		Progress: opts.Progress,
-		Now:      time.Now,
-		Sink:     sink,
+		Seed:       opts.Seed,
+		Trials:     opts.Trials,
+		Quick:      opts.Quick,
+		Progress:   opts.Progress,
+		Now:        time.Now,
+		Sink:       sink,
+		Checkpoint: ck,
+		Interrupt:  opts.Interrupt,
 	})
 	if err != nil {
 		return "", err

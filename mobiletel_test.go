@@ -172,8 +172,8 @@ func TestParseAlgorithm(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	infos := mobiletel.Experiments()
-	if len(infos) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(infos))
+	if len(infos) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(infos))
 	}
 	for _, info := range infos {
 		if info.ID == "" || info.Claim == "" {
@@ -204,6 +204,98 @@ func TestRunExperimentTextAndCSV(t *testing.T) {
 func TestRunExperimentUnknown(t *testing.T) {
 	if _, err := mobiletel.RunExperiment("bogus", mobiletel.ExperimentOptions{}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestElectLeaderWithFaults runs an election under crash/recover churn and
+// message loss: the stop condition quantifies over up devices only, and the
+// whole run stays deterministic per (seed, fault plan).
+func TestElectLeaderWithFaults(t *testing.T) {
+	topo := mobiletel.RandomRegular(48, 6, 11)
+	opts := mobiletel.Options{
+		Seed: 5,
+		Faults: &mobiletel.FaultPlan{
+			Seed:           51,
+			CrashRate:      0.02,
+			RecoverRate:    0.3,
+			MaxDown:        6,
+			ResetOnRecover: true,
+			ProposalLoss:   0.1,
+			ConnLoss:       0.05,
+		},
+	}
+	run := func() mobiletel.ElectionResult {
+		res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.AsyncBitConv, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds < 1 || a.Leader == 0 {
+		t.Fatalf("implausible faulted result: %+v", a)
+	}
+	if a.Leader != b.Leader || a.Rounds != b.Rounds || a.Connections != b.Connections {
+		t.Fatalf("faulted run nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestElectLeaderScheduledCrash crashes one specific device and checks the
+// election completes among the survivors (the stop condition must not wait
+// for the crashed device's stale state).
+func TestElectLeaderScheduledCrash(t *testing.T) {
+	topo := mobiletel.Clique(16)
+	res, err := mobiletel.ElectLeader(mobiletel.Static(topo), mobiletel.BlindGossip,
+		mobiletel.Options{
+			Seed: 2,
+			Faults: &mobiletel.FaultPlan{
+				Seed:    21,
+				Crashes: []mobiletel.FaultEvent{{Round: 1, Device: 3}},
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+// TestRunExperimentCheckpointResume kills nothing but runs the same
+// experiment twice against one checkpoint directory: the second run replays
+// every trial and must render the identical table.
+func TestRunExperimentCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	opts := mobiletel.ExperimentOptions{Seed: 1, Trials: 2, Quick: true, CheckpointDir: dir}
+	first, err := mobiletel.RunExperiment("E6-bitconv-tau", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := mobiletel.RunExperiment("E6-bitconv-tau", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("resumed table differs:\n%s\nvs\n%s", first, second)
+	}
+	// A different seed against the same checkpoint is a stale-checkpoint
+	// error, not silent reuse of wrong results.
+	bad := opts
+	bad.Seed = 2
+	if _, err := mobiletel.RunExperiment("E6-bitconv-tau", bad); err == nil {
+		t.Fatal("stale checkpoint (different seed) accepted")
+	}
+}
+
+// TestRunExperimentInterrupt aborts a run via an already-closed Interrupt
+// channel and checks the sentinel error surfaces through the facade.
+func TestRunExperimentInterrupt(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt)
+	_, err := mobiletel.RunExperiment("E6-bitconv-tau",
+		mobiletel.ExperimentOptions{Seed: 1, Trials: 2, Quick: true, Interrupt: interrupt})
+	if !errors.Is(err, mobiletel.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
 	}
 }
 
