@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint check bench bench-smoke trace-smoke fault-smoke
+.PHONY: build vet test race race-smoke lint lint-baseline baseline-check check bench bench-smoke trace-smoke fault-smoke
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,31 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# race-smoke mirrors the CI race-smoke job: the concurrency-heavy tests
+# (parallel round loop, worker fan-out, fault injection) under the race
+# detector, without -short. This is the dynamic backstop for the
+# happensbefore analyzer's documented static boundaries (untraceable
+# pointers, receiver-method bodies).
+race-smoke:
+	$(GO) test -race ./internal/sim ./internal/fault -run 'Parallel|Workers|Fault'
+
 lint:
 	$(GO) run ./cmd/mtmlint ./...
 
-check: build vet test race lint
+# lint-baseline regenerates the committed JSON baseline that CI diffs
+# mtmlint output against; commit the result when a finding is knowingly
+# introduced or retired.
+lint-baseline:
+	$(GO) run ./cmd/mtmlint -json ./... > lint_baseline.json || true
+
+# baseline-check fails when mtmlint -json output drifts from the
+# committed lint_baseline.json (new findings AND silently fixed ones both
+# count: regenerate deliberately with make lint-baseline).
+baseline-check:
+	$(GO) run ./cmd/mtmlint -json ./... > /tmp/mtmlint-now.json || true
+	cmp lint_baseline.json /tmp/mtmlint-now.json
+
+check: build vet test race lint baseline-check
 
 # bench records a fresh full-suite BENCH_local.json (see README "Performance").
 bench:

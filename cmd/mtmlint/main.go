@@ -12,6 +12,8 @@
 // Flags:
 //
 //	-json            emit findings as a JSON array
+//	-explain         print each finding's def-use chain (why the analyzer
+//	                 could not prove the access safe)
 //	-list            list analyzers and exit
 //	-enable  a,b     run only the named analyzers
 //	-disable a,b     run all but the named analyzers
@@ -36,6 +38,7 @@ func run(argv []string) int {
 	fs := flag.NewFlagSet("mtmlint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	explain := fs.Bool("explain", false, "print each finding's def-use chain")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
@@ -100,6 +103,11 @@ func run(argv []string) int {
 	} else {
 		for _, f := range findings {
 			fmt.Fprintln(os.Stdout, f.String())
+			if *explain {
+				for _, step := range f.Explain {
+					fmt.Fprintf(os.Stdout, "\t%s\n", step)
+				}
+			}
 		}
 		if len(findings) > 0 {
 			fmt.Fprintf(os.Stderr, "mtmlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))

@@ -1,0 +1,158 @@
+package lint
+
+// Shared analysis infrastructure. Every analyzer builds on the helpers
+// here: expression/lvalue resolution (rootObject, identsIn), static call
+// resolution (calleeName, calledFunc), and the declaration/method-value
+// indexes the SSA-backed analyzers (happensbefore, hotalloc) use to find
+// the bodies behind indirect dispatch.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// identsIn collects every *ast.Ident in the expression tree.
+func identsIn(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeName extracts the bare called-function name from a call's Fun
+// expression (ident or method selector), or "" when it is neither.
+func calleeName(fun ast.Expr) string {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// calledFunc resolves the called function or method, if statically known.
+func calledFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	return staticFunc(p.Pkg.Info, call.Fun)
+}
+
+// staticFunc resolves an expression (ident, method selector, or method
+// value) to the *types.Func it denotes, or nil.
+func staticFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// rootObject resolves the base variable of an lvalue chain such as
+// x, x.f, x[i], or *x.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return p.Pkg.Info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isIntegerExpr(p *Pass, e ast.Expr) bool {
+	basic, ok := p.Pkg.Info.TypeOf(e).Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// funcDecls indexes a package's function and method declarations by their
+// type-checker object, so analyzers can go from a resolved *types.Func to
+// its body.
+func funcDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// fieldFuncBindings scans a package for assignments that store a
+// statically-known function or method value into a struct field
+// (x.field = y.Method) and returns field → function. A field assigned two
+// different functions anywhere in the package is ambiguous and dropped.
+// This is how indirect dispatch through func-typed fields (internal/sim
+// binds e.phAdvertise = e.phaseAdvertise once in New) resolves to bodies.
+func fieldFuncBindings(pkg *Package) map[*types.Var]*types.Func {
+	out := make(map[*types.Var]*types.Func)
+	ambiguous := make(map[*types.Var]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+				if !ok || !field.IsField() {
+					continue
+				}
+				fn := staticFunc(pkg.Info, as.Rhs[i])
+				if fn == nil {
+					ambiguous[field] = true
+					continue
+				}
+				if prev, ok := out[field]; ok && prev != fn {
+					ambiguous[field] = true
+					continue
+				}
+				out[field] = fn
+			}
+			return true
+		})
+	}
+	for field := range ambiguous {
+		delete(out, field)
+	}
+	return out
+}
+
+// docHasDirective reports whether the declaration's doc comment contains
+// the given //mtmlint: directive (e.g. "hotpath").
+func docHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//mtmlint:"+directive {
+			return true
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 )
 
@@ -10,13 +11,24 @@ import (
 // leaves a torn half-file that later tooling misparses or that silently
 // replaces a good previous result. Command output must go through
 // internal/atomicwrite (temp file in the destination directory + fsync +
-// rename), which publishes either the whole file or nothing. Reads
-// (os.Open, os.ReadFile) are unaffected, _test.go files are never loaded,
-// and genuinely non-atomic sinks (an append-only log, a named pipe) can be
-// waived with //mtmlint:atomicwrite-ok <reason>.
+// rename), which publishes either the whole file or nothing. Also flagged:
+//
+//   - os.OpenFile whose flag argument constant-folds to include both
+//     O_CREATE and O_TRUNC — that is os.Create spelled longhand, and
+//     truncates the previous good file before the first byte lands
+//     (O_CREATE|O_APPEND logs are fine);
+//   - bufio.NewWriter / bufio.NewWriterSize wrapping a raw *os.File:
+//     buffered bytes die with the process even when the underlying write
+//     path was otherwise safe, and a missed Flush tears the tail silently
+//     (os.Stdout and os.Stderr are exempt — terminal output is not a
+//     published artifact).
+//
+// Reads (os.Open, os.ReadFile) are unaffected, _test.go files are never
+// loaded, and genuinely non-atomic sinks (an append-only log, a named
+// pipe) can be waived with //mtmlint:atomicwrite-ok <reason>.
 var Atomicwrite = &Analyzer{
 	Name: "atomicwrite",
-	Doc:  "forbid os.WriteFile/os.Create in cmd/; route output through internal/atomicwrite so interrupted commands never leave torn files",
+	Doc:  "forbid torn-file output in cmd/ (os.WriteFile/os.Create, O_CREATE|O_TRUNC opens, bufio over raw *os.File); route output through internal/atomicwrite",
 	Run:  runAtomicwrite,
 }
 
@@ -26,18 +38,99 @@ func runAtomicwrite(p *Pass) {
 	}
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
-				return true
-			}
-			if fn.Name() == "WriteFile" || fn.Name() == "Create" {
-				p.Reportf(id.Pos(), "os.%s in cmd/ leaves a torn file if the process dies mid-write; use internal/atomicwrite, which publishes whole files or nothing", fn.Name())
+			switch x := n.(type) {
+			case *ast.Ident:
+				fn, ok := p.Pkg.Info.Uses[x].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+					return true
+				}
+				if fn.Name() == "WriteFile" || fn.Name() == "Create" {
+					p.Reportf(x.Pos(), "os.%s in cmd/ leaves a torn file if the process dies mid-write; use internal/atomicwrite, which publishes whole files or nothing", fn.Name())
+				}
+			case *ast.CallExpr:
+				checkOpenFile(p, x)
+				checkBufioOverFile(p, x)
 			}
 			return true
 		})
 	}
+}
+
+// checkOpenFile flags os.OpenFile calls whose flag argument provably
+// includes O_CREATE|O_TRUNC — os.Create in disguise.
+func checkOpenFile(p *Pass, call *ast.CallExpr) {
+	fn := staticFunc(p.Pkg.Info, call.Fun)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" ||
+		fn.Name() != "OpenFile" || len(call.Args) < 2 {
+		return
+	}
+	flags, ok := constIntValue(p, call.Args[1])
+	if !ok {
+		return
+	}
+	creat, ok1 := osFlagValue(fn.Pkg(), "O_CREATE")
+	trunc, ok2 := osFlagValue(fn.Pkg(), "O_TRUNC")
+	if !ok1 || !ok2 {
+		return
+	}
+	if flags&creat != 0 && flags&trunc != 0 {
+		p.Reportf(call.Pos(), "os.OpenFile with O_CREATE|O_TRUNC in cmd/ is os.Create in disguise: it destroys the previous file before the new one is complete; use internal/atomicwrite")
+	}
+}
+
+// checkBufioOverFile flags bufio.NewWriter/NewWriterSize whose writer is
+// statically a raw *os.File (other than os.Stdout/os.Stderr).
+func checkBufioOverFile(p *Pass, call *ast.CallExpr) {
+	fn := staticFunc(p.Pkg.Info, call.Fun)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "bufio" ||
+		(fn.Name() != "NewWriter" && fn.Name() != "NewWriterSize") ||
+		len(call.Args) < 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if isStdStream(p, arg) {
+		return
+	}
+	t := p.Pkg.Info.TypeOf(arg)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "os" || named.Obj().Name() != "File" {
+		return
+	}
+	p.Reportf(call.Pos(), "bufio.%s over a raw *os.File in cmd/: buffered bytes die with the process and a missed Flush tears the file tail; use internal/atomicwrite", fn.Name())
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr.
+func isStdStream(p *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}
+
+// constIntValue returns the expression's constant-folded integer value.
+func constIntValue(p *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// osFlagValue looks the named flag constant up in the os package scope.
+func osFlagValue(osPkg *types.Package, name string) (int64, bool) {
+	c, ok := osPkg.Scope().Lookup(name).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(c.Val()))
 }

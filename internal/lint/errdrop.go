@@ -112,18 +112,3 @@ func excludedFromErrdrop(p *Pass, call *ast.CallExpr) bool {
 	}
 	return false
 }
-
-// calledFunc resolves the called function or method, if statically known.
-func calledFunc(p *Pass, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if fn, ok := p.Pkg.Info.Uses[fun].(*types.Func); ok {
-			return fn
-		}
-	case *ast.SelectorExpr:
-		if fn, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
-			return fn
-		}
-	}
-	return nil
-}

@@ -6,17 +6,19 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-// TestJSONGolden pins the machine-readable output format: the exact JSON
-// the driver's -json flag emits for the maporder fixture package. File
-// paths are module-relative, so the golden file is checkout-independent.
-func TestJSONGolden(t *testing.T) {
+// checkGolden pins the machine-readable output format: the exact JSON the
+// driver's -json flag emits for one fixture package. File paths are
+// module-relative, so golden files are checkout-independent.
+func checkGolden(t *testing.T, rel, golden string) {
+	t.Helper()
 	l := fixtureModule(t)
-	pkg := loadFixture(t, l, "internal/core")
+	pkg := loadFixture(t, l, rel)
 	findings := Run(l, []*Package{pkg}, All())
 
 	var buf bytes.Buffer
@@ -27,7 +29,7 @@ func TestJSONGolden(t *testing.T) {
 	}
 	got := buf.Bytes()
 
-	goldenPath := filepath.Join("testdata", "golden", "core.json")
+	goldenPath := filepath.Join("testdata", "golden", golden)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
@@ -45,15 +47,29 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
+func TestJSONGoldenCore(t *testing.T) { checkGolden(t, "internal/core", "core.json") }
+
+// TestJSONGoldenHappensbefore also pins the explain chains: the def-use
+// rendering is part of the machine-readable contract.
+func TestJSONGoldenHappensbefore(t *testing.T) { checkGolden(t, "internal/hb", "hb.json") }
+
+func TestJSONGoldenHotalloc(t *testing.T) { checkGolden(t, "internal/hot", "hot.json") }
+
+// TestJSONGoldenShared pins the sharedwrite→happensbefore handoff on the
+// pre-existing shared fixture: goroutine findings keep their sharedwrite
+// shape, parallelFor findings now carry happensbefore's proofs.
+func TestJSONGoldenShared(t *testing.T) { checkGolden(t, "internal/shared", "shared.json") }
+
 // TestJSONRoundTrip ensures findings survive a marshal/unmarshal cycle
 // unchanged, so downstream tooling can consume -json output losslessly.
 func TestJSONRoundTrip(t *testing.T) {
 	in := []Finding{{
-		Analyzer: "maporder",
+		Analyzer: "happensbefore",
 		File:     "internal/core/x.go",
 		Line:     3,
 		Col:      7,
-		Message:  `iteration over map m`,
+		Message:  `cannot prove write of out[i]`,
+		Explain:  []string{"i#2 in [lo, hi]", "  i#1 in [lo, lo]"},
 	}}
 	data, err := json.Marshal(in)
 	if err != nil {
@@ -63,7 +79,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 1 || out[0] != in[0] {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
 	}
 }

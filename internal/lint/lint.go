@@ -2,7 +2,6 @@ package lint
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
 	"path/filepath"
 	"sort"
@@ -18,6 +17,11 @@ type Finding struct {
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+	// Explain is the def-use chain behind the finding (one rendered
+	// definition per line), populated by the SSA-backed analyzers and
+	// printed by `mtmlint -explain`. Omitted from JSON when empty, so
+	// analyzers without explanations keep their old output byte-for-byte.
+	Explain []string `json:"explain,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -33,7 +37,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Norand, Maporder, Seedflow, Errdrop, Sharedwrite, Atomicwrite}
+	return []*Analyzer{Norand, Maporder, Seedflow, Errdrop, Sharedwrite, Atomicwrite, Happensbefore, Hotalloc}
 }
 
 // Lookup returns the analyzer with the given name, or nil.
@@ -52,6 +56,9 @@ type Pass struct {
 	Analyzer   *Analyzer
 	Pkg        *Package
 	ModulePath string
+	// Loader gives analyzers that follow cross-package calls (hotalloc)
+	// access to the other loaded packages of the module.
+	Loader *Loader
 
 	moduleRoot string
 	fset       *token.FileSet
@@ -78,6 +85,12 @@ func (p *Pass) Within(prefix string) bool {
 // Reportf records a finding at pos unless a reasoned
 // //mtmlint:<analyzer>-ok suppression covers that line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportExplained(pos, nil, format, args...)
+}
+
+// ReportExplained is Reportf carrying a def-use explanation chain, which
+// `mtmlint -explain` prints indented below the finding.
+func (p *Pass) ReportExplained(pos token.Pos, explain []string, format string, args ...any) {
 	position := p.fset.Position(pos)
 	if p.suppress.covers(position.Filename, position.Line, p.Analyzer.Name) {
 		return
@@ -88,6 +101,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Explain:  explain,
 	})
 }
 
@@ -112,6 +126,7 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Analyzer:   az,
 				Pkg:        pkg,
 				ModulePath: l.ModulePath,
+				Loader:     l,
 				moduleRoot: l.ModuleRoot,
 				fset:       l.Fset,
 				suppress:   sup,
@@ -185,6 +200,21 @@ func scanSuppressions(l *Loader, pkg *Package, findings *[]Finding) suppressions
 					continue
 				}
 				directive, reason, _ := strings.Cut(text, " ")
+				// Region directives for the hotalloc analyzer, not
+				// suppressions: hotpath marks a certified function,
+				// hotpath-end bounds the certified region and must say why.
+				if directive == "hotpath" {
+					continue
+				}
+				if directive == "hotpath-end" {
+					if i := strings.Index(reason, "// want"); i >= 0 {
+						reason = reason[:i]
+					}
+					if strings.TrimSpace(reason) == "" {
+						report(c.Pos(), "hotpath-end directive is missing a reason (//mtmlint:hotpath-end <reason>)")
+					}
+					continue
+				}
 				name, ok := strings.CutSuffix(directive, "-ok")
 				if !ok {
 					report(c.Pos(), "malformed mtmlint directive %q (expected //mtmlint:<analyzer>-ok <reason>)", c.Text)
@@ -210,16 +240,4 @@ func scanSuppressions(l *Loader, pkg *Package, findings *[]Finding) suppressions
 		}
 	}
 	return sup
-}
-
-// identsIn collects every *ast.Ident in the expression tree.
-func identsIn(e ast.Expr) []*ast.Ident {
-	var out []*ast.Ident
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			out = append(out, id)
-		}
-		return true
-	})
-	return out
 }

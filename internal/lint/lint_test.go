@@ -120,8 +120,32 @@ func TestErrdropFixture(t *testing.T) {
 	checkFixture(t, "internal/errs", Errdrop)
 }
 
+// TestSharedwriteFixture runs both concurrency analyzers over the shared
+// fixture: goroutine literals stay sharedwrite's domain, while the
+// parallelFor cases must now be proven (or flagged) by happensbefore.
 func TestSharedwriteFixture(t *testing.T) {
-	checkFixture(t, "internal/shared", Sharedwrite)
+	checkFixture(t, "internal/shared", Sharedwrite, Happensbefore)
+}
+
+func TestHappensbeforeFixture(t *testing.T) {
+	checkFixture(t, "internal/hb", Happensbefore)
+}
+
+func TestHotallocFixture(t *testing.T) {
+	checkFixture(t, "internal/hot", Hotalloc)
+}
+
+// TestSharedwriteSilentOnParallelFor pins the handoff: the old heuristic
+// must no longer fire anywhere in the shared fixture's parallelFor cases
+// (they produce happensbefore findings instead, or prove clean).
+func TestSharedwriteSilentOnParallelFor(t *testing.T) {
+	l := fixtureModule(t)
+	pkg := loadFixture(t, l, "internal/shared")
+	for _, f := range Run(l, []*Package{pkg}, []*Analyzer{Sharedwrite}) {
+		if strings.Contains(f.Message, "parallelFor") {
+			t.Errorf("sharedwrite still fires on parallelFor workers: %s", f)
+		}
+	}
 }
 
 func TestAtomicwriteFixture(t *testing.T) {

@@ -273,6 +273,13 @@ func (l *Loader) load(path string) (*Package, error) {
 	return pkg, nil
 }
 
+// PackageFor returns the loaded package with the given module-local import
+// path, loading (and caching) it on demand. Analyzers that follow static
+// calls across package boundaries use it to find callee bodies.
+func (l *Loader) PackageFor(path string) (*Package, error) {
+	return l.load(path)
+}
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, "", 0)

@@ -140,26 +140,3 @@ func isIntAccumulation(p *Pass, rs *ast.RangeStmt) bool {
 	return true
 }
 
-func isIntegerExpr(p *Pass, e ast.Expr) bool {
-	basic, ok := p.Pkg.Info.TypeOf(e).Underlying().(*types.Basic)
-	return ok && basic.Info()&types.IsInteger != 0
-}
-
-// rootObject resolves the base variable of an lvalue chain such as
-// x, x.f, x[i], or *x.
-func rootObject(p *Pass, e ast.Expr) types.Object {
-	for {
-		switch v := ast.Unparen(e).(type) {
-		case *ast.Ident:
-			return p.Pkg.Info.ObjectOf(v)
-		case *ast.SelectorExpr:
-			e = v.X
-		case *ast.IndexExpr:
-			e = v.X
-		case *ast.StarExpr:
-			e = v.X
-		default:
-			return nil
-		}
-	}
-}

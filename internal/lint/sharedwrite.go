@@ -20,54 +20,30 @@ import (
 //   - the target is a captured scalar/slice variable written directly
 //     (including `s = append(s, ...)`, which races on len/cap).
 //
-// Func literals passed to a call named parallelFor (internal/sim's chunked
-// dispatcher) are treated the same way as go-func bodies: their parameters
-// (worker id, chunk bounds) are partition-local, so element writes indexed
-// by them are allowed, while writes to captured scalars, maps, or fully
-// captured indices are flagged — the dispatcher runs the literal from
-// multiple goroutines when Workers > 1.
+// Workers dispatched through parallelFor are not handled here: the
+// happensbefore analyzer proves their chunk partitioning with interval
+// reasoning over the (w, lo, hi) bounds.
 //
 // Goroutine bodies that take a lock (any Lock/RLock call) are assumed
 // synchronized and skipped; channel-coordinated writes need an explicit
 // //mtmlint:sharedwrite-ok <reason>.
 var Sharedwrite = &Analyzer{
 	Name: "sharedwrite",
-	Doc:  "flag unsynchronized writes to captured shared state in go-func and parallelFor literals",
+	Doc:  "flag unsynchronized writes to captured shared state in go-func literals",
 	Run:  runSharedwrite,
 }
 
 func runSharedwrite(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch s := n.(type) {
-			case *ast.GoStmt:
+			if s, ok := n.(*ast.GoStmt); ok {
 				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
 					checkConcurrentBody(p, lit, "goroutine")
-				}
-			case *ast.CallExpr:
-				if calleeName(s.Fun) == "parallelFor" {
-					for _, arg := range s.Args {
-						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-							checkConcurrentBody(p, lit, "parallelFor body")
-						}
-					}
 				}
 			}
 			return true
 		})
 	}
-}
-
-// calleeName extracts the bare called-function name from a call's Fun
-// expression (ident or method selector), or "" when it is neither.
-func calleeName(fun ast.Expr) string {
-	switch f := ast.Unparen(fun).(type) {
-	case *ast.Ident:
-		return f.Name
-	case *ast.SelectorExpr:
-		return f.Sel.Name
-	}
-	return ""
 }
 
 // checkConcurrentBody inspects one function literal that runs concurrently

@@ -1,0 +1,1029 @@
+// Package ssa is mtmlint's compact SSA-style def-use and interval-analysis
+// layer, built on nothing but go/ast and go/types (the module stays
+// dependency-free).
+//
+// It is not a full SSA construction over an explicit CFG: instead, every
+// assignment mints a fresh versioned definition of its variable (a new SSA
+// name), control-flow merges mint explicit Join definitions (phi nodes)
+// whose Preds record the incoming definitions, and guard conditions mint
+// Refine definitions that narrow a value's interval along one branch. The
+// walk is a single flow-sensitive abstract-interpretation pass over the
+// function body, so every recorded use sees exactly the definitions that
+// reach it, and analyzers get two things out of one traversal:
+//
+//   - an interval lattice: each definition carries a symbolic interval
+//     [Lo, Hi] whose endpoints are constants, ±∞, or sym+offset terms over
+//     designated symbol objects (typically a parallelFor body's chunk
+//     bounds lo/hi and worker id w), joined at merge points and narrowed
+//     by comparisons (including derived indices such as i+1 guarded by
+//     i+1 < hi);
+//
+//   - def-use chains: Explain renders, for any expression, the chain of
+//     definitions (assignment → refinement → join → seed) that produced
+//     the intervals of its variables, which is what `mtmlint -explain`
+//     prints under a finding.
+//
+// Soundness posture: the interpreter only ever widens on the constructs it
+// does not model (calls that take a variable's address, loops with
+// non-inductive updates, multi-value assignments), so a decided interval
+// is a proof, and everything else surfaces as "unprovable" rather than as
+// a wrong answer.
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Bound is one symbolic interval endpoint: sym+Off when Sym is non-nil,
+// the constant Off when Sym is nil and Inf is 0, or ±∞ when Inf is ±1.
+type Bound struct {
+	Inf int // -1 ⇒ -∞, +1 ⇒ +∞, 0 ⇒ finite
+	Sym types.Object
+	Off int64
+}
+
+// NegInf and PosInf are the infinite endpoints.
+func NegInf() Bound { return Bound{Inf: -1} }
+func PosInf() Bound { return Bound{Inf: +1} }
+
+// ConstB is the constant endpoint c.
+func ConstB(c int64) Bound { return Bound{Off: c} }
+
+// SymB is the symbolic endpoint sym+off.
+func SymB(sym types.Object, off int64) Bound { return Bound{Sym: sym, Off: off} }
+
+// Add shifts a finite bound by c; infinities absorb.
+func (b Bound) Add(c int64) Bound {
+	if b.Inf != 0 {
+		return b
+	}
+	b.Off += c
+	return b
+}
+
+// LE reports whether b <= o holds, and whether that is decidable at all.
+// Two finite bounds compare only over the same symbol (or both constant);
+// anything else is undecidable and callers must treat it as unproven.
+func (b Bound) LE(o Bound) (le, ok bool) {
+	switch {
+	case b.Inf == -1 || o.Inf == +1:
+		return true, true
+	case b.Inf == +1:
+		return false, true // o is not +∞ here
+	case o.Inf == -1:
+		return false, true // b is not -∞ here
+	case b.Sym == o.Sym:
+		return b.Off <= o.Off, true
+	}
+	return false, false
+}
+
+func (b Bound) String() string {
+	switch {
+	case b.Inf == -1:
+		return "-inf"
+	case b.Inf == +1:
+		return "+inf"
+	case b.Sym == nil:
+		return fmt.Sprintf("%d", b.Off)
+	case b.Off == 0:
+		return b.Sym.Name()
+	case b.Off < 0:
+		return fmt.Sprintf("%s-%d", b.Sym.Name(), -b.Off)
+	}
+	return fmt.Sprintf("%s+%d", b.Sym.Name(), b.Off)
+}
+
+// Interval is the inclusive symbolic range [Lo, Hi].
+type Interval struct{ Lo, Hi Bound }
+
+// Top is the unconstrained interval [-∞, +∞].
+func Top() Interval { return Interval{NegInf(), PosInf()} }
+
+// ConstI is the singleton interval [c, c].
+func ConstI(c int64) Interval { return Interval{ConstB(c), ConstB(c)} }
+
+// SymI is the singleton interval [sym, sym] — the seed for a symbol.
+func SymI(sym types.Object) Interval { return Interval{SymB(sym, 0), SymB(sym, 0)} }
+
+// IsTop reports whether the interval carries no information.
+func (iv Interval) IsTop() bool { return iv.Lo.Inf == -1 && iv.Hi.Inf == +1 }
+
+// Add shifts both endpoints by c.
+func (iv Interval) Add(c int64) Interval { return Interval{iv.Lo.Add(c), iv.Hi.Add(c)} }
+
+// ConstVal reports the interval's single constant value, if it has one.
+func (iv Interval) ConstVal() (int64, bool) {
+	if iv.Lo.Inf == 0 && iv.Lo.Sym == nil && iv.Lo == iv.Hi {
+		return iv.Lo.Off, true
+	}
+	return 0, false
+}
+
+// Join is the lattice join (interval union, widening to ±∞ on
+// incomparable endpoints).
+func (iv Interval) Join(o Interval) Interval {
+	out := Interval{Lo: NegInf(), Hi: PosInf()}
+	if le, ok := iv.Lo.LE(o.Lo); ok {
+		if le {
+			out.Lo = iv.Lo
+		} else {
+			out.Lo = o.Lo
+		}
+	}
+	if le, ok := iv.Hi.LE(o.Hi); ok {
+		if le {
+			out.Hi = o.Hi
+		} else {
+			out.Hi = iv.Hi
+		}
+	}
+	return out
+}
+
+// WithinHalfOpen reports whether iv ⊆ [lo, hi) is provable.
+func (iv Interval) WithinHalfOpen(lo, hi Bound) bool {
+	if geq, ok := lo.LE(iv.Lo); !ok || !geq {
+		return false
+	}
+	le, ok := iv.Hi.LE(hi.Add(-1))
+	return ok && le
+}
+
+// Equals reports whether the interval is provably the singleton [b, b].
+func (iv Interval) Equals(b Bound) bool {
+	if le, ok := iv.Hi.LE(b); !ok || !le {
+		return false
+	}
+	ge, ok := b.LE(iv.Lo)
+	return ok && ge
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s]", iv.Lo, iv.Hi)
+}
+
+// DefKind classifies how a definition came to be.
+type DefKind int
+
+const (
+	// KindSeed is an analyzer-provided entry definition (a parameter).
+	KindSeed DefKind = iota
+	// KindAssign is a direct assignment (including := and ++/--).
+	KindAssign
+	// KindLoop is an induction variable's in-body definition.
+	KindLoop
+	// KindRefine narrows a definition along a guarded branch.
+	KindRefine
+	// KindJoin merges definitions at a control-flow merge (a phi node).
+	KindJoin
+	// KindHavoc widens a definition the interpreter cannot track
+	// (address-taken, assigned in an unmodeled construct).
+	KindHavoc
+)
+
+func (k DefKind) String() string {
+	switch k {
+	case KindSeed:
+		return "seed"
+	case KindAssign:
+		return "assign"
+	case KindLoop:
+		return "loop"
+	case KindRefine:
+		return "refine"
+	case KindJoin:
+		return "join"
+	case KindHavoc:
+		return "havoc"
+	}
+	return "?"
+}
+
+// Def is one versioned definition of a variable — an SSA name.
+type Def struct {
+	Obj  types.Object
+	Ver  int
+	Ival Interval
+	Kind DefKind
+	Pos  token.Pos
+	Why  string // human-readable provenance, e.g. `i := lo` or `guard i+1 < hi`
+	// Src is the defining right-hand expression for single-value
+	// assignments; analyzers use it to chase pointer aliases such as
+	// p := &s[w].
+	Src   ast.Expr
+	Env   *Env   // abstract state at the definition site
+	Preds []*Def // joined or refined-from definitions
+}
+
+// Name renders the SSA name, e.g. "i#2".
+func (d *Def) Name() string { return fmt.Sprintf("%s#%d", d.Obj.Name(), d.Ver) }
+
+// Env is an immutable binding of variables to their reaching definitions.
+// bind copies, so a captured *Env (e.g. Def.Env) stays valid forever.
+type Env struct {
+	m map[types.Object]*Def
+}
+
+// Lookup returns the reaching definition of obj, or nil if untracked.
+func (e *Env) Lookup(obj types.Object) *Def {
+	if e == nil || obj == nil {
+		return nil
+	}
+	return e.m[obj]
+}
+
+func (e *Env) bind(d *Def) *Env {
+	m := make(map[types.Object]*Def, len(e.m)+1)
+	for k, v := range e.m {
+		m[k] = v
+	}
+	m[d.Obj] = d
+	return &Env{m: m}
+}
+
+// Analysis drives one abstract-interpretation pass over a function body.
+type Analysis struct {
+	Info *types.Info
+	Fset *token.FileSet
+	// Visit, when non-nil, is invoked for every executable leaf statement
+	// with the environment holding on entry to it.
+	Visit func(stmt ast.Stmt, env *Env)
+
+	vers map[types.Object]int
+}
+
+// Run interprets body starting from the given seed definitions (typically
+// the function's parameters). Seed objects act as the symbols of the
+// interval lattice when seeded with SymI(obj).
+func (a *Analysis) Run(body *ast.BlockStmt, seeds []*Def) {
+	a.vers = make(map[types.Object]int)
+	env := &Env{m: make(map[types.Object]*Def, len(seeds))}
+	for _, d := range seeds {
+		a.vers[d.Obj]++
+		d.Ver = a.vers[d.Obj]
+		env.m[d.Obj] = d
+		d.Env = env
+	}
+	a.exec(body, env)
+}
+
+func (a *Analysis) define(env *Env, obj types.Object, ival Interval, kind DefKind, pos token.Pos, why string, src ast.Expr, preds ...*Def) *Env {
+	a.vers[obj]++
+	d := &Def{Obj: obj, Ver: a.vers[obj], Ival: ival, Kind: kind, Pos: pos, Why: why, Src: src, Preds: preds}
+	out := env.bind(d)
+	d.Env = out
+	return out
+}
+
+// exec interprets one statement and returns the outgoing environment plus
+// whether control can fall through to the next statement.
+func (a *Analysis) exec(stmt ast.Stmt, env *Env) (*Env, bool) {
+	switch s := stmt.(type) {
+	case nil:
+		return env, true
+	case *ast.BlockStmt:
+		reach := true
+		for _, st := range s.List {
+			if !reach {
+				break
+			}
+			env, reach = a.exec(st, env)
+		}
+		return env, reach
+	case *ast.LabeledStmt:
+		return a.exec(s.Stmt, env)
+	case *ast.AssignStmt:
+		a.visit(s, env)
+		return a.execAssign(s, env), true
+	case *ast.IncDecStmt:
+		a.visit(s, env)
+		delta := int64(1)
+		if s.Tok == token.DEC {
+			delta = -1
+		}
+		if obj := identObj(a.Info, s.X); obj != nil {
+			old := env.Lookup(obj)
+			iv := a.Eval(env, s.X).Add(delta)
+			var preds []*Def
+			if old != nil {
+				preds = []*Def{old}
+			}
+			env = a.define(env, obj, iv, KindAssign, s.Pos(), exprString(s.X)+s.Tok.String(), nil, preds...)
+		}
+		return a.havocAddressed(s, env), true
+	case *ast.ExprStmt:
+		a.visit(s, env)
+		env = a.havocAddressed(s, env)
+		return env, !isPanicCall(a.Info, s.X)
+	case *ast.DeclStmt:
+		a.visit(s, env)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := a.Info.Defs[name]
+					if obj == nil || name.Name == "_" {
+						continue
+					}
+					ival := Top()
+					var src ast.Expr
+					why := "var " + name.Name
+					if i < len(vs.Values) && len(vs.Values) == len(vs.Names) {
+						src = vs.Values[i]
+						ival = a.Eval(env, src)
+						why = fmt.Sprintf("var %s = %s", name.Name, exprString(src))
+					} else if len(vs.Values) == 0 && isIntegerObj(obj) {
+						ival = ConstI(0)
+						why = "var " + name.Name + " (zero value)"
+					}
+					env = a.define(env, obj, ival, KindAssign, name.Pos(), why, src)
+				}
+			}
+		}
+		return env, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			env, _ = a.exec(s.Init, env)
+		}
+		// Compound statements are visited too, so analyzers can inspect
+		// their header expressions (the condition here); bodies are
+		// visited statement-by-statement separately.
+		a.visit(s, env)
+		thenEnv := a.Refine(env, s.Cond, true)
+		elseEnv := a.Refine(env, s.Cond, false)
+		outA, reachA := a.exec(s.Body, thenEnv)
+		outB, reachB := elseEnv, true
+		if s.Else != nil {
+			outB, reachB = a.exec(s.Else, elseEnv)
+		}
+		switch {
+		case reachA && reachB:
+			return a.join(outA, outB, s.End()), true
+		case reachA:
+			return outA, true
+		case reachB:
+			return outB, true
+		}
+		return env, false
+	case *ast.ForStmt:
+		return a.execFor(s, env), true
+	case *ast.RangeStmt:
+		return a.execRange(s, env), true
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			env, _ = a.exec(s.Init, env)
+		}
+		a.visit(s, env)
+		return a.execCases(env, s.Body, hasDefaultCase(s.Body), s.End()), true
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			env, _ = a.exec(s.Init, env)
+		}
+		a.visit(s, env)
+		env = a.havocAssigned(s.Assign, env, s.Pos())
+		return a.execCases(env, s.Body, hasDefaultCase(s.Body), s.End()), true
+	case *ast.SelectStmt:
+		return a.havocAssigned(s.Body, env, s.Pos()), true
+	case *ast.ReturnStmt:
+		a.visit(s, env)
+		return env, false
+	case *ast.BranchStmt:
+		return env, false
+	case *ast.GoStmt, *ast.DeferStmt:
+		a.visit(s, env)
+		// The spawned/deferred body runs at an unmodeled time: widen
+		// everything it assigns or that escapes into it by address.
+		env = a.havocAssigned(stmt, env, stmt.Pos())
+		return a.havocAddressed(stmt, env), true
+	case *ast.SendStmt:
+		a.visit(s, env)
+		return a.havocAddressed(s, env), true
+	case *ast.EmptyStmt:
+		return env, true
+	}
+	// Unknown statement: widen anything it assigns.
+	env = a.havocAssigned(stmt, env, stmt.Pos())
+	return a.havocAddressed(stmt, env), true
+}
+
+func (a *Analysis) visit(stmt ast.Stmt, env *Env) {
+	if a.Visit != nil {
+		a.Visit(stmt, env)
+	}
+}
+
+func (a *Analysis) execAssign(s *ast.AssignStmt, env *Env) *Env {
+	switch {
+	case s.Tok == token.DEFINE || s.Tok == token.ASSIGN:
+		if len(s.Lhs) == len(s.Rhs) {
+			// Evaluate all RHS in the pre-state, then bind (a, b = b, a).
+			ivals := make([]Interval, len(s.Rhs))
+			for i, rhs := range s.Rhs {
+				ivals[i] = a.Eval(env, rhs)
+			}
+			for i, lhs := range s.Lhs {
+				obj := identObj(a.Info, lhs)
+				if obj == nil {
+					continue
+				}
+				old := env.Lookup(obj)
+				var preds []*Def
+				if old != nil && s.Tok == token.ASSIGN {
+					preds = []*Def{old}
+				}
+				why := fmt.Sprintf("%s %s %s", exprString(lhs), s.Tok, exprString(s.Rhs[i]))
+				env = a.define(env, obj, ivals[i], KindAssign, lhs.Pos(), why, s.Rhs[i], preds...)
+			}
+		} else {
+			// Multi-value call/comma-ok: nothing precise to say.
+			for _, lhs := range s.Lhs {
+				if obj := identObj(a.Info, lhs); obj != nil {
+					env = a.define(env, obj, Top(), KindHavoc, lhs.Pos(),
+						exprString(lhs)+" bound from a multi-value expression", nil)
+				}
+			}
+		}
+	default: // compound: +=, -=, |=, ...
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			obj := identObj(a.Info, s.Lhs[0])
+			if obj != nil {
+				iv := Top()
+				switch s.Tok {
+				case token.ADD_ASSIGN:
+					iv = a.evalAdd(env, s.Lhs[0], s.Rhs[0], +1)
+				case token.SUB_ASSIGN:
+					iv = a.evalAdd(env, s.Lhs[0], s.Rhs[0], -1)
+				}
+				old := env.Lookup(obj)
+				var preds []*Def
+				if old != nil {
+					preds = []*Def{old}
+				}
+				why := fmt.Sprintf("%s %s %s", exprString(s.Lhs[0]), s.Tok, exprString(s.Rhs[0]))
+				env = a.define(env, obj, iv, KindAssign, s.Pos(), why, nil, preds...)
+			}
+		}
+	}
+	return a.havocAddressed(s, env)
+}
+
+// execFor interprets a for statement. The canonical induction shape
+// `for i := init; i < hi; i++` gives i the interval [init.Lo, hi-1] inside
+// the body; everything else assigned in the body is widened first so the
+// pass stays sound without a fixpoint iteration.
+func (a *Analysis) execFor(s *ast.ForStmt, env *Env) *Env {
+	if s.Init != nil {
+		env, _ = a.exec(s.Init, env)
+	}
+	assigned := assignedObjs(a.Info, s.Body)
+	if s.Post != nil {
+		for obj := range assignedObjs(a.Info, s.Post) {
+			assigned[obj] = true
+		}
+	}
+
+	ind, bodyIval, why := a.inductionVar(s, env, assigned)
+	for obj := range assigned {
+		if obj == ind {
+			continue
+		}
+		if env.Lookup(obj) != nil {
+			env = a.define(env, obj, Top(), KindHavoc, s.Pos(),
+				obj.Name()+" reassigned inside the loop", nil)
+		}
+	}
+	bodyEnv := env
+	if ind != nil {
+		old := env.Lookup(ind)
+		var preds []*Def
+		if old != nil {
+			preds = []*Def{old}
+		}
+		bodyEnv = a.define(env, ind, bodyIval, KindLoop, s.Pos(), why, nil, preds...)
+	} else if s.Cond != nil {
+		bodyEnv = a.Refine(env, s.Cond, true)
+	}
+	// Visit with the in-body environment: it is sound for every
+	// re-evaluation of the condition (assigned vars are already widened).
+	a.visit(s, bodyEnv)
+	if ind == nil && s.Post != nil {
+		a.exec(s.Post, bodyEnv)
+	}
+	out, _ := a.exec(s.Body, bodyEnv)
+	// After the loop nothing assigned inside is precise; keep the widened
+	// pre-body bindings and drop the induction binding back to ⊤.
+	_ = out
+	if ind != nil && env.Lookup(ind) != nil {
+		env = a.define(env, ind, Top(), KindHavoc, s.End(), ind.Name()+" past loop exit", nil)
+	}
+	return env
+}
+
+// inductionVar recognizes `for i := …; i < B; i++` (or <=) and returns the
+// induction object with its in-body interval. The bound B is evaluated
+// after widening, so a bound the body itself mutates degrades to +∞.
+func (a *Analysis) inductionVar(s *ast.ForStmt, env *Env, assigned map[types.Object]bool) (types.Object, Interval, string) {
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return nil, Interval{}, ""
+	}
+	ind := identObj(a.Info, cond.X)
+	if ind == nil {
+		return nil, Interval{}, ""
+	}
+	inc, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || inc.Tok != token.INC || identObj(a.Info, inc.X) != ind {
+		return nil, Interval{}, ""
+	}
+	if assignedObjs(a.Info, s.Body)[ind] {
+		return ind, Top(), "induction variable reassigned in loop body"
+	}
+	// The bound must not be assigned inside the loop; widening handles it,
+	// but evaluating in the pre-widen env here would be unsound, so check.
+	boundEnv := env
+	for _, id := range identsIn(cond.Y) {
+		if obj := a.Info.ObjectOf(id); obj != nil && assigned[obj] {
+			return ind, Top(), "induction bound mutated in loop body"
+		}
+	}
+	init := a.Eval(env, cond.X)
+	bound := a.Eval(boundEnv, cond.Y)
+	hi := bound.Hi
+	if cond.Op == token.LSS {
+		hi = hi.Add(-1)
+	}
+	iv := Interval{Lo: init.Lo, Hi: hi}
+	why := fmt.Sprintf("loop %s := %s; %s %s %s; %s++", ind.Name(), init,
+		ind.Name(), cond.Op, exprString(cond.Y), ind.Name())
+	return ind, iv, why
+}
+
+func (a *Analysis) execRange(s *ast.RangeStmt, env *Env) *Env {
+	assigned := assignedObjs(a.Info, s.Body)
+	for obj := range assigned {
+		if env.Lookup(obj) != nil {
+			env = a.define(env, obj, Top(), KindHavoc, s.Pos(),
+				obj.Name()+" reassigned inside the range body", nil)
+		}
+	}
+	a.visit(s, env)
+	bodyEnv := env
+	if key := identObj(a.Info, s.Key); key != nil {
+		iv := Top()
+		if _, isMap := typeOf(a.Info, s.X).Underlying().(*types.Map); !isMap {
+			iv = Interval{Lo: ConstB(0), Hi: PosInf()} // slice/array/string index
+		}
+		bodyEnv = a.define(bodyEnv, key, iv, KindLoop, s.Pos(),
+			fmt.Sprintf("range index over %s", exprString(s.X)), nil)
+	}
+	if val := identObj(a.Info, s.Value); val != nil {
+		bodyEnv = a.define(bodyEnv, val, Top(), KindLoop, s.Pos(),
+			fmt.Sprintf("range element of %s", exprString(s.X)), nil)
+	}
+	a.exec(s.Body, bodyEnv)
+	return env
+}
+
+func (a *Analysis) execCases(env *Env, body *ast.BlockStmt, hasDefault bool, mergePos token.Pos) *Env {
+	var outs []*Env
+	for _, st := range body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		out, reach := a.exec(&ast.BlockStmt{List: cc.Body}, env)
+		if reach {
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, env)
+	}
+	if len(outs) == 0 {
+		return env
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = a.join(merged, o, mergePos)
+	}
+	return merged
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// join merges two environments, minting phi definitions where the
+// branches disagree.
+func (a *Analysis) join(e1, e2 *Env, pos token.Pos) *Env {
+	m := make(map[types.Object]*Def, len(e1.m))
+	for obj, d1 := range e1.m {
+		d2, ok := e2.m[obj]
+		switch {
+		case !ok || d1 == d2:
+			m[obj] = d1
+		default:
+			a.vers[obj]++
+			d := &Def{Obj: obj, Ver: a.vers[obj], Ival: d1.Ival.Join(d2.Ival),
+				Kind: KindJoin, Pos: pos,
+				Why:   fmt.Sprintf("join of %s and %s", d1.Name(), d2.Name()),
+				Preds: []*Def{d1, d2}}
+			m[obj] = d
+		}
+	}
+	for obj, d2 := range e2.m {
+		if _, ok := m[obj]; !ok {
+			m[obj] = d2
+		}
+	}
+	out := &Env{m: m}
+	for _, d := range m {
+		if d.Env == nil {
+			d.Env = out
+		}
+	}
+	return out
+}
+
+// havocAssigned widens every object assigned anywhere inside node.
+func (a *Analysis) havocAssigned(node ast.Node, env *Env, pos token.Pos) *Env {
+	for obj := range assignedObjs(a.Info, node) {
+		if env.Lookup(obj) != nil {
+			env = a.define(env, obj, Top(), KindHavoc, pos,
+				obj.Name()+" assigned in an unmodeled construct", nil)
+		}
+	}
+	return env
+}
+
+// havocAddressed widens every tracked local whose address is taken inside
+// node — a callee may mutate it through the pointer.
+func (a *Analysis) havocAddressed(node ast.Node, env *Env) *Env {
+	ast.Inspect(node, func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return true
+		}
+		if obj := identObj(a.Info, u.X); obj != nil && env.Lookup(obj) != nil {
+			env = a.define(env, obj, Top(), KindHavoc, u.Pos(),
+				"&"+obj.Name()+" escapes to a callee", nil)
+		}
+		return true
+	})
+	return env
+}
+
+// Eval computes the interval of an integer expression under env.
+func (a *Analysis) Eval(env *Env, x ast.Expr) Interval {
+	if x == nil {
+		return Top()
+	}
+	x = ast.Unparen(x)
+	if tv, ok := a.Info.Types[x]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if c, exact := constant.Int64Val(tv.Value); exact {
+			return ConstI(c)
+		}
+	}
+	switch e := x.(type) {
+	case *ast.Ident:
+		if d := env.Lookup(a.Info.ObjectOf(e)); d != nil {
+			return d.Ival
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return a.evalAdd(env, e.X, e.Y, +1)
+		case token.SUB:
+			return a.evalAdd(env, e.X, e.Y, -1)
+		}
+	case *ast.CallExpr:
+		// Integer type conversions such as int(v) are transparent.
+		if len(e.Args) == 1 {
+			if tv, ok := a.Info.Types[e.Fun]; ok && tv.IsType() {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					return a.Eval(env, e.Args[0])
+				}
+			}
+		}
+	}
+	return Top()
+}
+
+// evalAdd computes x + sign*y, which is precise when either side is a
+// single constant.
+func (a *Analysis) evalAdd(env *Env, x, y ast.Expr, sign int64) Interval {
+	ix, iy := a.Eval(env, x), a.Eval(env, y)
+	if c, ok := iy.ConstVal(); ok {
+		return ix.Add(sign * c)
+	}
+	if sign > 0 {
+		if c, ok := ix.ConstVal(); ok {
+			return iy.Add(c)
+		}
+	}
+	return Top()
+}
+
+// Refine narrows env under the assumption that cond evaluates to truth.
+// It understands &&/||/!, and comparisons whose sides are an identifier or
+// identifier±constant (so a guard like i+1 < hi narrows i).
+func (a *Analysis) Refine(env *Env, cond ast.Expr, truth bool) *Env {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return a.Refine(env, c.X, !truth)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if truth {
+				return a.Refine(a.Refine(env, c.X, true), c.Y, true)
+			}
+			return env
+		case token.LOR:
+			if !truth {
+				return a.Refine(a.Refine(env, c.X, false), c.Y, false)
+			}
+			return env
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := c.Op
+			if !truth {
+				op = negateCmp(op)
+			}
+			if op == token.NEQ {
+				return env
+			}
+			env = a.refineSide(env, c.X, op, c.Y, cond)
+			env = a.refineSide(env, c.Y, mirrorCmp(op), c.X, cond)
+			return env
+		}
+	}
+	return env
+}
+
+// refineSide narrows the variable underlying lhs (an ident or ident±const)
+// using `lhs op rhs`.
+func (a *Analysis) refineSide(env *Env, lhs ast.Expr, op token.Token, rhs ast.Expr, cond ast.Expr) *Env {
+	obj, shift, ok := identShift(a.Info, lhs)
+	if !ok {
+		return env
+	}
+	old := env.Lookup(obj)
+	if old == nil {
+		return env
+	}
+	// lhs = obj + shift, so `obj op (rhs - shift)`.
+	r := a.Eval(env, rhs).Add(-shift)
+	iv := old.Ival
+	switch op {
+	case token.LSS:
+		iv.Hi = tightenHi(iv.Hi, r.Hi.Add(-1))
+	case token.LEQ:
+		iv.Hi = tightenHi(iv.Hi, r.Hi)
+	case token.GTR:
+		iv.Lo = tightenLo(iv.Lo, r.Lo.Add(1))
+	case token.GEQ:
+		iv.Lo = tightenLo(iv.Lo, r.Lo)
+	case token.EQL:
+		iv.Hi = tightenHi(iv.Hi, r.Hi)
+		iv.Lo = tightenLo(iv.Lo, r.Lo)
+	default:
+		return env
+	}
+	if iv == old.Ival {
+		return env
+	}
+	return a.define(env, obj, iv, KindRefine, cond.Pos(),
+		"guard "+exprString(cond), nil, old)
+}
+
+// tightenHi returns the smaller of two upper bounds when decidable.
+func tightenHi(old, new Bound) Bound {
+	if le, ok := new.LE(old); ok && le {
+		return new
+	}
+	return old
+}
+
+// tightenLo returns the larger of two lower bounds when decidable.
+func tightenLo(old, new Bound) Bound {
+	if le, ok := old.LE(new); ok && le {
+		return new
+	}
+	return old
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+func mirrorCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // EQL
+}
+
+// Explain renders the def-use chain behind every variable of expr under
+// env — the text `mtmlint -explain` prints below a finding.
+func (a *Analysis) Explain(env *Env, expr ast.Expr) []string {
+	var out []string
+	seen := make(map[*Def]bool)
+	for _, id := range identsIn(expr) {
+		d := env.Lookup(a.Info.ObjectOf(id))
+		if d == nil {
+			obj := a.Info.ObjectOf(id)
+			if obj != nil && isIntegerObj(obj) {
+				out = append(out, fmt.Sprintf("%s is defined outside the analyzed region (interval unknown)", obj.Name()))
+			}
+			continue
+		}
+		a.explainDef(d, 0, seen, &out)
+	}
+	return out
+}
+
+func (a *Analysis) explainDef(d *Def, depth int, seen map[*Def]bool, out *[]string) {
+	if d == nil || seen[d] || depth > 4 {
+		return
+	}
+	seen[d] = true
+	pos := ""
+	if a.Fset != nil && d.Pos.IsValid() {
+		p := a.Fset.Position(d.Pos)
+		pos = fmt.Sprintf(" at line %d", p.Line)
+	}
+	*out = append(*out, fmt.Sprintf("%s%s in %s — %s%s",
+		strings.Repeat("  ", depth), d.Name(), d.Ival, d.Why, pos))
+	for _, p := range d.Preds {
+		a.explainDef(p, depth+1, seen, out)
+	}
+}
+
+// ---- small AST/types helpers ----
+
+// identObj resolves a bare identifier expression to its object.
+func identObj(info *types.Info, x ast.Expr) types.Object {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := info.ObjectOf(id)
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+// identShift matches `ident`, `ident+c`, `ident-c`, or `c+ident` and
+// returns (obj, c).
+func identShift(info *types.Info, x ast.Expr) (types.Object, int64, bool) {
+	x = ast.Unparen(x)
+	if obj := identObj(info, x); obj != nil {
+		return obj, 0, true
+	}
+	b, ok := x.(*ast.BinaryExpr)
+	if !ok {
+		return nil, 0, false
+	}
+	c := func(e ast.Expr) (int64, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return 0, false
+		}
+		v, exact := constant.Int64Val(tv.Value)
+		return v, exact
+	}
+	switch b.Op {
+	case token.ADD:
+		if obj := identObj(info, b.X); obj != nil {
+			if v, ok := c(b.Y); ok {
+				return obj, v, true
+			}
+		}
+		if obj := identObj(info, b.Y); obj != nil {
+			if v, ok := c(b.X); ok {
+				return obj, v, true
+			}
+		}
+	case token.SUB:
+		if obj := identObj(info, b.X); obj != nil {
+			if v, ok := c(b.Y); ok {
+				return obj, -v, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// assignedObjs collects every object assigned anywhere in the subtree,
+// including inside nested function literals (their bodies run sometime).
+func assignedObjs(info *types.Info, node ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if node == nil {
+		return out
+	}
+	add := func(x ast.Expr) {
+		if obj := identObj(info, x); obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(s.X)
+		case *ast.RangeStmt:
+			add(s.Key)
+			add(s.Value)
+		}
+		return true
+	})
+	return out
+}
+
+// identsIn collects every identifier in an expression tree.
+func identsIn(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	if e == nil {
+		return out
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+func isPanicCall(info *types.Info, x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isIntegerObj(obj types.Object) bool {
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func typeOf(info *types.Info, x ast.Expr) types.Type {
+	if t := info.TypeOf(x); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func exprString(x ast.Expr) string {
+	return types.ExprString(x)
+}

@@ -2,7 +2,10 @@
 // are flagged, reads and suppressed writes are not.
 package main
 
-import "os"
+import (
+	"bufio"
+	"os"
+)
 
 func main() {
 	// Writes bypassing internal/atomicwrite are flagged: a crash mid-write
@@ -11,6 +14,25 @@ func main() {
 
 	f, _ := os.Create("trace.jsonl") // want `os.Create in cmd/ leaves a torn file`
 	_ = f.Close()
+
+	// os.Create spelled longhand is caught through constant folding.
+	g, _ := os.OpenFile("out.json", os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644) // want `os.OpenFile with O_CREATE\|O_TRUNC in cmd/ is os.Create in disguise`
+	_ = g.Close()
+
+	// An append-only open never truncates the previous good file: allowed.
+	logf, _ := os.OpenFile("run.log", os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+
+	// Buffering a raw *os.File loses the tail if the process dies before
+	// Flush, even on an otherwise safe path.
+	w := bufio.NewWriter(logf) // want `bufio.NewWriter over a raw \*os.File in cmd/`
+	_, _ = w.WriteString("x\n")
+
+	ws := bufio.NewWriterSize(logf, 1<<16) // want `bufio.NewWriterSize over a raw \*os.File in cmd/`
+	_ = ws.Flush()
+
+	// Terminal output is not a published artifact: std streams are exempt.
+	stdout := bufio.NewWriter(os.Stdout)
+	_ = stdout.Flush()
 
 	// Reads are fine.
 	_, _ = os.ReadFile("in.csv")

@@ -1,0 +1,171 @@
+// Package hb is a happensbefore fixture. Each worker dispatched through
+// the parallelFor stand-in either proves its chunk partitioning or carries
+// a want comment for the exact failure; the functions exist to be
+// analyzed, never executed.
+package hb
+
+// parallelFor mimics internal/sim's chunked dispatcher; the analyzer keys
+// on the callee name alone.
+func parallelFor(n int, fn func(w, lo, hi int)) {
+	fn(0, 0, n)
+}
+
+// ChunkedSquares is the canonical safe worker: every write index is the
+// induction variable, provably in [lo, hi).
+func ChunkedSquares(out []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i
+		}
+	})
+}
+
+// OffByOne widens the loop bound to hi+1: the last iteration writes into
+// the next worker's chunk. The finding's -explain chain shows the loop
+// definition that produced the [lo, hi] interval.
+func OffByOne(out []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi+1; i++ {
+			out[i] = i // want `cannot prove write of out\[i\] stays in the worker's chunk: index interval \[lo, hi\]`
+		}
+	})
+}
+
+// DerivedGuarded writes a derived index under an explicit bound check:
+// out[i+1] has interval [lo+1, hi-1] inside the guard, provably in chunk.
+func DerivedGuarded(out []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i+1 < hi {
+				out[i+1] = out[i]
+			}
+		}
+	})
+}
+
+// DerivedContinueGuarded proves the same bound established by an early
+// continue: the negated refinement survives the terminating branch.
+func DerivedContinueGuarded(out []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i+1 >= hi {
+				continue
+			}
+			out[i+1] = out[i]
+		}
+	})
+}
+
+// DerivedUnguarded writes the same derived index with no bound check:
+// i+1 reaches hi, one past the chunk.
+func DerivedUnguarded(out []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i+1] = 1 // want `cannot prove write of out\[i \+ 1\] stays in the worker's chunk: index interval \[lo\+1, hi\]`
+		}
+	})
+}
+
+// WScratch accumulates into per-worker scratch pinned to the worker id.
+func WScratch(sums []int, vals []int) {
+	parallelFor(len(vals), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sums[w] += vals[i]
+		}
+	})
+}
+
+type cell struct{ v int }
+
+// PointerElem writes through a local pointer traced to its one defining
+// &cells[w] site: the write inherits the proven w-pinned index.
+func PointerElem(cells []cell) {
+	parallelFor(len(cells), func(w, lo, hi int) {
+		c := &cells[w]
+		for i := lo; i < hi; i++ {
+			c.v += i
+		}
+	})
+}
+
+// SharedMap writes a shared map from workers: unsafe on any key.
+func SharedMap(m map[int]int, n int) {
+	parallelFor(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m[i] = i // want `parallelFor worker writes to shared map m`
+		}
+	})
+}
+
+// SharedScalar writes an unpartitioned captured scalar.
+func SharedScalar(n int) int {
+	total := 0
+	parallelFor(n, func(w, lo, hi int) {
+		total += hi - lo // want `parallelFor worker writes shared variable total without partitioning`
+	})
+	return total
+}
+
+// CrossChunkRead writes only its own chunk but reads its right neighbor,
+// which the adjacent worker may be writing concurrently.
+func CrossChunkRead(out []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = out[i+1] * 2 // want `read of out\[i \+ 1\] \(index interval \[lo\+1, hi\]\) may cross chunks`
+		}
+	})
+}
+
+// ReadOnlyTable reads a shared table at arbitrary indices: fine, because
+// the region never writes it, so the barrier sequences all its writers.
+func ReadOnlyTable(tbl []int, out []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = tbl[(i*7)%len(tbl)]
+		}
+	})
+}
+
+// mystery has no statically known body.
+var mystery func(w, lo, hi int)
+
+// Unresolvable dispatches a worker the analyzer cannot see into: the
+// unverifiable dispatch is itself the finding.
+func Unresolvable(n int) {
+	parallelFor(n, mystery) // want `cannot statically resolve parallelFor worker mystery`
+}
+
+// engine mirrors internal/sim's dispatch: the worker is a method bound to
+// a func-typed field once at construction, resolved through the package's
+// field bindings, with receiver state proven chunk-partitioned.
+type engine struct {
+	rows []int
+	ph   func(w, lo, hi int)
+}
+
+func newEngine(n int) *engine {
+	e := &engine{rows: make([]int, n)}
+	e.ph = e.phaseFill
+	return e
+}
+
+// phaseFill writes receiver state at induction indices: proven.
+func (e *engine) phaseFill(w, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		e.rows[u] = u
+	}
+}
+
+func (e *engine) run() {
+	parallelFor(len(e.rows), e.ph)
+}
+
+// Suppressed documents a worker the analyzer cannot prove but the author
+// has audited; the waiver needs a reason like any other directive.
+func Suppressed(out []int) {
+	j := 0
+	parallelFor(len(out), func(w, lo, hi int) {
+		//mtmlint:happensbefore-ok fixture: stand-in dispatcher runs workers sequentially
+		out[j] = w
+	})
+}

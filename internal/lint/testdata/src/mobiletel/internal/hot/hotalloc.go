@@ -1,0 +1,112 @@
+// Package hot is a hotalloc fixture. Step is the certification root;
+// everything statically reachable from it is walked, and each allocating
+// construct carries a want comment. Functions not reachable from a
+// //mtmlint:hotpath root may allocate freely.
+package hot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type item struct{ k, v int }
+
+type table struct {
+	scratch []int
+	inbox   []int32
+	names   map[int]string
+	sink    func()
+}
+
+// Step is a hotalloc certification root. The amortized idioms here —
+// cap-guarded make, self-append to a field, the sort.Search callback, and
+// panic-only formatting — are recognized, not suppressed.
+//
+//mtmlint:hotpath
+func (t *table) Step(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("hot: bad n %d", n)) // cold: only runs while panicking
+	}
+	if cap(t.inbox) < n {
+		t.inbox = make([]int32, n) // amortized growth behind the cap guard
+	}
+	t.scratch = t.scratch[:0]
+	for i := 0; i < n; i++ {
+		t.scratch = append(t.scratch, i) // self-append to field scratch
+	}
+	j := sort.Search(n, func(i int) bool { return t.scratch[i] >= n })
+	t.flagged(n)
+	t.stringy("a", "b")
+	t.boxy(n)
+	return j
+}
+
+// flagged is reached from Step through a static call; every allocation
+// shape the analyzer knows is on its own line.
+func (t *table) flagged(n int) {
+	m := make(map[int]int) // want `make\(map\) in the hot path allocates`
+	_ = m
+	c := make(chan int) // want `make\(chan\) in the hot path allocates`
+	_ = c
+	s := make([]int, n) // want `make\(\[\]T\) in the hot path allocates`
+	_ = s
+	t.names = map[int]string{} // want `map literal in the hot path allocates`
+	lits := []int{1, 2, 3} // want `slice literal in the hot path allocates its backing array`
+	_ = lits
+	p := new(item) // want `new\(T\) in the hot path allocates`
+	_ = p
+	q := &item{k: 1} // want `address of a composite literal may escape to the heap`
+	_ = q
+	var local []int
+	local = append(local, n) // want `append in the hot path may grow`
+	_ = local
+	go t.reset() // want `go statement in the hot path`
+	f := func() { t.names = nil } // want `closure captures t and may allocate`
+	f()
+	t.sink = t.reset // want `method value t.reset binds its receiver in a heap closure`
+	_ = strings.Repeat("a", n) // want `call to strings.Repeat in the hot path may allocate`
+	fmt.Sprintln(n) // want `fmt.Sprintln in the hot path formats into fresh allocations`
+}
+
+func (t *table) reset() {}
+
+// stringy covers the string-shaped allocations.
+func (t *table) stringy(a, b string) string {
+	msg := a + b // want `string concatenation in the hot path allocates`
+	bs := []byte(a) // want `string-to-slice conversion in the hot path allocates`
+	_ = bs
+	back := string(rune(len(a))) // want `conversion to string in the hot path allocates`
+	_ = back
+	return msg
+}
+
+func useIface(v interface{}) {}
+
+// boxy passes a concrete non-pointer value to an interface parameter.
+func (t *table) boxy(n int) {
+	useIface(n) // want `passing int to an interface parameter boxes it on the heap`
+	useIface(&n) // pointers are already reference-shaped: clean
+}
+
+// Dispatch certifies only up to the region marker; the goroutine fan-out
+// below it never runs in the certified configuration.
+//
+//mtmlint:hotpath
+func Dispatch(t *table, n int) {
+	if n <= 1 {
+		t.reset()
+		return
+	}
+	//mtmlint:hotpath-end fan-out below only runs in the multi-worker configuration
+	go t.reset()
+}
+
+// build is not reachable from any hotpath root: allocations here are the
+// analyzer's scoping test, not findings.
+func build(n int) *table {
+	return &table{
+		scratch: make([]int, 0, n),
+		names:   make(map[int]string, n),
+	}
+}

@@ -113,14 +113,15 @@ func ChannelOwned(n int) []int {
 	return out
 }
 
-// parallelFor mimics internal/sim's chunked dispatcher: the analyzer keys
-// on the callee name alone, so this sequential stand-in exercises the same
-// code path.
+// parallelFor mimics internal/sim's chunked dispatcher: the happensbefore
+// analyzer keys on the callee name alone, so this sequential stand-in
+// exercises the same code path.
 func parallelFor(n int, fn func(w, lo, hi int)) {
 	fn(0, 0, n)
 }
 
-// ChunkedFill partitions by the parallelFor chunk bounds: allowed.
+// ChunkedFill partitions by the parallelFor chunk bounds: happensbefore
+// proves every write index stays within [lo, hi).
 func ChunkedFill(n int) []int {
 	out := make([]int, n)
 	parallelFor(n, func(w, lo, hi int) {
@@ -135,17 +136,18 @@ func ChunkedFill(n int) []int {
 func BrokenChunkCounter(n int) int {
 	c := 0
 	parallelFor(n, func(w, lo, hi int) {
-		c += hi - lo // want `parallelFor body writes to captured variable c without synchronization`
+		c += hi - lo // want `parallelFor worker writes shared variable c without partitioning`
 	})
 	return c
 }
 
-// BrokenChunkIndex writes a captured slice at a fully captured index.
+// BrokenChunkIndex writes a captured slice at a fully captured index,
+// whose interval the analyzer cannot bound.
 func BrokenChunkIndex(n int) []int {
 	out := make([]int, n)
 	j := 0
 	parallelFor(n, func(w, lo, hi int) {
-		out[j] = w // want `parallelFor body writes to captured slice out at a captured index`
+		out[j] = w // want `cannot prove write of out\[j\] stays in the worker's chunk`
 	})
 	return out
 }

@@ -63,6 +63,8 @@ type Context struct {
 // It is a cheap no-op when no sink is configured, so protocols can call it
 // unconditionally at every transition site without perturbing the engine's
 // zero-allocation steady state.
+//
+//mtmlint:hotpath
 func (c *Context) EmitTransition(kind obs.Kind, old, new uint64) {
 	if c.sink == nil {
 		return
@@ -74,6 +76,8 @@ func (c *Context) EmitTransition(kind obs.Kind, old, new uint64) {
 }
 
 // Degree returns the number of active neighbors visible in this round's scan.
+//
+//mtmlint:hotpath
 func (c *Context) Degree() int {
 	if c.act == nil {
 		return c.g.Degree(int(c.Node))
@@ -89,6 +93,8 @@ func (c *Context) Degree() int {
 
 // Neighbors iterates over the active neighbors, invoking fn with each
 // neighbor's id and advertised tag. Iteration is in ascending id order.
+//
+//mtmlint:hotpath
 func (c *Context) Neighbors(fn func(id int32, tag uint64)) {
 	for _, v := range c.g.Neighbors(int(c.Node)) {
 		if c.act == nil || c.act[v] {
@@ -99,6 +105,8 @@ func (c *Context) Neighbors(fn func(id int32, tag uint64)) {
 
 // RandomNeighbor returns a uniformly random active neighbor, or ok=false if
 // the node has none this round.
+//
+//mtmlint:hotpath
 func (c *Context) RandomNeighbor() (id int32, ok bool) {
 	if c.act == nil {
 		// Everyone is active: index the adjacency list directly instead of
@@ -121,6 +129,8 @@ var everyNeighbor = func(int32, uint64) bool { return true }
 // (id, tag) satisfies pred, or ok=false if none does. It uses two passes
 // over the adjacency list (count, then index) and consumes exactly one RNG
 // draw when at least one neighbor matches.
+//
+//mtmlint:hotpath
 func (c *Context) RandomNeighborMatching(pred func(id int32, tag uint64) bool) (id int32, ok bool) {
 	count := 0
 	for _, v := range c.g.Neighbors(int(c.Node)) {
@@ -549,7 +559,11 @@ func (e *Engine) RunRounds(startRound, k int) {
 // Protocols exposes the engine's protocol instances (for inspection).
 func (e *Engine) Protocols() []Protocol { return e.protocols }
 
-// step runs one full round and returns its statistics.
+// step runs one full round and returns its statistics. It is the root of
+// the steady-state zero-allocation contract that TestSteadyStateZeroAllocs
+// pins at runtime and the hotalloc analyzer certifies statically.
+//
+//mtmlint:hotpath
 func (e *Engine) step(r int) RoundStats {
 	g := e.sched.GraphAt(r)
 	var downMask []bool
@@ -826,6 +840,8 @@ func (e *Engine) bindCtx(c *Context) {
 }
 
 // phaseAdvertise runs step 2 for nodes [lo, hi) using worker w's scratch.
+//
+//mtmlint:hotpath
 func (e *Engine) phaseAdvertise(w, lo, hi int) {
 	ctx := &e.ctxA[w]
 	e.bindCtx(ctx)
@@ -848,6 +864,8 @@ func (e *Engine) phaseAdvertise(w, lo, hi int) {
 }
 
 // phaseDecide runs step 3 for nodes [lo, hi) using worker w's scratch.
+//
+//mtmlint:hotpath
 func (e *Engine) phaseDecide(w, lo, hi int) {
 	ctx := &e.ctxA[w]
 	e.bindCtx(ctx)
@@ -873,6 +891,8 @@ func (e *Engine) phaseDecide(w, lo, hi int) {
 }
 
 // phaseExchange runs step 5 for pairs whose smaller endpoint is in [lo, hi).
+//
+//mtmlint:hotpath
 func (e *Engine) phaseExchange(w, lo, hi int) {
 	ctxU, ctxV := &e.ctxA[w], &e.ctxB[w]
 	e.bindCtx(ctxU)
@@ -913,6 +933,8 @@ func (e *Engine) emitDeliver(to, from int32, m Message) {
 }
 
 // phaseEndRound runs the end-of-round callback for nodes [lo, hi).
+//
+//mtmlint:hotpath
 func (e *Engine) phaseEndRound(w, lo, hi int) {
 	ctx := &e.ctxA[w]
 	e.bindCtx(ctx)
@@ -1021,6 +1043,7 @@ func (e *Engine) parallelFor(fn func(w, lo, hi int)) {
 		fn(0, 0, e.n)
 		return
 	}
+	//mtmlint:hotpath-end goroutine dispatch below only runs with Workers > 1; the pinned zero-alloc configuration takes the inline path above
 	chunk := (e.n + e.workers - 1) / e.workers
 	var wg sync.WaitGroup
 	w := 0
