@@ -18,12 +18,14 @@ race:
 	$(GO) test -race -short ./...
 
 # race-smoke mirrors the CI race-smoke job: the concurrency-heavy tests
-# (parallel round loop, worker fan-out, fault injection) under the race
-# detector, without -short. This is the dynamic backstop for the
-# happensbefore analyzer's documented static boundaries (untraceable
-# pointers, receiver-method bodies).
+# (parallel round loop, worker fan-out, parallel accept/bucketing and its
+# cross-worker conformance suite, the million-node scale round, fault
+# injection) under the race detector, without -short. This is the dynamic
+# backstop for the happensbefore analyzer's documented static boundaries
+# (untraceable pointers, receiver-method bodies, the scatter-cursor idiom
+# whose disjointness rests on the sequential prefix merge).
 race-smoke:
-	$(GO) test -race ./internal/sim ./internal/fault -run 'Parallel|Workers|Fault'
+	$(GO) test -race -timeout 20m ./internal/sim ./internal/fault -run 'Parallel|Workers|Fault'
 
 lint:
 	$(GO) run ./cmd/mtmlint ./...

@@ -6,7 +6,7 @@ import (
 )
 
 // TopologyNames lists the names BuildTopology accepts.
-const TopologyNames = "clique|path|cycle|star|lineofstars|ringofcliques|regular|er|grid|hypercube|barbell|scalefree"
+const TopologyNames = "clique|path|cycle|star|lineofstars|ringofcliques|regular|er|grid|torus|expander|hypercube|barbell|scalefree"
 
 // ScheduleNames lists the names BuildSchedule accepts.
 const ScheduleNames = "static|permuted|churn|waypoint"
@@ -41,6 +41,16 @@ func BuildTopology(name string, n, deg int, seed uint64) (Topology, error) {
 	case "grid":
 		side := intSqrt(n)
 		return Grid(side, side), nil
+	case "torus":
+		side := intSqrt(n)
+		return Torus(side, side), nil
+	case "expander":
+		d := deg
+		if d < 4 {
+			d = 4
+		}
+		d &^= 1 // Expander needs even degree
+		return Expander(n, d, seed), nil
 	case "hypercube":
 		d := 0
 		for (1 << (d + 1)) <= n {

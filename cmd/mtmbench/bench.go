@@ -18,8 +18,16 @@ type Benchmark struct {
 	Nodes int
 	// Quick marks the benchmark as part of the -quick smoke subset.
 	Quick bool
+	// Workers is the engine worker count the workload runs with (0 means 1,
+	// the sequential engine). Recorded per entry so scale-tier sweeps are
+	// self-describing and speedups computable from a recording alone.
+	Workers int
 	// Fn runs iters operations and returns total simulated rounds.
 	Fn func(iters int) (rounds int64)
+	// Cleanup releases state retained across Fn calls (lazily built engines,
+	// shared giant topologies). Called once after the benchmark is measured,
+	// so a 1M-node entry does not inflate its successors' memory picture.
+	Cleanup func()
 }
 
 // Measurement is one benchmark's recorded result. Field names are part of
@@ -27,6 +35,8 @@ type Benchmark struct {
 type Measurement struct {
 	Name             string  `json:"name"`
 	Nodes            int     `json:"nodes,omitempty"`
+	Workers          int     `json:"workers,omitempty"`
+	GOMAXPROCS       int     `json:"gomaxprocs,omitempty"`
 	Iters            int     `json:"iters"`
 	NsPerOp          float64 `json:"ns_per_op"`
 	AllocsPerOp      float64 `json:"allocs_per_op"`
@@ -53,9 +63,15 @@ func measure(b Benchmark, minTime time.Duration) Measurement {
 
 		if elapsed >= minTime || iters >= 1<<28 {
 			ns := float64(elapsed.Nanoseconds()) / float64(iters)
+			workers := b.Workers
+			if workers == 0 {
+				workers = 1
+			}
 			m := Measurement{
 				Name:        b.Name,
 				Nodes:       b.Nodes,
+				Workers:     workers,
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
 				Iters:       iters,
 				NsPerOp:     ns,
 				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),

@@ -13,7 +13,12 @@ import (
 // SchemaVersion identifies the BENCH_*.json layout. Bump only on
 // incompatible changes; -compare refuses mismatched schemas rather than
 // silently comparing different shapes.
-const SchemaVersion = "mtmbench/v1"
+const SchemaVersion = "mtmbench/v2"
+
+// compatSchemas are older layouts this binary still reads: v2 only added
+// per-entry fields (workers, gomaxprocs), so a v1 baseline decodes cleanly
+// with those fields zero and stays comparable by name.
+var compatSchemas = map[string]bool{"mtmbench/v1": true}
 
 // Recording is the full contents of a BENCH_<label>.json file.
 type Recording struct {
@@ -46,7 +51,7 @@ func ReadRecording(path string) (*Recording, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != SchemaVersion {
+	if r.Schema != SchemaVersion && !compatSchemas[r.Schema] {
 		return nil, fmt.Errorf("%s: schema %q, this binary speaks %q", path, r.Schema, SchemaVersion)
 	}
 	return &r, nil

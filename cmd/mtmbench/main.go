@@ -69,6 +69,10 @@ func main() {
 	for _, b := range suite {
 		fmt.Fprintf(os.Stderr, "running %s...\n", b.Name)
 		rec.Benchmarks = append(rec.Benchmarks, measure(b, *benchTime))
+		if b.Cleanup != nil {
+			b.Cleanup()
+			runtime.GC()
+		}
 	}
 
 	fmt.Print(FormatRecording(rec))

@@ -92,6 +92,7 @@ func buildSuite() []Benchmark {
 	rumorBench("rumor/ppush/expander512/tau=8", expander, mobiletel.PPush, 8, false)
 
 	suite = append(suite, steadyRoundBench(), steadyRoundTracedBench())
+	suite = append(suite, scaleBenches()...)
 
 	for _, exp := range []struct {
 		id    string
@@ -118,6 +119,76 @@ func buildSuite() []Benchmark {
 		})
 	}
 
+	return suite
+}
+
+// scaleBenches is the scale tier: one op = one steady-state round on giant
+// topologies (a 2^16-node expander and a 2^20-node torus mesh), swept across
+// worker counts 1/2/8 so a recording carries its own parallel-speedup data
+// (workers and gomaxprocs are per-entry fields since mtmbench/v2). Each
+// family is materialized lazily on first use and shared across its sweep —
+// building a million-node graph once, not three times — and every entry
+// releases its engine in Cleanup so the tier's working set never stacks up.
+// ns/op is host-dependent as always; allocs/op is the portable signal that
+// the parallel round core stays out of the allocator at scale.
+func scaleBenches() []Benchmark {
+	var suite []Benchmark
+	families := []struct {
+		label string
+		nodes int
+		quick int // worker count whose entry joins the -quick subset (0: none)
+		build func() gen.Family
+	}{
+		{"expander65536", 1 << 16, 2, func() gen.Family { return gen.Expander(1<<16, 8, suiteSeed) }},
+		{"torus1048576", 1 << 20, 0, func() gen.Family { return gen.Torus(1024, 1024) }},
+	}
+	sweep := []int{1, 2, 8}
+	for _, f := range families {
+		f := f
+		var shared *gen.Family
+		family := func() gen.Family {
+			if shared == nil {
+				fam := f.build()
+				shared = &fam
+			}
+			return *shared
+		}
+		for i, workers := range sweep {
+			workers := workers
+			last := i == len(sweep)-1
+			var (
+				eng  *sim.Engine
+				next = 1
+			)
+			suite = append(suite, Benchmark{
+				Name:    fmt.Sprintf("scale/round/%s/w=%d", f.label, workers),
+				Nodes:   f.nodes,
+				Quick:   workers == f.quick,
+				Workers: workers,
+				Fn: func(iters int) int64 {
+					if eng == nil {
+						fam := family()
+						protocols := core.NewBlindGossipNetwork(core.UniqueUIDs(fam.N(), suiteSeed))
+						var err error
+						eng, err = sim.New(dyngraph.NewStatic(fam), protocols,
+							sim.Config{Seed: suiteSeed, Workers: workers})
+						if err != nil {
+							fatalf("scale round bench (%s, w=%d): %v", f.label, workers, err)
+						}
+					}
+					eng.RunRounds(next, iters)
+					next += iters
+					return int64(iters)
+				},
+				Cleanup: func() {
+					eng = nil
+					if last {
+						shared = nil
+					}
+				},
+			})
+		}
+	}
 	return suite
 }
 

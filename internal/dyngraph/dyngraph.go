@@ -17,6 +17,7 @@ package dyngraph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"mobiletel/internal/graph"
@@ -160,8 +161,9 @@ type Permuted struct {
 	seed uint64
 	tau  int
 
-	rng  xrand.RNG
-	perm []int // per-epoch permutation scratch, reused across epochs
+	rng     xrand.RNG
+	perm    []int // per-epoch permutation scratch, reused across epochs
+	scratch graph.RelabelScratch
 
 	cachedEpoch int
 	cached      *graph.Graph
@@ -179,15 +181,17 @@ func NewPermuted(base gen.Family, tau int, seed uint64) *Permuted {
 }
 
 // build materializes epoch e's relabeling as a permutation view over the
-// immutable base CSR: an O(n+m) Relabel with no Builder and no sort. The
-// result is bit-identical (graph.Equal) to rebuilding the permuted edge set
-// from scratch; TestPermutedRelabelMatchesBuilder pins this for 100 epochs.
-// A fresh graph is allocated per epoch on purpose — consumers like Validate
-// hold the previous epoch's graph across the boundary.
+// immutable base CSR: an O(n+m) RelabelInto with no Builder and no sort,
+// with the inverse-permutation and cursor scratch reused across epochs so a
+// 1M-node epoch boundary allocates only the result arrays. The result is
+// bit-identical (graph.Equal) to rebuilding the permuted edge set from
+// scratch; TestPermutedRelabelMatchesBuilder pins this for 100 epochs.
+// The result's own arrays are fresh per epoch on purpose — consumers like
+// Validate hold the previous epoch's graph across the boundary.
 func (s *Permuted) build(e int) *graph.Graph {
 	s.rng.Reseed(s.seed, uint64(e), 0x9e) // same stream as Derive(seed, e, 0x9e)
 	s.rng.PermInto(s.perm)
-	return s.base.Graph.Relabel(s.perm)
+	return s.base.Graph.RelabelInto(s.perm, &s.scratch)
 }
 
 func (s *Permuted) GraphAt(r int) *graph.Graph {
@@ -222,6 +226,7 @@ type Churn struct {
 	curEpoch int
 	edges    [][2]int32
 	edgeSet  map[[2]int32]int
+	deg      []int32 // buildGraph counting scratch, reused across epochs
 	cur      *graph.Graph
 	rng      *xrand.RNG
 }
@@ -328,12 +333,39 @@ func canonEdge(u, v int32) [2]int32 {
 	return [2]int32{u, v}
 }
 
+// buildGraph materializes the current edge list in O(n + m log Δ) without
+// the Builder's global O(m log m) edge sort: counting-sort endpoints into
+// CSR (degree/cursor scratch reused across epochs), then sort each short
+// adjacency list. The offsets/adj arrays are fresh per epoch on purpose —
+// consumers hold the previous epoch's graph across the boundary.
 func (c *Churn) buildGraph() *graph.Graph {
-	b := graph.NewBuilder(c.base.N())
-	for _, e := range c.edges {
-		b.AddEdge(int(e[0]), int(e[1]))
+	n := c.base.N()
+	if cap(c.deg) < n {
+		c.deg = make([]int32, n)
 	}
-	return b.MustBuild()
+	deg := c.deg[:n]
+	clear(deg)
+	for _, e := range c.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offsets := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		offsets[u+1] = offsets[u] + deg[u]
+	}
+	adj := make([]int32, 2*len(c.edges))
+	cursor := deg // degree counts double as scatter cursors
+	copy(cursor, offsets[:n])
+	for _, e := range c.edges {
+		adj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		adj[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	for u := 0; u < n; u++ {
+		slices.Sort(adj[offsets[u]:offsets[u+1]])
+	}
+	return graph.MustFromCSR(offsets, adj)
 }
 
 func (c *Churn) GraphAt(r int) *graph.Graph {

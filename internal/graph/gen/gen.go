@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 
 	"mobiletel/internal/graph"
 	"mobiletel/internal/xrand"
@@ -256,44 +257,89 @@ func Barbell(s int) Family {
 // standard estimate min(rows,cols)/⌊n/2⌋·... conservatively as a heuristic
 // (AlphaExact=false) since the exact isoperimetric constant depends on the
 // aspect ratio.
+//
+// The graph is emitted directly in CSR form: a node's neighbors in row-major
+// id order are up, left, right, down, which is already sorted, so a 1M-node
+// mesh materializes in O(n) with two allocations instead of round-tripping a
+// 2M-entry edge list through the Builder's sort.
 func Grid(rows, cols int) Family {
 	if rows < 1 || cols < 1 {
 		panic("gen: Grid needs positive dimensions")
 	}
 	n := rows * cols
-	b := graph.NewBuilder(n)
-	id := func(r, c int) int { return r*cols + c }
+	offsets := make([]int32, n+1)
+	adj := make([]int32, 2*(rows*(cols-1)+(rows-1)*cols))
+	i := int32(0)
+	u := 0
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
+			offsets[u] = i
+			if r > 0 {
+				adj[i] = int32(u - cols)
+				i++
+			}
+			if c > 0 {
+				adj[i] = int32(u - 1)
+				i++
+			}
 			if c+1 < cols {
-				b.AddEdge(id(r, c), id(r, c+1))
+				adj[i] = int32(u + 1)
+				i++
 			}
 			if r+1 < rows {
-				b.AddEdge(id(r, c), id(r+1, c))
+				adj[i] = int32(u + cols)
+				i++
 			}
+			u++
 		}
 	}
+	offsets[n] = i
 	short := rows
 	if cols < short {
 		short = cols
 	}
 	alpha := float64(short) / float64(n/2)
-	return Family{Name: "grid", Graph: b.MustBuild(), Alpha: alpha, AlphaExact: false}
+	return Family{Name: "grid", Graph: graph.MustFromCSR(offsets, adj), Alpha: alpha, AlphaExact: false}
 }
 
 // Torus returns the rows×cols torus (grid with wraparound), a 4-regular
-// graph for rows,cols >= 3.
+// graph for rows,cols >= 3. Like Grid it emits CSR directly; the four
+// neighbor ids wrap around the edges, so each quad is sorted in place.
 func Torus(rows, cols int) Family {
 	if rows < 3 || cols < 3 {
 		panic("gen: Torus needs dimensions >= 3")
 	}
 	n := rows * cols
-	b := graph.NewBuilder(n)
-	id := func(r, c int) int { return r*cols + c }
+	offsets := make([]int32, n+1)
+	adj := make([]int32, 4*n)
+	for u := 0; u <= n; u++ {
+		offsets[u] = int32(4 * u)
+	}
+	var nb [4]int32
+	u := 0
 	for r := 0; r < rows; r++ {
+		rup, rdn := r-1, r+1
+		if rup < 0 {
+			rup = rows - 1
+		}
+		if rdn == rows {
+			rdn = 0
+		}
 		for c := 0; c < cols; c++ {
-			b.AddEdge(id(r, c), id(r, (c+1)%cols))
-			b.AddEdge(id(r, c), id((r+1)%rows, c))
+			cl, cr := c-1, c+1
+			if cl < 0 {
+				cl = cols - 1
+			}
+			if cr == cols {
+				cr = 0
+			}
+			nb[0] = int32(rup*cols + c)
+			nb[1] = int32(rdn*cols + c)
+			nb[2] = int32(r*cols + cl)
+			nb[3] = int32(r*cols + cr)
+			slices.Sort(nb[:])
+			copy(adj[4*u:], nb[:])
+			u++
 		}
 	}
 	short := rows
@@ -301,7 +347,60 @@ func Torus(rows, cols int) Family {
 		short = cols
 	}
 	alpha := 2 * float64(short) / float64(n/2)
-	return Family{Name: "torus", Graph: b.MustBuild(), Alpha: alpha, AlphaExact: false}
+	return Family{Name: "torus", Graph: graph.MustFromCSR(offsets, adj), Alpha: alpha, AlphaExact: false}
+}
+
+// Expander returns a random circulant d-regular expander on n nodes: offset
+// 1 (a Hamiltonian cycle, guaranteeing connectivity) plus d/2 - 1 random
+// distinct offsets in [2, (n-1)/2] drawn from the seed. Random circulants
+// of logarithmic degree are expanders w.h.p., and unlike RandomRegular the
+// construction is O(nd) with no edge-swap mixing chain, so a 1M-node
+// instance materializes in milliseconds. d must be even and >= 4, with
+// n >= d + 2 so enough distinct offsets exist; every offset o satisfies
+// 2o < n, so each contributes exactly two distinct neighbors per node.
+func Expander(n, d int, seed uint64) Family {
+	hi := (n - 1) / 2
+	if d < 4 || d%2 != 0 || n < d+2 || hi-1 < d/2-1 {
+		panic(fmt.Sprintf("gen: Expander(%d, %d) infeasible: need even d >= 4 and n >= d+2", n, d))
+	}
+	if int64(n)*int64(d) >= math.MaxInt32 {
+		panic(fmt.Sprintf("gen: Expander(%d, %d) adjacency exceeds int32 CSR offsets", n, d))
+	}
+	rng := xrand.New(seed)
+	offs := make([]int, 1, d/2)
+	offs[0] = 1
+	seen := map[int]bool{1: true}
+	for len(offs) < d/2 {
+		o := 2 + rng.Intn(hi-1)
+		if !seen[o] {
+			seen[o] = true
+			offs = append(offs, o)
+		}
+	}
+	offsets := make([]int32, n+1)
+	adj := make([]int32, d*n)
+	for u := 0; u <= n; u++ {
+		offsets[u] = int32(d * u)
+	}
+	nb := make([]int32, d)
+	for u := 0; u < n; u++ {
+		k := 0
+		for _, o := range offs {
+			nb[k] = int32((u + o) % n)
+			nb[k+1] = int32((u - o + n) % n)
+			k += 2
+		}
+		slices.Sort(nb)
+		copy(adj[d*u:], nb)
+	}
+	g := graph.MustFromCSR(offsets, adj)
+	alpha := math.NaN()
+	exact := false
+	if n <= 20 {
+		alpha = bruteAlpha(g)
+		exact = true
+	}
+	return Family{Name: "expander", Graph: g, Alpha: alpha, AlphaExact: exact}
 }
 
 // Hypercube returns the d-dimensional hypercube on 2^d nodes. Its vertex

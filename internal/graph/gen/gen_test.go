@@ -3,6 +3,8 @@ package gen
 import (
 	"math"
 	"testing"
+
+	"mobiletel/internal/graph"
 )
 
 func TestCliqueStructure(t *testing.T) {
@@ -405,4 +407,96 @@ func TestBarabasiAlbertPanics(t *testing.T) {
 		}
 	}()
 	BarabasiAlbert(3, 3, 1)
+}
+
+// builderGrid and builderTorus are the pre-CSR reference constructions; the
+// direct-CSR generators must produce bit-identical graphs.
+func builderGrid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func builderTorus(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestGridCSRMatchesBuilder(t *testing.T) {
+	for _, dim := range [][2]int{{1, 1}, {1, 7}, {5, 1}, {2, 2}, {3, 4}, {7, 7}, {16, 9}} {
+		got := Grid(dim[0], dim[1]).Graph
+		if want := builderGrid(dim[0], dim[1]); !got.Equal(want) {
+			t.Errorf("Grid(%d,%d) direct CSR differs from Builder construction", dim[0], dim[1])
+		}
+	}
+}
+
+func TestTorusCSRMatchesBuilder(t *testing.T) {
+	for _, dim := range [][2]int{{3, 3}, {3, 5}, {4, 4}, {7, 3}, {8, 16}} {
+		got := Torus(dim[0], dim[1]).Graph
+		if want := builderTorus(dim[0], dim[1]); !got.Equal(want) {
+			t.Errorf("Torus(%d,%d) direct CSR differs from Builder construction", dim[0], dim[1])
+		}
+	}
+}
+
+func TestExpanderStructure(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{8, 4}, {17, 4}, {64, 6}, {101, 8}, {256, 8}} {
+		f := Expander(tc.n, tc.d, 42)
+		g := f.Graph
+		if g.N() != tc.n || g.M() != tc.n*tc.d/2 {
+			t.Fatalf("Expander(%d,%d): n=%d m=%d", tc.n, tc.d, g.N(), g.M())
+		}
+		for u := 0; u < tc.n; u++ {
+			if g.Degree(u) != tc.d {
+				t.Fatalf("Expander(%d,%d): node %d has degree %d", tc.n, tc.d, u, g.Degree(u))
+			}
+		}
+		if !g.Connected() {
+			t.Fatalf("Expander(%d,%d) disconnected", tc.n, tc.d)
+		}
+		if !g.HasEdge(0, 1) || !g.HasEdge(tc.n-1, 0) {
+			t.Fatalf("Expander(%d,%d) missing the offset-1 Hamiltonian cycle", tc.n, tc.d)
+		}
+	}
+}
+
+func TestExpanderDeterministic(t *testing.T) {
+	a := Expander(120, 8, 7).Graph
+	if !a.Equal(Expander(120, 8, 7).Graph) {
+		t.Fatal("same seed produced different expanders")
+	}
+	if a.Equal(Expander(120, 8, 8).Graph) {
+		t.Fatal("different seeds produced identical expanders")
+	}
+}
+
+func TestExpanderPanics(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{10, 3}, {10, 2}, {5, 4}, {6, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Expander(%d,%d) did not panic", tc.n, tc.d)
+				}
+			}()
+			Expander(tc.n, tc.d, 1)
+		}()
+	}
 }

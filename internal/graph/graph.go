@@ -168,10 +168,40 @@ func (g *Graph) AlphaOf(inSet []bool) float64 {
 // relabeled edge set through a Builder, at a fraction of the cost — this is
 // what lets τ=1 schedules serve a fresh topology every round cheaply.
 func (g *Graph) Relabel(perm []int) *Graph {
+	return g.RelabelInto(perm, &RelabelScratch{})
+}
+
+// RelabelScratch holds the reusable working storage of RelabelInto — the
+// inverse permutation and the per-node emission cursors. The zero value is
+// ready to use; it grows to the largest n seen and is reused afterwards.
+type RelabelScratch struct {
+	inv    []int32
+	cursor []int32
+}
+
+// grow sizes the scratch for an n-node relabel without allocating when a
+// previous call already reached this size.
+func (s *RelabelScratch) grow(n int) {
+	if cap(s.inv) < n {
+		s.inv = make([]int32, n)
+		s.cursor = make([]int32, n)
+	}
+	s.inv = s.inv[:n]
+	s.cursor = s.cursor[:n]
+}
+
+// RelabelInto is Relabel with caller-owned scratch: only the result graph's
+// own storage (offsets, adj) is freshly allocated, so epoch-driven callers
+// (dyngraph.Permuted at τ=1 rebuilds every round) run in O(n+m) with O(1)
+// transient garbage. The result is still independent of g and of s — the
+// scratch may be reused immediately for the next relabel while earlier
+// results stay live.
+func (g *Graph) RelabelInto(perm []int, s *RelabelScratch) *Graph {
 	if len(perm) != g.n {
 		panic(fmt.Sprintf("graph: Relabel permutation length %d != n %d", len(perm), g.n))
 	}
-	inv := make([]int32, g.n)
+	s.grow(g.n)
+	inv := s.inv
 	for i := range inv {
 		inv[i] = -1
 	}
@@ -186,7 +216,7 @@ func (g *Graph) Relabel(perm []int) *Graph {
 		offsets[a+1] = offsets[a] + int32(g.Degree(int(inv[a])))
 	}
 	adj := make([]int32, len(g.adj))
-	cursor := make([]int32, g.n)
+	cursor := s.cursor
 	copy(cursor, offsets[:g.n])
 	for a := 0; a < g.n; a++ {
 		for _, v := range g.Neighbors(int(inv[a])) {
@@ -196,6 +226,37 @@ func (g *Graph) Relabel(perm []int) *Graph {
 		}
 	}
 	return &Graph{offsets: offsets, adj: adj, n: g.n, m: g.m, maxDeg: g.maxDeg}
+}
+
+// BalancedChunks partitions the node range [0, n) into workers contiguous
+// chunks of approximately equal round work, writing the boundaries into
+// chunks (which must have length workers+1): chunk k is
+// [chunks[k], chunks[k+1]). Node u is weighted deg(u)+1 — one unit for the
+// per-node phase work plus one per incident edge for the scan — so the
+// cumulative weight of nodes before u is exactly offsets[u]+u, and each
+// boundary is one O(log n) search. Hub-skewed topologies (a line-of-stars
+// center with degree n−1) thus cost their worker only their fair share of
+// edges, where equal index ranges would serialize the whole round behind
+// the hub's chunk.
+//
+// Boundaries are a deterministic function of (g, workers) alone; they
+// affect only which worker executes a node, never the result, because
+// per-node RNG streams are independent of the executing worker.
+//
+//mtmlint:hotpath
+func (g *Graph) BalancedChunks(workers int, chunks []int) {
+	if workers < 1 || len(chunks) != workers+1 {
+		panic(fmt.Sprintf("graph: BalancedChunks needs workers >= 1 and len(chunks) == workers+1, got %d and %d", workers, len(chunks)))
+	}
+	total := int64(2*g.m + g.n)
+	chunks[0] = 0
+	for k := 1; k < workers; k++ {
+		target := total * int64(k) / int64(workers)
+		chunks[k] = sort.Search(g.n, func(u int) bool {
+			return int64(g.offsets[u])+int64(u) >= target
+		})
+	}
+	chunks[workers] = g.n
 }
 
 // Equal reports whether two graphs have identical node and edge sets.
@@ -319,4 +380,70 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 		b.AddEdge(e[0], e[1])
 	}
 	return b.Build()
+}
+
+// FromCSR adopts ready-made CSR arrays as a graph, skipping the Builder's
+// O(m log m) edge sort — the scale path for generators that can emit each
+// adjacency list already sorted (a 1M-node torus or circulant materializes
+// in O(n+m)). The graph takes ownership of both slices; the caller must not
+// modify them afterwards.
+//
+// The arrays are fully validated in O(n + m log Δ): offsets must start at 0,
+// be non-decreasing, and end at len(adj); every adjacency list must be
+// strictly increasing (sorted, duplicate-free), in range, and self-loop
+// free; and the adjacency relation must be symmetric. Validation is linear
+// in the input, so adopting is still asymptotically free compared to
+// building.
+func FromCSR(offsets, adj []int32) (*Graph, error) {
+	if len(offsets) == 0 || offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR offsets must start with 0 (len %d)", len(offsets))
+	}
+	n := len(offsets) - 1
+	if int(offsets[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: FromCSR offsets end at %d, adj has %d entries", offsets[n], len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: FromCSR adjacency length %d is odd; an undirected graph stores each edge twice", len(adj))
+	}
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if offsets[u+1] < offsets[u] {
+			return nil, fmt.Errorf("graph: FromCSR offsets decrease at node %d", u)
+		}
+		if d := int(offsets[u+1] - offsets[u]); d > maxDeg {
+			maxDeg = d
+		}
+		prev := int32(-1)
+		for _, v := range adj[offsets[u]:offsets[u+1]] {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: FromCSR neighbor %d of node %d out of range [0,%d)", v, u, n)
+			}
+			if int(v) == u {
+				return nil, fmt.Errorf("graph: FromCSR self-loop at node %d", u)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph: FromCSR adjacency of node %d not strictly increasing at neighbor %d", u, v)
+			}
+			prev = v
+		}
+	}
+	g := &Graph{offsets: offsets, adj: adj, n: n, m: len(adj) / 2, maxDeg: maxDeg}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.HasEdge(int(v), u) {
+				return nil, fmt.Errorf("graph: FromCSR edge (%d,%d) has no reverse entry", u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustFromCSR is FromCSR but panics on error; intended for generators whose
+// CSR output is well-formed by construction.
+func MustFromCSR(offsets, adj []int32) *Graph {
+	g, err := FromCSR(offsets, adj)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }

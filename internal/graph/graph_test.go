@@ -363,3 +363,153 @@ func TestRelabelRejectsBadPerm(t *testing.T) {
 		}()
 	}
 }
+
+func TestRelabelIntoReusesScratchAcrossEpochs(t *testing.T) {
+	rng := xrand.Derive(11, 0, 0)
+	g := randomGraph(3, 40, 0.1)
+	var s RelabelScratch
+	for epoch := 0; epoch < 20; epoch++ {
+		perm := rng.Perm(g.N())
+		got := g.RelabelInto(perm, &s)
+		if want := g.Relabel(perm); !got.Equal(want) {
+			t.Fatalf("epoch %d: RelabelInto differs from Relabel", epoch)
+		}
+		// The result must outlive the scratch: mutate it and re-check the
+		// previous epoch's graph would be unaffected (fresh arrays).
+		if got.N() > 0 && &got.offsets[0] == &s.cursor[0] {
+			t.Fatal("RelabelInto leaked scratch storage into the result")
+		}
+	}
+}
+
+func TestBalancedChunksInvariants(t *testing.T) {
+	graphs := map[string]*Graph{
+		"path40":   mustPath(t, 40),
+		"empty5":   NewBuilder(5).MustBuild(),
+		"random":   randomGraph(5, 97, 0.07),
+		"single":   NewBuilder(1).MustBuild(),
+		"zero":     NewBuilder(0).MustBuild(),
+		"star":     mustStar(t, 64),
+	}
+	for name, g := range graphs {
+		for _, workers := range []int{1, 2, 3, 7, 8, 16, 200} {
+			chunks := make([]int, workers+1)
+			g.BalancedChunks(workers, chunks)
+			if chunks[0] != 0 || chunks[workers] != g.N() {
+				t.Fatalf("%s w=%d: endpoints %d..%d want 0..%d", name, workers, chunks[0], chunks[workers], g.N())
+			}
+			for k := 0; k < workers; k++ {
+				if chunks[k] > chunks[k+1] {
+					t.Fatalf("%s w=%d: boundaries not monotone: %v", name, workers, chunks)
+				}
+			}
+			// Every node lands in exactly one chunk by construction; check
+			// the weight balance: no chunk exceeds ceil(total/workers) by
+			// more than the heaviest single node (indivisible unit).
+			total := int64(2*g.M() + g.N())
+			limit := total/int64(workers) + int64(g.MaxDegree()+1)
+			for k := 0; k < workers; k++ {
+				var wgt int64
+				for u := chunks[k]; u < chunks[k+1]; u++ {
+					wgt += int64(g.Degree(u) + 1)
+				}
+				if wgt > limit {
+					t.Fatalf("%s w=%d chunk %d: weight %d exceeds %d", name, workers, k, wgt, limit)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedChunksIsolatesHub(t *testing.T) {
+	// On a star the hub holds a third of the total weight (deg+1 = n out of
+	// 3n-2), so with 3 workers the first boundary must fall right after the
+	// hub — the equal-index split would hand worker 0 the hub plus a third
+	// of the leaves.
+	g := mustStar(t, 1001)
+	chunks := make([]int, 4)
+	g.BalancedChunks(3, chunks)
+	if chunks[1] != 1 {
+		t.Fatalf("star hub split at %d, want 1 (chunks %v)", chunks[1], chunks)
+	}
+}
+
+func TestBalancedChunksBadArgsPanic(t *testing.T) {
+	g := mustPath(t, 4)
+	for _, tc := range []struct {
+		workers int
+		size    int
+	}{{0, 1}, {-1, 0}, {2, 2}, {2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d len(chunks)=%d did not panic", tc.workers, tc.size)
+				}
+			}()
+			g.BalancedChunks(tc.workers, make([]int, tc.size))
+		}()
+	}
+}
+
+func mustStar(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.MustBuild()
+}
+
+func TestFromCSRRoundTrips(t *testing.T) {
+	for _, g := range []*Graph{
+		NewBuilder(0).MustBuild(),
+		mustPath(t, 9),
+		mustStar(t, 12),
+		randomGraph(13, 60, 0.1),
+	} {
+		offsets := make([]int32, len(g.offsets))
+		copy(offsets, g.offsets)
+		adj := make([]int32, len(g.adj))
+		copy(adj, g.adj)
+		h, err := FromCSR(offsets, adj)
+		if err != nil {
+			t.Fatalf("FromCSR rejected Builder output: %v", err)
+		}
+		if !h.Equal(g) || h.M() != g.M() || h.MaxDegree() != g.MaxDegree() {
+			t.Fatalf("FromCSR round trip changed the graph (n=%d)", g.N())
+		}
+	}
+}
+
+func TestFromCSRRejectsMalformed(t *testing.T) {
+	cases := map[string]struct {
+		offsets []int32
+		adj     []int32
+	}{
+		"empty offsets":     {nil, nil},
+		"nonzero start":     {[]int32{1, 1}, nil},
+		"length mismatch":   {[]int32{0, 2}, []int32{1}},
+		"odd adjacency":     {[]int32{0, 1, 1}, []int32{1}},
+		"decreasing":        {[]int32{0, 2, 1, 4}, []int32{1, 2, 0, 0}},
+		"out of range":      {[]int32{0, 1, 2}, []int32{1, 2}},
+		"negative neighbor": {[]int32{0, 1, 2}, []int32{1, -1}},
+		"self loop":         {[]int32{0, 1, 2}, []int32{0, 0}},
+		"unsorted list":     {[]int32{0, 2, 3, 5, 6}, []int32{2, 1, 0, 0, 3, 2}},
+		"duplicate edge":    {[]int32{0, 2, 4}, []int32{1, 1, 0, 0}},
+		"asymmetric":        {[]int32{0, 1, 2, 2}, []int32{1, 2}},
+	}
+	for name, tc := range cases {
+		if _, err := FromCSR(tc.offsets, tc.adj); err == nil {
+			t.Errorf("%s: FromCSR accepted malformed input", name)
+		}
+	}
+}
+
+func TestMustFromCSRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromCSR did not panic on bad input")
+		}
+	}()
+	MustFromCSR([]int32{0, 1, 2}, []int32{1, 0, 0})
+}

@@ -34,6 +34,23 @@ import (
 // early `continue` guard) are proven too, and every failed proof carries
 // the def-use chain that `mtmlint -explain` prints.
 //
+// Two idioms of the parallel counting sort are recognized as proven:
+//
+//   - a *worker-private row*: row := shared[w*K : (w+1)*K]. Distinct worker
+//     ids address disjoint ranges for any K, so the view is private to the
+//     worker and may be read or written at any index (the per-worker
+//     histogram of the two-pass bucketing sort);
+//   - a *scatter cursor*: a write shared[row[t]] = v whose index is loaded
+//     from a worker-private row. The sequential prefix merge between the
+//     histogram and scatter passes rewrites each row cell into a cursor
+//     base such that distinct (worker, bucket) cursor ranges are disjoint;
+//     the analyzer accepts the write on the strength of that idiom (the
+//     merge itself runs outside any region), while still counting the
+//     container as region-written so stray same-region reads are flagged.
+//
+// A slice alias with any other bounds (row := shared[2:7]) is treated as
+// the shared container itself and held to the chunk proof.
+//
 // Boundaries, dynamically backed by the race-smoke CI job (`make race`):
 // bodies of calls on the receiver itself (e.bindCtx(ctx)) are not walked,
 // writes through pointers the analyzer cannot trace to one &s[i] site are
@@ -140,13 +157,27 @@ func hbCheckDecl(p *Pass, decl *ast.FuncDecl) {
 
 // hbAccess is one recorded element access to a shared container.
 type hbAccess struct {
-	key   string // canonical container spelling, e.g. "e.tags"
-	index ast.Expr
-	env   *ssa.Env
-	pos   token.Pos
-	what  string // access description for diagnostics
-	write bool
+	key    string // canonical container spelling, e.g. "e.tags"
+	index  ast.Expr
+	env    *ssa.Env
+	pos    token.Pos
+	what   string // access description for diagnostics
+	write  bool
+	proven bool // accepted by idiom (scatter cursor); still marks key written
 }
+
+// hbClass classifies a container expression within a worker region.
+type hbClass int
+
+const (
+	// hbLocal: worker-local storage, no proof needed.
+	hbLocal hbClass = iota
+	// hbShared: shared across workers, accesses need the chunk proof.
+	hbShared
+	// hbPrivateRow: a shared[w*K : (w+1)*K] view — disjoint per worker id,
+	// so private to this worker at any index.
+	hbPrivateRow
+)
 
 // hbRegion analyzes one parallelFor worker body.
 type hbRegion struct {
@@ -195,6 +226,9 @@ func (r *hbRegion) run(body *ast.BlockStmt) {
 	for _, acc := range r.accesses {
 		if !acc.write && !written[acc.key] {
 			continue // shared-read-only container: no proof needed
+		}
+		if acc.proven {
+			continue // accepted by the scatter-cursor idiom
 		}
 		iv := r.an.Eval(acc.env, acc.index)
 		if r.inChunk(iv) {
@@ -282,7 +316,7 @@ func (r *hbRegion) scan(node ast.Node, env *ssa.Env) {
 			if r.consumed[x] {
 				return true
 			}
-			if key, ok := r.sharedContainer(x.X, env); ok && !isMapType(r.p, x.X) {
+			if key, cls := r.classify(x.X, env); cls == hbShared && !isMapType(r.p, x.X) {
 				r.record(hbAccess{key: key, index: x.Index, env: env,
 					pos: x.Pos(), what: "read", write: false})
 			}
@@ -308,16 +342,25 @@ func (r *hbRegion) checkWrite(lhs ast.Expr, env *ssa.Env) {
 		return
 	}
 	if ix, ok := lhs.(*ast.IndexExpr); ok {
-		key, ok := r.sharedContainer(ix.X, env)
-		if !ok {
-			return
+		key, cls := r.classify(ix.X, env)
+		if cls == hbLocal || cls == hbPrivateRow {
+			return // worker-local / worker-private: any index is fine
 		}
 		if isMapType(r.p, ix.X) {
 			r.p.Reportf(lhs.Pos(), "parallelFor worker writes to shared map %s; concurrent map writes are unsafe even on distinct keys", key)
 			return
 		}
+		proven := false
+		if cursor, ok := ast.Unparen(ix.Index).(*ast.IndexExpr); ok {
+			if _, ccls := r.classify(cursor.X, env); ccls == hbPrivateRow {
+				// The scatter-cursor idiom: the index is loaded from a
+				// worker-private histogram row whose cells the sequential
+				// prefix merge turned into disjoint cursor bases.
+				proven = true
+			}
+		}
 		r.record(hbAccess{key: key, index: ix.Index, env: env,
-			pos: lhs.Pos(), what: "write", write: true})
+			pos: lhs.Pos(), what: "write", write: true, proven: proven})
 		return
 	}
 
@@ -349,7 +392,7 @@ func (r *hbRegion) checkWrite(lhs ast.Expr, env *ssa.Env) {
 	}
 	target := ast.Unparen(addr.X)
 	if ix, ok := target.(*ast.IndexExpr); ok {
-		if key, ok := r.sharedContainer(ix.X, d.Env); ok && !isMapType(r.p, ix.X) {
+		if key, cls := r.classify(ix.X, d.Env); cls == hbShared && !isMapType(r.p, ix.X) {
 			r.record(hbAccess{key: key, index: ix.Index, env: d.Env,
 				pos: lhs.Pos(), what: "write (through " + root.Name() + " := &" + key + "[...])", write: true})
 		}
@@ -372,8 +415,8 @@ func (r *hbRegion) checkElementMethodCall(call *ast.CallExpr, env *ssa.Env) {
 	if !ok {
 		return
 	}
-	key, ok := r.sharedContainer(ix.X, env)
-	if !ok || isMapType(r.p, ix.X) {
+	key, cls := r.classify(ix.X, env)
+	if cls != hbShared || isMapType(r.p, ix.X) {
 		return
 	}
 	elem := r.p.Pkg.Info.TypeOf(ix)
@@ -404,29 +447,91 @@ func (r *hbRegion) record(acc hbAccess) {
 	r.accesses = append(r.accesses, acc)
 }
 
-// sharedContainer resolves a container expression to a canonical shared
-// spelling ("e.tags", "out"), following one local alias hop
-// (rows := e.rows) so aliased backing arrays are still checked.
-func (r *hbRegion) sharedContainer(x ast.Expr, env *ssa.Env) (string, bool) {
+// classify resolves a container expression to a canonical spelling and its
+// sharing class, following one local alias hop (rows := e.rows) so aliased
+// backing arrays are still checked. A slice-expression alias over shared
+// storage is the shared container itself — unless its bounds form the
+// per-worker-row pattern shared[w*K : (w+1)*K], which is provably disjoint
+// across worker ids and therefore private to this worker.
+func (r *hbRegion) classify(x ast.Expr, env *ssa.Env) (string, hbClass) {
 	x = ast.Unparen(x)
 	root := rootObject(r.p, x)
 	if root == nil {
-		return "", false
+		return "", hbLocal
 	}
 	if r.isShared(root) {
-		return types.ExprString(x), true
+		return types.ExprString(x), hbShared
 	}
 	if _, isIdent := x.(*ast.Ident); isIdent {
 		if d := env.Lookup(root); d != nil && d.Src != nil {
 			src := ast.Unparen(d.Src)
+			if sl, ok := src.(*ast.SliceExpr); ok {
+				if broot := rootObject(r.p, sl.X); broot != nil && r.isShared(broot) {
+					if r.isWorkerRow(sl) {
+						return types.ExprString(src), hbPrivateRow
+					}
+					return types.ExprString(src), hbShared
+				}
+				return "", hbLocal
+			}
 			if sroot := rootObject(r.p, src); sroot != nil && r.isShared(sroot) {
 				if !isIndexed(src) {
-					return types.ExprString(src), true
+					return types.ExprString(src), hbShared
 				}
 			}
 		}
 	}
-	return "", false
+	return "", hbLocal
+}
+
+// isWorkerRow reports whether the slice bounds are w*K and (w+1)*K for the
+// region's worker-id parameter and a syntactically identical K: for any K,
+// distinct worker ids then address disjoint ranges.
+func (r *hbRegion) isWorkerRow(sl *ast.SliceExpr) bool {
+	if r.w == nil || sl.Low == nil || sl.High == nil || sl.Slice3 {
+		return false
+	}
+	kLow, plusLow, ok := r.matchScaledW(sl.Low)
+	if !ok || plusLow {
+		return false
+	}
+	kHigh, plusHigh, ok := r.matchScaledW(sl.High)
+	if !ok || !plusHigh {
+		return false
+	}
+	return types.ExprString(kLow) == types.ExprString(kHigh)
+}
+
+// matchScaledW decomposes e as w*K or (w+1)*K (either operand order),
+// returning the scale K and whether the worker factor was w+1.
+func (r *hbRegion) matchScaledW(e ast.Expr) (k ast.Expr, plusOne, ok bool) {
+	mul, isMul := ast.Unparen(e).(*ast.BinaryExpr)
+	if !isMul || mul.Op != token.MUL {
+		return nil, false, false
+	}
+	for _, pair := range [2][2]ast.Expr{{mul.X, mul.Y}, {mul.Y, mul.X}} {
+		factor, rest := ast.Unparen(pair[0]), pair[1]
+		if r.isWorkerIdent(factor) {
+			return rest, false, true
+		}
+		if add, isAdd := factor.(*ast.BinaryExpr); isAdd && add.Op == token.ADD {
+			if r.isWorkerIdent(ast.Unparen(add.X)) && isIntLiteralOne(add.Y) ||
+				r.isWorkerIdent(ast.Unparen(add.Y)) && isIntLiteralOne(add.X) {
+				return rest, true, true
+			}
+		}
+	}
+	return nil, false, false
+}
+
+func (r *hbRegion) isWorkerIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && r.p.Pkg.Info.ObjectOf(id) == r.w
+}
+
+func isIntLiteralOne(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "1"
 }
 
 func isIndexed(e ast.Expr) bool {

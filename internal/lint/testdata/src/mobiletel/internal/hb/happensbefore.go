@@ -169,3 +169,62 @@ func Suppressed(out []int) {
 		out[j] = w
 	})
 }
+
+// HistScatter is the two-pass counting-sort idiom from internal/sim: each
+// worker counts into its private row of a shared histogram, a sequential
+// prefix merge between the passes (the caller's job) turns cells into
+// scatter-cursor bases, and the scatter writes through those cursors. Both
+// passes are accepted: hist[w*n:(w+1)*n] is disjoint per worker for any
+// stride, and the cursor-indexed write inherits the merge's disjointness.
+func HistScatter(hist, out []int, keys []int, n int) {
+	parallelFor(len(keys), func(w, lo, hi int) {
+		row := hist[w*n : (w+1)*n]
+		clear(row)
+		for i := lo; i < hi; i++ {
+			row[keys[i]]++
+		}
+	})
+	parallelFor(len(keys), func(w, lo, hi int) {
+		row := hist[w*n : (w+1)*n]
+		for i := lo; i < hi; i++ {
+			out[row[keys[i]]] = i
+			row[keys[i]]++
+		}
+	})
+}
+
+// WorkerRowWrongStride slices with mismatched low and high strides: rows
+// overlap between adjacent workers, so the alias is the shared container
+// and the non-induction index is unprovable.
+func WorkerRowWrongStride(hist []int, n, m int) {
+	parallelFor(n, func(w, lo, hi int) {
+		row := hist[w*n : (w+1)*m]
+		for i := lo; i < hi; i++ {
+			row[i-lo]++ // want `cannot prove`
+		}
+	})
+}
+
+// SliceAliasShared aliases an arbitrary window of shared storage: the
+// alias is the container itself, and writes through it need the same
+// chunk proof as direct writes.
+func SliceAliasShared(out []int, idx []int) {
+	parallelFor(len(out), func(w, lo, hi int) {
+		row := out[2 : len(out)-1]
+		for i := lo; i < hi; i++ {
+			row[idx[i]] = i // want `cannot prove`
+		}
+	})
+}
+
+// CursorFromSharedRow scatters through cursors loaded from a shared (not
+// worker-private) slice: no disjointness proof attaches, so the write is
+// the usual unprovable finding.
+func CursorFromSharedRow(hist, out []int, n int) {
+	parallelFor(n, func(w, lo, hi int) {
+		cur := hist[0:n]
+		for i := lo; i < hi; i++ {
+			out[cur[i]] = i // want `cannot prove`
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/rumor"
+	"mobiletel/internal/sim"
+)
+
+// conformanceCase builds a fresh protocol network plus the engine config it
+// needs, and digests the network's post-run state so worker counts can be
+// compared bit-for-bit. Each call must construct new protocol state:
+// engines mutate it in place.
+type conformanceCase struct {
+	name    string
+	tagBits int
+	stop    sim.StopCondition
+	build   func(n int) []sim.Protocol
+	digest  func(protocols []sim.Protocol) uint64
+}
+
+func leaderDigest(protocols []sim.Protocol) uint64 {
+	h := uint64(1469598103934665603)
+	for _, p := range protocols {
+		h = (h ^ p.Leader()) * 1099511628211
+	}
+	return h
+}
+
+func conformanceCases(n, maxDegree int) []conformanceCase {
+	params := core.DefaultBitConvParams(n, maxDegree)
+	return []conformanceCase{
+		{
+			name: "blindgossip", tagBits: 0, stop: sim.AllLeadersEqual,
+			build: func(n int) []sim.Protocol {
+				return core.NewBlindGossipNetwork(core.UniqueUIDs(n, 91))
+			},
+			digest: leaderDigest,
+		},
+		{
+			name: "bitconv", tagBits: 1, stop: sim.AllLeadersEqual,
+			build: func(n int) []sim.Protocol {
+				p, _ := core.NewBitConvNetwork(core.UniqueUIDs(n, 92), params, 5)
+				return p
+			},
+			digest: leaderDigest,
+		},
+		{
+			name: "asyncbitconv", tagBits: core.TagBitsNeeded(params), stop: sim.AllLeadersEqual,
+			build: func(n int) []sim.Protocol {
+				p, _ := core.NewAsyncBitConvNetwork(core.UniqueUIDs(n, 93), params, 5)
+				return p
+			},
+			digest: leaderDigest,
+		},
+		{
+			name: "pushpull", tagBits: 0, stop: rumor.AllInformed,
+			build: func(n int) []sim.Protocol {
+				return rumor.NewPushPullNetwork(n, map[int]bool{0: true})
+			},
+			digest: func(p []sim.Protocol) uint64 { return uint64(rumor.CountInformed(p)) },
+		},
+		{
+			name: "ppush", tagBits: 1, stop: rumor.AllInformed,
+			build: func(n int) []sim.Protocol {
+				return rumor.NewPPushNetwork(n, map[int]bool{0: true})
+			},
+			digest: func(p []sim.Protocol) uint64 { return uint64(rumor.CountInformed(p)) },
+		},
+	}
+}
+
+// TestParallelRoundConformanceAcrossWorkers pins the contract behind the
+// parallel round core: Workers is a throughput knob, never a semantic one.
+// Every protocol in the repertoire runs to its stop condition on the paper's
+// line-of-stars topology at worker counts on both sides of the chunking
+// thresholds (1 = inline path, 2 = minimal split, 7 = uneven chunks,
+// 16 > GOMAXPROCS on most CI hosts), and every execution must produce a
+// bit-identical Result and final protocol state.
+func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
+	f := gen.SqrtLineOfStars(20) // n = 420, Δ = 22: hubs stress degree-balanced chunking
+	workerCounts := []int{1, 2, 7, 16}
+	for _, tc := range conformanceCases(f.N(), 22) {
+		t.Run(tc.name, func(t *testing.T) {
+			var wantRes sim.Result
+			var wantDigest uint64
+			for i, workers := range workerCounts {
+				protocols := tc.build(f.N())
+				eng, err := sim.New(dyngraph.NewPermuted(f, 2, 17), protocols, sim.Config{
+					Seed: 29, TagBits: tc.tagBits, Workers: workers, MaxRounds: 2_000_000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.Run(tc.stop)
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				digest := tc.digest(protocols)
+				if i == 0 {
+					wantRes, wantDigest = res, digest
+					continue
+				}
+				if res != wantRes || digest != wantDigest {
+					t.Fatalf("Workers=%d diverged from Workers=%d: (%+v, %#x) vs (%+v, %#x)",
+						workers, workerCounts[0], res, digest, wantRes, wantDigest)
+				}
+			}
+		})
+	}
+}
+
+// TestActiveSetMatchingZeroAllocs pins the RandomNeighborMatching slow path
+// (active-set filter + predicate) at zero steady-state allocations with
+// Workers=1: the candidate scratch must live on the Context and be reused
+// across rounds. PPush exercises the predicate draw every round; churn
+// keeps an evolving edge set in play so the CSR rebuild scratch is hit too.
+func TestActiveSetMatchingZeroAllocs(t *testing.T) {
+	const n = 256
+	eng, err := sim.New(
+		dyngraph.NewStatic(gen.RandomRegular(n, 8, 4)),
+		rumor.NewPPushNetwork(n, map[int]bool{0: true}),
+		sim.Config{Seed: 6, TagBits: 1, Workers: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunRounds(1, 50)
+	next := 51
+	avg := testing.AllocsPerRun(200, func() {
+		eng.RunRounds(next, 1)
+		next++
+	})
+	if avg != 0 {
+		t.Fatalf("matching steady-state round allocates: %v allocs/round, want 0", avg)
+	}
+}
+
+// TestParallelMillionNodeRound is the scale acceptance check: a full round
+// on a 1,048,576-node mesh and on a degree-8 expander must materialize and
+// complete — no quadratic intermediate allocation anywhere in the generator,
+// scheduler, or round core — and the round's stats must be bit-identical
+// across worker counts spanning the inline and parallel dispatch paths.
+func TestParallelMillionNodeRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-node round skipped in -short mode")
+	}
+	families := []gen.Family{
+		gen.Torus(1024, 1024),
+		gen.Expander(1<<20, 8, 77),
+	}
+	for _, f := range families {
+		t.Run(f.Name, func(t *testing.T) {
+			var want sim.RoundStats
+			for i, workers := range []int{1, 2, 8} {
+				var got sim.RoundStats
+				eng, err := sim.New(
+					dyngraph.NewStatic(f),
+					core.NewBlindGossipNetwork(core.UniqueUIDs(f.N(), 7)),
+					sim.Config{
+						Seed: 11, Workers: workers, MaxRounds: 1,
+						Observer: func(s sim.RoundStats) { got = s },
+					},
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := eng.Run(nil); !errors.Is(err, sim.ErrNotStabilized) {
+					t.Fatalf("Workers=%d: unexpected error %v", workers, err)
+				}
+				if got.ActiveNodes != f.N() || got.Proposals == 0 || got.Connections == 0 {
+					t.Fatalf("Workers=%d: implausible round stats %+v", workers, got)
+				}
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("Workers=%d diverged: %+v vs %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}

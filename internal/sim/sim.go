@@ -56,6 +56,7 @@ type Context struct {
 	tags []uint64
 	act  []bool   // activity per node (nil means all active)
 	sink obs.Sink // event sink, nil when tracing is disabled
+	nbr  []int32  // candidate scratch for RandomNeighborMatching, grown once
 }
 
 // EmitTransition publishes a protocol state transition (leader-estimate
@@ -126,31 +127,25 @@ func (c *Context) RandomNeighbor() (id int32, ok bool) {
 var everyNeighbor = func(int32, uint64) bool { return true }
 
 // RandomNeighborMatching returns a uniformly random active neighbor whose
-// (id, tag) satisfies pred, or ok=false if none does. It uses two passes
-// over the adjacency list (count, then index) and consumes exactly one RNG
-// draw when at least one neighbor matches.
+// (id, tag) satisfies pred, or ok=false if none does. A single scan collects
+// the matching ids into per-Context scratch (reservoir-style: candidates are
+// buffered, the winner indexed afterwards), then one Intn over the match
+// count picks the winner — the same single draw over the same count as the
+// historical count-then-index double scan, so the choice is bit-identical
+// while pred and the activity filter run once per neighbor instead of twice.
 //
 //mtmlint:hotpath
 func (c *Context) RandomNeighborMatching(pred func(id int32, tag uint64) bool) (id int32, ok bool) {
-	count := 0
+	c.nbr = c.nbr[:0]
 	for _, v := range c.g.Neighbors(int(c.Node)) {
 		if (c.act == nil || c.act[v]) && pred(v, c.tags[v]) {
-			count++
+			c.nbr = append(c.nbr, v)
 		}
 	}
-	if count == 0 {
+	if len(c.nbr) == 0 {
 		return 0, false
 	}
-	idx := c.RNG.Intn(count)
-	for _, v := range c.g.Neighbors(int(c.Node)) {
-		if (c.act == nil || c.act[v]) && pred(v, c.tags[v]) {
-			if idx == 0 {
-				return v, true
-			}
-			idx--
-		}
-	}
-	panic("sim: unreachable neighbor selection state")
+	return c.nbr[c.RNG.Intn(len(c.nbr))], true
 }
 
 // Protocol is the per-node state machine an algorithm implements. The engine
@@ -356,6 +351,29 @@ type Engine struct {
 	cursor  []int32 // scratch for the per-round counting sort
 	workers int
 
+	// parCore selects the parallel round core: the active scan, proposal
+	// bucketing (two-pass counting sort: per-worker histograms + sequential
+	// prefix merge + parallel scatter), accept, and partner phases all run
+	// chunked across workers. It is legal only when fault and trace draws —
+	// which are order-dependent — cannot occur, so New enables it exactly
+	// when Workers > 1 and neither Faults nor Sink is configured. Results
+	// are bit-identical to the sequential core for any worker count: inboxes
+	// stay sender-ordered (worker chunks ascend in sender id) and each
+	// receiver's accept choice draws only from its own rngs[v] stream.
+	parCore bool
+	hist    []int32 // per-worker proposal histograms/cursors, workers rows of n
+	chosen  []int32 // per-receiver accepted sender (or noPartner), parCore only
+
+	// chunks holds degree-weighted parallelFor boundaries for the current
+	// round graph (weight deg(u)+1), recomputed only when the schedule hands
+	// out a new graph; chunkG remembers which graph they describe.
+	chunks []int
+	chunkG *graph.Graph
+
+	// counters is per-worker round accounting, one cache line per worker so
+	// parallel increments do not false-share.
+	counters []workerCounters
+
 	// tagLimit is 1<<TagBits (0 when TagBits == 64), precomputed once.
 	tagLimit uint64
 
@@ -363,12 +381,17 @@ type Engine struct {
 	// steady-state round loop allocates nothing: a fresh closure or a
 	// stack Context whose address reaches an interface method would escape
 	// to the heap on every round. TestSteadyStateZeroAllocs pins this.
-	phAdvertise func(w, lo, hi int)
-	phDecide    func(w, lo, hi int)
-	phExchange  func(w, lo, hi int)
-	phEndRound  func(w, lo, hi int)
-	ctxA        []Context // one per worker
-	ctxB        []Context // second context for the pairwise exchange phase
+	phAdvertise  func(w, lo, hi int)
+	phDecide     func(w, lo, hi int)
+	phExchange   func(w, lo, hi int)
+	phEndRound   func(w, lo, hi int)
+	phActiveScan func(w, lo, hi int)
+	phCount      func(w, lo, hi int)
+	phScatter    func(w, lo, hi int)
+	phAccept     func(w, lo, hi int)
+	phPartner    func(w, lo, hi int)
+	ctxA         []Context // one per worker
+	ctxB         []Context // second context for the pairwise exchange phase
 
 	// Current-round state shared by the phase methods (set by step).
 	curRound int
@@ -395,6 +418,16 @@ const (
 	actionSendLost = int32(-3) // sender whose proposal a fault dropped in transit
 	noPartner      = int32(-1)
 )
+
+// workerCounters is one worker's round accounting, padded to a full cache
+// line (64 bytes) so adjacent workers' increments never share a line.
+type workerCounters struct {
+	proposals   int64
+	connections int64
+	rejects     int64
+	active      int64
+	_           [4]int64
+}
 
 // Corruptible is implemented by protocols that support fault-injected state
 // resets — the internal/fault corruption adversary and crash-with-amnesia
@@ -491,12 +524,27 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	if cfg.TagBits < 64 {
 		e.tagLimit = uint64(1) << uint(cfg.TagBits)
 	}
+	// Fault and trace draws are order-dependent, so the parallel round core
+	// is reserved for the fault-free untraced configuration (Sink already
+	// forced workers to 1 above).
+	e.parCore = workers > 1 && cfg.Faults == nil && cfg.Sink == nil
+	e.chunks = make([]int, workers+1)
+	if e.parCore {
+		e.hist = make([]int32, workers*n)
+		e.chosen = make([]int32, n)
+		e.counters = make([]workerCounters, workers)
+	}
 	// Method values allocate their receiver binding; do it once here, not
 	// once per parallelFor call.
 	e.phAdvertise = e.phaseAdvertise
 	e.phDecide = e.phaseDecide
 	e.phExchange = e.phaseExchange
 	e.phEndRound = e.phaseEndRound
+	e.phActiveScan = e.phaseActiveScan
+	e.phCount = e.phaseCount
+	e.phScatter = e.phaseScatter
+	e.phAccept = e.phaseAccept
+	e.phPartner = e.phasePartner
 	return e, nil
 }
 
@@ -566,6 +614,16 @@ func (e *Engine) Protocols() []Protocol { return e.protocols }
 //mtmlint:hotpath
 func (e *Engine) step(r int) RoundStats {
 	g := e.sched.GraphAt(r)
+	if e.workers > 1 && e.n >= parallelThreshold && g != e.chunkG {
+		// Degree-weighted chunk boundaries for this round's graph: hub-skewed
+		// topologies (one node of degree n-1) would otherwise put an entire
+		// round's scan work into one worker's equal-index chunk. Boundaries
+		// depend only on (graph, workers), never on round state, and results
+		// are worker-count-independent, so this cannot perturb determinism.
+		g.BalancedChunks(e.workers, e.chunks)
+		e.chunkG = g
+	}
+	e.curRound, e.curG = r, g
 	var downMask []bool
 	if e.cfg.Faults != nil {
 		// Advance the churn state machine before the active set is computed:
@@ -574,24 +632,33 @@ func (e *Engine) step(r int) RoundStats {
 		downMask = e.cfg.Faults.DownMask()
 	}
 	activeCount := 0
-	for u := 0; u < e.n; u++ {
-		a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
-		if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
-			a = false
+	if e.parCore {
+		// downMask is nil by construction (parCore requires Faults == nil),
+		// so the chunked scan needs no fault handling.
+		e.parallelFor(e.phActiveScan)
+		for w := 0; w < e.spanWorkers(); w++ {
+			activeCount += int(e.counters[w].active)
 		}
-		if a && downMask != nil && downMask[u] {
-			a = false
-		}
-		e.active[u] = a
-		if a {
-			activeCount++
+	} else {
+		for u := 0; u < e.n; u++ {
+			a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
+			if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
+				a = false
+			}
+			if a && downMask != nil && downMask[u] {
+				a = false
+			}
+			e.active[u] = a
+			if a {
+				activeCount++
+			}
 		}
 	}
 	var act []bool
 	if activeCount != e.n {
 		act = e.active
 	}
-	e.curRound, e.curG, e.curAct = r, g, act
+	e.curAct = act
 
 	sink := e.cfg.Sink
 	if sink != nil {
@@ -618,8 +685,52 @@ func (e *Engine) step(r int) RoundStats {
 	}
 
 	// Step 4: group proposals by receiver (counting sort keeps per-receiver
-	// inboxes ordered by sender id), then accept uniformly.
-	proposals := 0
+	// inboxes ordered by sender id), then accept. The parallel core covers
+	// the fault-free untraced configuration; anything else runs the
+	// sequential path so fault/trace draws keep their defined ascending
+	// order. Both produce bit-identical partners, counters, and RNG states.
+	var proposals, connections, rejects int
+	if e.parCore {
+		proposals, connections, rejects = e.bucketAcceptParallel()
+	} else {
+		proposals, connections, rejects = e.bucketAcceptSequential(r)
+	}
+
+	if e.cfg.OnConnections != nil {
+		e.pairScratch = e.pairScratch[:0]
+		for u := 0; u < e.n; u++ {
+			if v := e.partner[u]; v != noPartner && int(v) > u {
+				e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
+			}
+		}
+		e.cfg.OnConnections(r, e.pairScratch)
+	}
+
+	// Step 5: exchange over established connections, in parallel over pairs
+	// (pairs are node-disjoint, so this is race-free).
+	e.parallelFor(e.phExchange)
+
+	// End of round.
+	e.parallelFor(e.phEndRound)
+
+	if sink != nil {
+		sink.Event(obs.Event{Type: obs.TypeRoundEnd, Round: r,
+			Node: int32(connections), Peer: int32(rejects),
+			A: uint64(proposals), B: uint64(connections)})
+	}
+
+	return RoundStats{Round: r, Proposals: proposals, Connections: connections,
+		ActiveNodes: activeCount, Accepts: connections, Rejects: rejects}
+}
+
+// bucketAcceptSequential is the historical single-threaded step-4 core: one
+// counting-sort pass groups proposals per receiver, then receivers accept in
+// ascending order. It is the only core legal under fault injection or
+// tracing, whose draws/events depend on this exact order.
+//
+//mtmlint:hotpath
+func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects int) {
+	sink := e.cfg.Sink
 	for u := range e.inboxAt {
 		e.inboxAt[u] = 0
 	}
@@ -674,8 +785,6 @@ func (e *Engine) step(r int) RoundStats {
 		}
 	}
 
-	connections := 0
-	rejects := 0
 	for u := 0; u < e.n; u++ {
 		e.partner[u] = noPartner
 	}
@@ -739,32 +848,53 @@ func (e *Engine) step(r int) RoundStats {
 			sink.Event(obs.Event{Type: obs.TypeConnect, Round: r, Node: lo, Peer: hi})
 		}
 	}
+	return proposals, connections, rejects
+}
 
-	if e.cfg.OnConnections != nil {
-		e.pairScratch = e.pairScratch[:0]
-		for u := 0; u < e.n; u++ {
-			if v := e.partner[u]; v != noPartner && int(v) > u {
-				e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
-			}
+// bucketAcceptParallel is the parCore step-4 core: a two-pass parallel
+// counting sort buckets proposals (per-worker histograms, one sequential
+// column-major prefix merge that turns histogram cells into scatter cursor
+// bases, then a parallel scatter), followed by a parallel accept phase —
+// legal because each receiver's choice draws only from its own rngs[v]
+// stream — and a parallel partner/connCount materialization. Worker chunks
+// ascend in sender id, so every inbox comes out in the exact sender order
+// the sequential core produces.
+//
+//mtmlint:hotpath
+func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects int) {
+	e.parallelFor(e.phCount)
+	span := e.spanWorkers()
+	total := int32(0)
+	for t := 0; t < e.n; t++ {
+		e.inboxAt[t] = total
+		for w := 0; w < span; w++ {
+			i := w*e.n + t
+			c := e.hist[i]
+			e.hist[i] = total
+			total += c
 		}
-		e.cfg.OnConnections(r, e.pairScratch)
 	}
-
-	// Step 5: exchange over established connections, in parallel over pairs
-	// (pairs are node-disjoint, so this is race-free).
-	e.parallelFor(e.phExchange)
-
-	// End of round.
-	e.parallelFor(e.phEndRound)
-
-	if sink != nil {
-		sink.Event(obs.Event{Type: obs.TypeRoundEnd, Round: r,
-			Node: int32(connections), Peer: int32(rejects),
-			A: uint64(proposals), B: uint64(connections)})
+	e.inboxAt[e.n] = total
+	if cap(e.inboxTo) < int(total) {
+		// Amortized doubling, as in the sequential core.
+		newCap := 2 * cap(e.inboxTo)
+		if newCap < int(total) {
+			newCap = int(total)
+		}
+		e.inboxTo = make([]int32, total, newCap)
+	} else {
+		e.inboxTo = e.inboxTo[:total]
 	}
-
-	return RoundStats{Round: r, Proposals: proposals, Connections: connections,
-		ActiveNodes: activeCount, Accepts: connections, Rejects: rejects}
+	e.parallelFor(e.phScatter)
+	e.parallelFor(e.phAccept)
+	e.parallelFor(e.phPartner)
+	for w := 0; w < span; w++ {
+		c := &e.counters[w]
+		proposals += int(c.proposals)
+		connections += int(c.connections)
+		rejects += int(c.rejects)
+	}
+	return proposals, connections, rejects
 }
 
 // applyRoundStartFaults publishes this round's churn and applies state
@@ -948,6 +1078,128 @@ func (e *Engine) phaseEndRound(w, lo, hi int) {
 	}
 }
 
+// phaseActiveScan computes the activity bits for nodes [lo, hi) and counts
+// them into worker w's counter row. parCore only, so fault down-masks never
+// apply here.
+//
+//mtmlint:hotpath
+func (e *Engine) phaseActiveScan(w, lo, hi int) {
+	r := e.curRound
+	ctr := &e.counters[w]
+	ctr.active = 0
+	for u := lo; u < hi; u++ {
+		a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
+		if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
+			a = false
+		}
+		e.active[u] = a
+		if a {
+			ctr.active++
+		}
+	}
+}
+
+// phaseCount is counting-sort pass one: worker w histograms the proposals of
+// senders [lo, hi) into its private row of e.hist, counting every proposal
+// (delivered or busy-lost) into its proposals counter — the same accounting
+// as the sequential core.
+//
+//mtmlint:hotpath
+func (e *Engine) phaseCount(w, lo, hi int) {
+	row := e.hist[w*e.n : (w+1)*e.n]
+	clear(row)
+	ctr := &e.counters[w]
+	ctr.proposals = 0
+	for u := lo; u < hi; u++ {
+		if t := e.actions[u]; t >= 0 {
+			ctr.proposals++
+			if e.actions[t] == actionReceive {
+				row[t]++
+			}
+		}
+	}
+}
+
+// phaseScatter is counting-sort pass two: after the sequential merge rewrote
+// worker w's histogram row into scatter cursor bases, each worker writes its
+// senders into the shared inboxTo. Distinct (w, t) cursor ranges are
+// disjoint by construction of the merge, and chunks ascend in sender id, so
+// each receiver's inbox is exactly the sequential core's.
+//
+//mtmlint:hotpath
+func (e *Engine) phaseScatter(w, lo, hi int) {
+	row := e.hist[w*e.n : (w+1)*e.n]
+	for u := lo; u < hi; u++ {
+		if t := e.actions[u]; t >= 0 && e.actions[t] == actionReceive {
+			e.inboxTo[row[t]] = int32(u)
+			row[t]++
+		}
+	}
+}
+
+// phaseAccept runs step 4's accept decision for receivers [lo, hi): each
+// picks among its inbox exactly as the sequential core does, drawing only
+// from its own rngs[v] stream, and records the winner in e.chosen. Every v
+// in the chunk gets a chosen entry (noPartner for non-receivers) so
+// phasePartner can test chosen[t] for any target.
+//
+//mtmlint:hotpath
+func (e *Engine) phaseAccept(w, lo, hi int) {
+	ctr := &e.counters[w]
+	ctr.connections = 0
+	ctr.rejects = 0
+	for v := lo; v < hi; v++ {
+		if e.actions[v] != actionReceive {
+			e.chosen[v] = noPartner
+			continue
+		}
+		inbox := e.inboxTo[e.inboxAt[v]:e.inboxAt[v+1]]
+		if len(inbox) == 0 {
+			e.chosen[v] = noPartner
+			continue
+		}
+		c := inbox[0] // inbox is sorted by sender id
+		switch e.cfg.Accept {
+		case AcceptUniform:
+			if len(inbox) > 1 {
+				c = inbox[e.rngs[v].Intn(len(inbox))]
+			}
+		case AcceptLowestID:
+			// inbox[0] already.
+		case AcceptHighestID:
+			c = inbox[len(inbox)-1]
+		default:
+			panic(fmt.Sprintf("sim: unknown accept policy %d", e.cfg.Accept))
+		}
+		e.chosen[v] = c
+		ctr.connections++
+		ctr.rejects += int64(len(inbox) - 1)
+	}
+}
+
+// phasePartner materializes partner and connCount for nodes [lo, hi) from
+// the accept results: a receiver pairs with its chosen sender, a sender
+// pairs with its target iff that target chose it. Each node writes only its
+// own entries, so the symmetric writes of the sequential core become two
+// one-sided reads.
+//
+//mtmlint:hotpath
+func (e *Engine) phasePartner(w, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		if c := e.chosen[u]; c != noPartner {
+			e.partner[u] = c
+			e.connCount[u]++
+			continue
+		}
+		if t := e.actions[u]; t >= 0 && e.chosen[t] == int32(u) {
+			e.partner[u] = t
+			e.connCount[u]++
+			continue
+		}
+		e.partner[u] = noPartner
+	}
+}
+
 // classicalFinish completes a round under classical telephone semantics:
 // every proposal is answered (receivers serve unboundedly many incoming
 // connections, and senders can also be called). Exchanges run sequentially
@@ -1035,30 +1287,43 @@ func (e *Engine) checkMessage(u int, m Message) {
 	}
 }
 
-// parallelFor splits [0, n) into contiguous chunks across the configured
-// workers, passing each chunk its worker index w (for per-worker scratch).
-// With Workers == 1 it runs inline with w = 0 and allocates nothing.
+// parallelThreshold is the node count below which parallelFor always runs
+// inline: goroutine dispatch costs more than it saves on tiny networks.
+const parallelThreshold = 256
+
+// spanWorkers reports how many worker indices parallelFor actually
+// dispatches — the number of counter/histogram rows holding fresh data.
+// It is 1 whenever parallelFor takes its inline path.
+//
+//mtmlint:hotpath
+func (e *Engine) spanWorkers() int {
+	if e.workers == 1 || e.n < parallelThreshold {
+		return 1
+	}
+	return e.workers
+}
+
+// parallelFor runs fn over [0, n) split at the degree-weighted boundaries in
+// e.chunks, passing each chunk its worker index w (for per-worker scratch).
+// Worker 0 runs inline on the caller; every worker index is dispatched even
+// when its chunk is empty, so per-worker counter and histogram rows are
+// freshly written on every call. With Workers == 1 (or a tiny n) it runs
+// inline with w = 0 and allocates nothing.
 func (e *Engine) parallelFor(fn func(w, lo, hi int)) {
-	if e.workers == 1 || e.n < 256 {
+	if e.workers == 1 || e.n < parallelThreshold {
 		fn(0, 0, e.n)
 		return
 	}
 	//mtmlint:hotpath-end goroutine dispatch below only runs with Workers > 1; the pinned zero-alloc configuration takes the inline path above
-	chunk := (e.n + e.workers - 1) / e.workers
 	var wg sync.WaitGroup
-	w := 0
-	for lo := 0; lo < e.n; lo += chunk {
-		hi := lo + chunk
-		if hi > e.n {
-			hi = e.n
-		}
+	for w := 1; w < e.workers; w++ {
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-		w++
+			fn(w, e.chunks[w], e.chunks[w+1])
+		}(w)
 	}
+	fn(0, e.chunks[0], e.chunks[1])
 	wg.Wait()
 }
 

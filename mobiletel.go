@@ -109,6 +109,14 @@ func ErdosRenyi(n int, p float64, seed uint64) Topology { return Topology{gen.Er
 // Grid is the rows×cols grid.
 func Grid(rows, cols int) Topology { return Topology{gen.Grid(rows, cols)} }
 
+// Torus is the rows×cols grid with wrap-around edges (4-regular mesh).
+func Torus(rows, cols int) Topology { return Topology{gen.Torus(rows, cols)} }
+
+// Expander is a random circulant d-regular expander (even d >= 4): a
+// Hamiltonian base cycle plus random chord offsets. Its direct CSR
+// construction makes it the million-node workhorse of the scale tier.
+func Expander(n, d int, seed uint64) Topology { return Topology{gen.Expander(n, d, seed)} }
+
 // Hypercube is the d-dimensional hypercube.
 func Hypercube(d int) Topology { return Topology{gen.Hypercube(d)} }
 
