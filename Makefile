@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-smoke lint lint-baseline baseline-check check bench bench-smoke trace-smoke fault-smoke
+.PHONY: build vet test race race-smoke lint lint-baseline baseline-check check bench bench-smoke trace-smoke fault-smoke prof-smoke
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,18 @@ trace-smoke:
 	$(GO) run ./cmd/mtmtrace record -topo regular -n 64 -deg 8 -algo blindgossip -seed 7 -o /tmp/mtmtrace-smoke-b.jsonl
 	$(GO) run ./cmd/mtmtrace diff /tmp/mtmtrace-smoke-a.jsonl /tmp/mtmtrace-smoke-b.jsonl
 	$(GO) run ./cmd/mtmtrace summary /tmp/mtmtrace-smoke-a.jsonl
+
+# prof-smoke mirrors the CI prof-smoke job, the scale-safe observability
+# contract end to end: (1) the same sampled, type-filtered parallel record
+# at 1 and 8 workers must diff clean — per-worker buffered emission flushed
+# in chunk order reproduces the sequential event order byte for byte;
+# (2) a profiled parallel run must render an mtmprof/v1 phase table.
+prof-smoke:
+	rm -rf /tmp/mtm-prof-smoke && mkdir -p /tmp/mtm-prof-smoke
+	$(GO) build -o /tmp/mtm-prof-smoke/mtmtrace ./cmd/mtmtrace
+	/tmp/mtm-prof-smoke/mtmtrace record -topo expander -n 65536 -rumor pushpull -workers 1 -sample 4 -types connect,transition -seed 7 -o /tmp/mtm-prof-smoke/w1.jsonl
+	/tmp/mtm-prof-smoke/mtmtrace record -topo expander -n 65536 -rumor pushpull -workers 8 -sample 4 -types connect,transition -seed 7 -o /tmp/mtm-prof-smoke/w8.jsonl
+	/tmp/mtm-prof-smoke/mtmtrace diff /tmp/mtm-prof-smoke/w1.jsonl /tmp/mtm-prof-smoke/w8.jsonl
+	/tmp/mtm-prof-smoke/mtmtrace summary /tmp/mtm-prof-smoke/w8.jsonl
+	$(GO) run ./cmd/mtmsim -topo expander -n 65536 -workers 8 -phase-prof /tmp/mtm-prof-smoke/run.prof.json
+	/tmp/mtm-prof-smoke/mtmtrace prof /tmp/mtm-prof-smoke/run.prof.json

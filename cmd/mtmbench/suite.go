@@ -134,15 +134,15 @@ func buildSuite() []Benchmark {
 func scaleBenches() []Benchmark {
 	var suite []Benchmark
 	families := []struct {
-		label string
-		nodes int
-		quick int // worker count whose entry joins the -quick subset (0: none)
-		build func() gen.Family
+		label  string
+		nodes  int
+		quick  int  // worker count whose entry joins the -quick subset (0: none)
+		traced bool // also sweep a w=8 entry with a ring sink attached
+		build  func() gen.Family
 	}{
-		{"expander65536", 1 << 16, 2, func() gen.Family { return gen.Expander(1<<16, 8, suiteSeed) }},
-		{"torus1048576", 1 << 20, 0, func() gen.Family { return gen.Torus(1024, 1024) }},
+		{"expander65536", 1 << 16, 2, true, func() gen.Family { return gen.Expander(1<<16, 8, suiteSeed) }},
+		{"torus1048576", 1 << 20, 0, false, func() gen.Family { return gen.Torus(1024, 1024) }},
 	}
-	sweep := []int{1, 2, 8}
 	for _, f := range families {
 		f := f
 		var shared *gen.Family
@@ -153,27 +153,49 @@ func scaleBenches() []Benchmark {
 			}
 			return *shared
 		}
-		for i, workers := range sweep {
-			workers := workers
+		sweep := []struct {
+			workers int
+			traced  bool
+		}{{1, false}, {2, false}, {8, false}}
+		if f.traced {
+			// The traced entry records what buffered parallel emission costs
+			// at scale: per-worker buffers plus the chunk-order flush into a
+			// ring sink, compared against the untraced w=8 entry beside it.
+			sweep = append(sweep, struct {
+				workers int
+				traced  bool
+			}{8, true})
+		}
+		for i, sw := range sweep {
+			sw := sw
 			last := i == len(sweep)-1
+			name := fmt.Sprintf("scale/round/%s/w=%d", f.label, sw.workers)
+			if sw.traced {
+				name += "-traced"
+			}
 			var (
 				eng  *sim.Engine
 				next = 1
 			)
 			suite = append(suite, Benchmark{
-				Name:    fmt.Sprintf("scale/round/%s/w=%d", f.label, workers),
-				Nodes:   f.nodes,
-				Quick:   workers == f.quick,
-				Workers: workers,
+				Name:  name,
+				Nodes: f.nodes,
+				// The traced entry joins the quick subset so CI's compare gate
+				// watches buffered parallel emission, not just records it.
+				Quick:   sw.traced || sw.workers == f.quick,
+				Workers: sw.workers,
 				Fn: func(iters int) int64 {
 					if eng == nil {
 						fam := family()
 						protocols := core.NewBlindGossipNetwork(core.UniqueUIDs(fam.N(), suiteSeed))
+						cfg := sim.Config{Seed: suiteSeed, Workers: sw.workers}
+						if sw.traced {
+							cfg.Sink = obs.NewRing(1 << 16)
+						}
 						var err error
-						eng, err = sim.New(dyngraph.NewStatic(fam), protocols,
-							sim.Config{Seed: suiteSeed, Workers: workers})
+						eng, err = sim.New(dyngraph.NewStatic(fam), protocols, cfg)
 						if err != nil {
-							fatalf("scale round bench (%s, w=%d): %v", f.label, workers, err)
+							fatalf("scale round bench (%s): %v", name, err)
 						}
 					}
 					eng.RunRounds(next, iters)

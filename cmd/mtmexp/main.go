@@ -68,6 +68,7 @@ func run() error {
 		progress   = flag.Bool("progress", false, "report live trial progress (completed/total, elapsed, ETA) to stderr")
 		traceDir   = flag.String("trace", "", "write each experiment's first-trial JSONL event trace (mtmtrace/v1) into this directory")
 		metricsDir = flag.String("metrics", "", "write each experiment's first-trial JSON metrics summary into this directory")
+		profDir    = flag.String("phase-prof", "", "write each experiment's first-trial JSON phase-timing report (mtmprof/v1) into this directory; with -progress, progress lines show the hottest phases")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("bench-json", "", "write per-experiment wall-clock timings as JSON to this file")
@@ -135,7 +136,7 @@ func run() error {
 		}
 	}
 
-	for _, dir := range []string{*outDir, *traceDir, *metricsDir} {
+	for _, dir := range []string{*outDir, *traceDir, *metricsDir, *profDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return err
@@ -155,6 +156,7 @@ func run() error {
 		}{
 			{*traceDir, ".trace.jsonl", &runOpts.TraceTo},
 			{*metricsDir, ".metrics.json", &runOpts.MetricsTo},
+			{*profDir, ".prof.json", &runOpts.PhaseProfTo},
 		} {
 			if sink.dir == "" {
 				continue

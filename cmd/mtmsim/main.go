@@ -45,6 +45,8 @@ func run() error {
 		record      = flag.String("record", "", "write a JSON-lines execution recording to this file")
 		traceFile   = flag.String("trace", "", "write a structured JSONL event trace (mtmtrace/v1) to this file")
 		metricsFile = flag.String("metrics", "", "write a JSON run-metrics summary (mtmtrace-metrics/v1) to this file")
+		phaseProf   = flag.String("phase-prof", "", "write a JSON phase-timing report (mtmprof/v1) to this file")
+		workers     = flag.Int("workers", 0, "engine worker count (0 = sequential; results and traces are identical across counts)")
 		classical   = flag.Bool("classical", false, "use classical telephone semantics (unbounded incoming connections; baseline, not the paper's model)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 
@@ -86,7 +88,7 @@ func run() error {
 		fmt.Printf("schedule: %s τ=%v\n", sched.Name(), sched.Tau())
 	}
 
-	opts := mobiletel.Options{Seed: *seed + 2, MaxRounds: *maxRounds, Classical: *classical}
+	opts := mobiletel.Options{Seed: *seed + 2, MaxRounds: *maxRounds, Classical: *classical, Workers: *workers}
 	if *crashRate > 0 || *recoverRate > 0 || *proposalLoss > 0 || *connLoss > 0 || *tagFlipRate > 0 {
 		fseed := *faultSeed
 		if fseed == 0 {
@@ -111,6 +113,7 @@ func run() error {
 		{*record, &opts.RecordTo},
 		{*traceFile, &opts.TraceTo},
 		{*metricsFile, &opts.MetricsTo},
+		{*phaseProf, &opts.PhaseProfTo},
 	} {
 		if out.path == "" {
 			continue

@@ -7,13 +7,16 @@
 //	summary  aggregate a trace into run metrics
 //	events   print (filtered) events from a trace
 //	diff     compare two traces and report the first divergence
+//	prof     render a phase-timing report (schema mtmprof/v1)
 //
 // Examples:
 //
 //	mtmtrace record -topo regular -n 64 -algo blindgossip -seed 7 -o run.jsonl
+//	mtmtrace record -topo expander -n 65536 -workers 8 -sample 4 -types connect,transition -o big.jsonl
 //	mtmtrace summary run.jsonl
 //	mtmtrace events -type transition -kind leader run.jsonl
 //	mtmtrace diff run.jsonl other.jsonl
+//	mtmtrace prof run.prof.json
 //
 // diff exits 0 when the traces are identical and 1 when they diverge,
 // naming the first divergent round and event — because executions are
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"mobiletel"
 	"mobiletel/internal/atomicwrite"
@@ -58,6 +62,8 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 0, cmdEvents(args[1:], stdout)
 	case "diff":
 		return cmdDiff(args[1:], stdout)
+	case "prof":
+		return 0, cmdProf(args[1:], stdout)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0, nil
@@ -76,6 +82,7 @@ subcommands:
   summary  aggregate a trace into run metrics (text or -json)
   events   print events from a trace, with type/kind/node/round filters
   diff     compare two traces; exit 1 naming the first divergent event
+  prof     render an mtmprof/v1 phase-timing report as a table
 
 run 'mtmtrace <subcommand> -h' for flags.
 `)
@@ -94,6 +101,14 @@ type recordConfig struct {
 	Seed      uint64
 	MaxRounds int
 	Classical bool
+	// Workers is the engine worker count (0/1 = sequential). Traces are
+	// byte-identical across worker counts, which is what diff pins in CI.
+	Workers int
+	// Sample keeps only every Sample-th round's events (0/1 = all rounds);
+	// Types, when non-empty, is a comma-separated type whitelist. Both are
+	// deterministic filters: two runs with the same filters agree exactly.
+	Sample int
+	Types  string
 
 	// Fault-injection knobs (all zero = fault-free). Faulted traces are as
 	// deterministic as clean ones: same seed, same fault events.
@@ -141,12 +156,17 @@ func recordTrace(cfg recordConfig, traceTo, metricsTo io.Writer) error {
 		return err
 	}
 	opts := mobiletel.Options{
-		Seed:      cfg.Seed + 2,
-		MaxRounds: cfg.MaxRounds,
-		Classical: cfg.Classical,
-		TraceTo:   traceTo,
-		MetricsTo: metricsTo,
-		Faults:    cfg.faults(),
+		Seed:        cfg.Seed + 2,
+		MaxRounds:   cfg.MaxRounds,
+		Classical:   cfg.Classical,
+		Workers:     cfg.Workers,
+		TraceTo:     traceTo,
+		MetricsTo:   metricsTo,
+		TraceSample: cfg.Sample,
+		Faults:      cfg.faults(),
+	}
+	if cfg.Types != "" {
+		opts.TraceTypes = strings.Split(cfg.Types, ",")
 	}
 	if cfg.Rumor != "" {
 		strategy := mobiletel.PushPull
@@ -181,6 +201,9 @@ func cmdRecord(args []string, stdout io.Writer) error {
 	fs.Uint64Var(&cfg.Seed, "seed", 1, "random seed (traces are deterministic per seed)")
 	fs.IntVar(&cfg.MaxRounds, "max-rounds", 10_000_000, "abort if not stabilized by this round")
 	fs.BoolVar(&cfg.Classical, "classical", false, "use classical telephone semantics")
+	fs.IntVar(&cfg.Workers, "workers", 0, "engine worker count (0 = sequential; traces are identical across counts)")
+	fs.IntVar(&cfg.Sample, "sample", 0, "keep only rounds where round%N == 0 (0 = all rounds)")
+	fs.StringVar(&cfg.Types, "types", "", "comma-separated event-type whitelist (e.g. connect,transition)")
 	fs.Float64Var(&cfg.CrashRate, "crash-rate", 0, "per-round probability that one up device crashes")
 	fs.Float64Var(&cfg.RecoverRate, "recover-rate", 0, "per-round probability that one down device recovers")
 	fs.IntVar(&cfg.MaxDown, "max-down", 0, "cap on simultaneously crashed devices (0 = n-1)")

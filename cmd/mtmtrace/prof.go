@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"mobiletel/internal/obs"
+	"mobiletel/internal/trace"
+)
+
+func cmdProf(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mtmtrace prof", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("prof needs exactly one report file ('-' = stdin)")
+	}
+	in, err := openIn(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	// Inputs are read-only; a close error cannot lose data.
+	defer func() { _ = in.Close() }()
+
+	rep, err := readProfReport(in)
+	if err != nil {
+		return err
+	}
+	return writeProfText(stdout, rep)
+}
+
+// readProfReport decodes and validates one mtmprof/v1 report.
+func readProfReport(in io.Reader) (obs.ProfReport, error) {
+	var rep obs.ProfReport
+	if err := json.NewDecoder(in).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("prof: corrupt report: %w", err)
+	}
+	if rep.Schema != obs.ProfSchema {
+		return rep, fmt.Errorf("prof: report schema %q, this reader speaks %q", rep.Schema, obs.ProfSchema)
+	}
+	return rep, nil
+}
+
+// writeProfText renders a phase-timing report as an aligned table. Shares are
+// relative to the summed phase wall time; the difference between that sum and
+// the total round wall time is reported as unattributed sequential glue.
+func writeProfText(w io.Writer, rep obs.ProfReport) error {
+	title := fmt.Sprintf("phase profile: workers=%d rounds=%d wall=%s rounds/sec=%.4g",
+		rep.Workers, rep.Rounds, time.Duration(rep.WallNS), rep.RoundsPerSec)
+	t := trace.NewTable(title, "phase", "wall", "share", "busy max", "imbalance")
+	var phaseTotal int64
+	for _, p := range rep.Phases {
+		phaseTotal += p.WallNS
+	}
+	for _, p := range rep.Phases {
+		var busyMax int64
+		for _, b := range p.BusyNS {
+			if b > busyMax {
+				busyMax = b
+			}
+		}
+		share := "-"
+		if phaseTotal > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*float64(p.WallNS)/float64(phaseTotal))
+		}
+		imbalance := "-"
+		if p.Imbalance > 0 {
+			imbalance = fmt.Sprintf("%.2f", p.Imbalance)
+		}
+		t.AddRow(p.Phase, time.Duration(p.WallNS), share, time.Duration(busyMax), imbalance)
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	if gap := rep.WallNS - phaseTotal; gap > 0 && rep.WallNS > 0 {
+		_, err := fmt.Fprintf(w, "\nunattributed: %s (%.1f%% of round wall time)\n",
+			time.Duration(gap), 100*float64(gap)/float64(rep.WallNS))
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobiletel/internal/obs"
+)
+
+const goldenProfPath = "testdata/golden.prof.json"
+
+// goldenProfiler rebuilds the deterministic profiler state behind
+// testdata/golden.prof.json: two workers, two rounds, a representative mix of
+// sequential and parallel phases with hand-picked nanosecond counts (no real
+// clock is read, so the report is bit-reproducible on any machine).
+func goldenProfiler() *obs.Profiler {
+	p := obs.NewProfiler(func() int64 { return 0 })
+	p.Attach(2)
+	p.AddSeq(obs.PhaseActiveScan, 120)
+	p.AddWall(obs.PhaseAdvertise, 400)
+	p.AddBusy(obs.PhaseAdvertise, 0, 190)
+	p.AddBusy(obs.PhaseAdvertise, 1, 210)
+	p.AddWall(obs.PhaseDecide, 300)
+	p.AddBusy(obs.PhaseDecide, 0, 160)
+	p.AddBusy(obs.PhaseDecide, 1, 130)
+	p.AddSeq(obs.PhaseMerge, 80)
+	p.AddWall(obs.PhaseExchange, 500)
+	p.AddBusy(obs.PhaseExchange, 0, 250)
+	p.AddBusy(obs.PhaseExchange, 1, 240)
+	p.AddSeq(obs.PhaseFlush, 60)
+	p.RoundDone(1500)
+	p.RoundDone(1400)
+	return p
+}
+
+// encodeProf renders a report exactly the way the facade's -phase-prof
+// writers do (indented JSON, trailing newline).
+func encodeProf(t *testing.T, rep obs.ProfReport) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenProfSchemaStable pins the mtmprof/v1 wire format: re-encoding
+// the deterministic golden profiler must reproduce the committed fixture
+// byte for byte. If this fails because the report layout intentionally
+// changed, bump obs.ProfSchema and regenerate the fixture; if it fails
+// without a schema change, the wire encoding regressed.
+func TestGoldenProfSchemaStable(t *testing.T) {
+	want, err := os.ReadFile(goldenProfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := encodeProf(t, goldenProfiler().Report())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("mtmprof/v1 encoding deviates from golden fixture:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestProfRender drives the prof subcommand over the golden fixture and
+// checks the rendered table names the phases, the worker count, and the
+// unattributed wall-time gap.
+func TestProfRender(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"prof", goldenProfPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("prof: code %d, err %v", code, err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"workers=2", "rounds=2",
+		"active_scan", "advertise", "decide", "merge", "exchange", "flush",
+		"imbalance", "unattributed",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, text)
+		}
+	}
+	// Phases the golden profiler never recorded must not appear.
+	for _, absent := range []string{"bucket_accept", "scatter"} {
+		if strings.Contains(text, absent) {
+			t.Errorf("rendered report shows unrecorded phase %q:\n%s", absent, text)
+		}
+	}
+}
+
+// TestProfWrongSchema checks that a report from a different schema version is
+// refused with an error naming both versions, not misrendered.
+func TestProfWrongSchema(t *testing.T) {
+	rep := goldenProfiler().Report()
+	rep.Schema = "mtmprof/v0"
+	path := filepath.Join(t.TempDir(), "old.prof.json")
+	if err := os.WriteFile(path, encodeProf(t, rep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, err := run([]string{"prof", path}, &out)
+	if err == nil {
+		t.Fatalf("foreign-schema report rendered without error:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "mtmprof/v0") || !strings.Contains(err.Error(), obs.ProfSchema) {
+		t.Errorf("error %q does not name both schema versions", err)
+	}
+}
+
+// TestProfCorruptReport checks that truncated JSON is an error, not a
+// zero-filled table.
+func TestProfCorruptReport(t *testing.T) {
+	golden, err := os.ReadFile(goldenProfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "torn.prof.json")
+	if err := os.WriteFile(path, golden[:len(golden)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, err = run([]string{"prof", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("torn report not rejected: err=%v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +49,14 @@ type Config struct {
 	// untraced so the batch keeps its parallel throughput. Experiments
 	// that bypass runPointTrials ignore it.
 	Sink obs.Sink
+	// Profiler, when non-nil, attaches the phase-timing profiler to the same
+	// first trial Sink observes (point 0, trial 0); the caller renders its
+	// mtmprof/v1 report after the run. Progress lines additionally carry the
+	// hottest phases once the profiled trial has finished. Like Now, the
+	// profiler's clock is injected by the caller — this package still never
+	// reads wall time itself. Experiments that bypass runPointTrials ignore
+	// it.
+	Profiler *obs.Profiler
 	// Checkpoint, when non-nil, makes the sweep crash-safe: every completed
 	// trial is recorded as it finishes and already-recorded trials are
 	// replayed instead of re-simulated, so a killed run resumed with the
@@ -168,7 +177,7 @@ func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 		return rounds, nil
 	}
 
-	progress := newProgress(cfg.Progress, cfg.Now, total, points)
+	progress := newProgress(cfg.Progress, cfg.Now, cfg.Profiler, total, points)
 
 	type task struct{ point, trial int }
 	workers := runtime.GOMAXPROCS(0)
@@ -200,8 +209,13 @@ func runPointTrials(cfg Config, points []pointSpec) ([][]int, error) {
 				// Inner engine steps stay sequential: parallelism lives at
 				// the (point, trial) level here.
 				simCfg.Workers = 1
-				if cfg.Sink != nil && t.point == 0 && t.trial == 0 {
-					simCfg.Sink = cfg.Sink
+				if t.point == 0 && t.trial == 0 {
+					if cfg.Sink != nil {
+						simCfg.Sink = cfg.Sink
+					}
+					if cfg.Profiler != nil {
+						simCfg.Profiler = cfg.Profiler
+					}
 				}
 				stop := spec.Stop
 				if spec.MakeStop != nil {
@@ -286,6 +300,7 @@ func runTrials(cfg Config, trials int, spec trialSpec) ([]int, error) {
 type progressReporter struct {
 	w     io.Writer
 	now   func() time.Time // injected clock; nil = counts-only lines
+	prof  *obs.Profiler    // optional; adds hottest-phase timing to lines
 	total int
 
 	mu         sync.Mutex
@@ -302,8 +317,8 @@ type progressReporter struct {
 const progressInterval = 500 * time.Millisecond
 
 // newProgress builds a reporter for the batch; w == nil disables it.
-func newProgress(w io.Writer, now func() time.Time, total int, points []pointSpec) *progressReporter {
-	p := &progressReporter{w: w, now: now, total: total}
+func newProgress(w io.Writer, now func() time.Time, prof *obs.Profiler, total int, points []pointSpec) *progressReporter {
+	p := &progressReporter{w: w, now: now, prof: prof, total: total}
 	if w != nil {
 		if now != nil {
 			p.start = now()
@@ -333,8 +348,8 @@ func (p *progressReporter) done(point int) {
 	if p.now == nil {
 		// No clock injected: report every trial, counts only. Progress is
 		// best-effort diagnostics, so write errors are discarded.
-		_, _ = fmt.Fprintf(p.w, "progress: %d/%d trials, %d/%d points\n",
-			p.completed, p.total, p.pointsDone, len(p.perPoint))
+		_, _ = fmt.Fprintf(p.w, "progress: %d/%d trials, %d/%d points%s\n",
+			p.completed, p.total, p.pointsDone, len(p.perPoint), p.phaseSuffix())
 		return
 	}
 	now := p.now()
@@ -344,9 +359,25 @@ func (p *progressReporter) done(point int) {
 	p.lastReport = now
 	elapsed := now.Sub(p.start)
 	eta := time.Duration(float64(elapsed) / float64(p.completed) * float64(p.total-p.completed))
-	_, _ = fmt.Fprintf(p.w, "progress: %d/%d trials, %d/%d points, %s elapsed, ~%s left\n",
+	_, _ = fmt.Fprintf(p.w, "progress: %d/%d trials, %d/%d points, %s elapsed, ~%s left%s\n",
 		p.completed, p.total, p.pointsDone, len(p.perPoint),
-		elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond))
+		elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond), p.phaseSuffix())
+}
+
+// phaseSuffix renders the profiler's hottest phases for a progress line, or
+// "" when no profiler is attached or the profiled trial hasn't produced any
+// timing yet. The profiler's counters are atomic, so reading them while the
+// profiled trial is still running is safe — the line just shows the split so
+// far.
+func (p *progressReporter) phaseSuffix() string {
+	if p.prof == nil {
+		return ""
+	}
+	top := p.prof.TopPhases(3)
+	if len(top) == 0 {
+		return ""
+	}
+	return ", phases: " + strings.Join(top, ", ")
 }
 
 // trialSeed derives a per-(experiment, point, trial) seed.

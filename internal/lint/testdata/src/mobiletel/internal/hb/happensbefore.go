@@ -228,3 +228,50 @@ func CursorFromSharedRow(hist, out []int, n int) {
 		}
 	})
 }
+
+// wbuf mirrors internal/obs's per-worker event buffer: a growable slice
+// mutated through a pointer-receiver method.
+type wbuf struct {
+	buf []int
+	_   [5]uint64
+}
+
+func (b *wbuf) push(v int) { b.buf = append(b.buf, v) }
+
+// bufEngine mirrors the traced parallel engine: phase workers are method
+// values bound to func fields once at construction, and each worker emits
+// into its own buffer element.
+type bufEngine struct {
+	bufs  []wbuf
+	vals  []int
+	phOK  func(w, lo, hi int)
+	phBad func(w, lo, hi int)
+}
+
+func newBufEngine(n, workers int) *bufEngine {
+	e := &bufEngine{bufs: make([]wbuf, workers), vals: make([]int, n)}
+	e.phOK = e.phaseEmit
+	e.phBad = e.phaseEmitNeighbor
+	return e
+}
+
+// phaseEmit calls a pointer-receiver method on the worker's own buffer
+// element: the implicit &e.bufs[w] is a write pinned to w, proven.
+func (e *bufEngine) phaseEmit(w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.bufs[w].push(e.vals[i])
+	}
+}
+
+// phaseEmitNeighbor emits into the next worker's buffer: the element index
+// is not pinned to w, so the implicit write is the finding.
+func (e *bufEngine) phaseEmitNeighbor(w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.bufs[w+1].push(e.vals[i]) // want `cannot prove`
+	}
+}
+
+func (e *bufEngine) run() {
+	parallelFor(len(e.vals), e.phOK)
+	parallelFor(len(e.vals), e.phBad)
+}

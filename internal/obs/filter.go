@@ -1,0 +1,43 @@
+package obs
+
+// Filter is a deterministic filtering sink wrapper: it forwards the header
+// and every event that passes its round-sampling and type filters, so a
+// traced million-node run can produce a bounded artifact. Filtering is a
+// pure function of each event, so two filtered traces of the same run are
+// byte-identical whenever the unfiltered traces are — mtmtrace diff keeps
+// working on sampled traces recorded with the same filter.
+type Filter struct {
+	dst    Sink
+	sample int    // keep rounds with Round % sample == 0 (<= 1 keeps all)
+	types  uint32 // bitmask of kept Types (0 keeps all)
+}
+
+// NewFilter wraps dst. sample <= 1 keeps every round; otherwise only events
+// of rounds divisible by sample pass. An empty types list keeps every type;
+// otherwise only the listed types pass (round boundaries included only if
+// listed). Both filters compose: an event must pass both.
+func NewFilter(dst Sink, sample int, types []Type) *Filter {
+	f := &Filter{dst: dst, sample: sample}
+	for _, t := range types {
+		f.types |= 1 << uint(t)
+	}
+	return f
+}
+
+// Begin forwards the header unconditionally: a filtered trace is still a
+// valid mtmtrace/v1 stream.
+func (f *Filter) Begin(h Header) { f.dst.Begin(h) }
+
+// Event forwards e iff it passes both filters.
+func (f *Filter) Event(e Event) {
+	if f.sample > 1 && e.Round%f.sample != 0 {
+		return
+	}
+	if f.types != 0 && f.types&(1<<uint(e.Type)) == 0 {
+		return
+	}
+	f.dst.Event(e)
+}
+
+// End forwards the end of stream.
+func (f *Filter) End() { f.dst.End() }

@@ -18,10 +18,18 @@ type Metrics struct {
 	lost        int64
 	connections int64
 
-	// Per-round curves, one entry per observed round_end.
-	connCurve      []int
-	acceptCurve    []float64 // accepts/proposals (0 when no proposals)
-	imbalanceCurve []float64 // max load / mean load so far
+	// Per-round curves, folded streaming at round_end into bounded
+	// max-pooled buffers (see curve) so a multi-GB trace summarizes in
+	// O(1) resident memory.
+	connCurve      curve[int]
+	acceptCurve    curve[float64] // accepts/proposals (0 when no proposals)
+	imbalanceCurve curve[float64] // max load / mean load so far
+
+	// Incremental matching stats (each round's connections form a matching),
+	// maintained at round_end so Summary never needs the full curve.
+	matchTotal  int64
+	matchRounds int64
+	maxMatching int
 
 	transitions      [len(kindNames)]int64
 	convergenceRound int // last round a leader/informed transition fired
@@ -106,13 +114,18 @@ func (m *Metrics) Event(e Event) {
 		if e.Round > m.rounds {
 			m.rounds = e.Round
 		}
-		m.connCurve = append(m.connCurve, int(m.roundConns))
+		m.connCurve.add(int(m.roundConns))
 		rate := 0.0
 		if m.roundProposals > 0 {
 			rate = float64(m.roundAccepts) / float64(m.roundProposals)
 		}
-		m.acceptCurve = append(m.acceptCurve, rate)
-		m.imbalanceCurve = append(m.imbalanceCurve, m.imbalance())
+		m.acceptCurve.add(rate)
+		m.imbalanceCurve.add(m.imbalance())
+		m.matchTotal += m.roundConns
+		m.matchRounds++
+		if int(m.roundConns) > m.maxMatching {
+			m.maxMatching = int(m.roundConns)
+		}
 	}
 }
 
@@ -230,9 +243,9 @@ func (m *Metrics) Summary() Summary {
 		Connections:      m.connections,
 		ConvergenceRound: m.convergenceRound,
 		Transitions:      make(map[string]int64),
-		ConnectionsCurve: downsampleInts(m.connCurve, CurvePoints),
-		AcceptanceCurve:  downsampleFloats(m.acceptCurve, CurvePoints),
-		ImbalanceCurve:   downsampleFloats(m.imbalanceCurve, CurvePoints),
+		ConnectionsCurve: downsampleInts(m.connCurve.snapshot(), CurvePoints),
+		AcceptanceCurve:  downsampleFloats(m.acceptCurve.snapshot(), CurvePoints),
+		ImbalanceCurve:   downsampleFloats(m.imbalanceCurve.snapshot(), CurvePoints),
 	}
 	if m.proposals > 0 {
 		s.AcceptanceRate = float64(m.accepts) / float64(m.proposals)
@@ -256,15 +269,9 @@ func (m *Metrics) Summary() Summary {
 			s.RecoveryRounds = m.convergenceRound - m.lastFaultRound
 		}
 	}
-	total := 0
-	for _, c := range m.connCurve {
-		total += c
-		if c > s.MaxMatching {
-			s.MaxMatching = c
-		}
-	}
-	if len(m.connCurve) > 0 {
-		s.MeanMatching = float64(total) / float64(len(m.connCurve))
+	s.MaxMatching = m.maxMatching
+	if m.matchRounds > 0 {
+		s.MeanMatching = float64(m.matchTotal) / float64(m.matchRounds)
 	}
 	if m.gammaBound > 0 && m.header.N > 0 {
 		s.GammaBound = m.gammaBound
@@ -344,4 +351,61 @@ func bucket(i, width, n int) (lo, hi int) {
 		hi = lo + 1
 	}
 	return lo, hi
+}
+
+// curveBuf bounds the in-memory resolution of a streaming curve. It is twice
+// CurvePoints so the final downsample to CurvePoints always has at least two
+// source values per output bucket once pooling has started.
+const curveBuf = 2 * CurvePoints
+
+// curve is a bounded streaming max-pool over a per-round series: it holds at
+// most curveBuf buckets, and when full it halves itself in place (max of
+// adjacent pairs) and doubles the number of source rounds per bucket. Memory
+// is O(1) in the number of rounds — the piece that lets Metrics summarize a
+// multi-GB trace without retaining per-round state. For runs of at most
+// CurvePoints rounds the stride never grows, so short-run summaries are
+// bit-identical to the pre-streaming implementation.
+type curve[T int | float64] struct {
+	vals   []T
+	stride int // source rounds per completed bucket (power of two)
+	fill   int // source rounds folded into the trailing partial bucket
+}
+
+// add folds one round's value into the curve.
+func (c *curve[T]) add(v T) {
+	if c.fill > 0 {
+		last := len(c.vals) - 1
+		if v > c.vals[last] {
+			c.vals[last] = v
+		}
+		c.fill++
+		if c.fill == c.stride {
+			c.fill = 0
+		}
+		return
+	}
+	if c.stride == 0 {
+		c.stride = 1
+	}
+	if len(c.vals) == curveBuf {
+		for i := 0; i < curveBuf/2; i++ {
+			a, b := c.vals[2*i], c.vals[2*i+1]
+			if b > a {
+				a = b
+			}
+			c.vals[i] = a
+		}
+		c.vals = c.vals[:curveBuf/2]
+		c.stride *= 2
+	}
+	c.vals = append(c.vals, v)
+	if c.stride > 1 {
+		c.fill = 1
+	}
+}
+
+// snapshot returns the pooled buckets in order (a copy; the trailing bucket
+// may cover fewer than stride rounds).
+func (c *curve[T]) snapshot() []T {
+	return append([]T(nil), c.vals...)
 }

@@ -12,8 +12,15 @@
 //  2. Deterministic event order. An execution is a pure function of (seed,
 //     schedule, protocol, config); its event stream must be too, so two
 //     same-seed traces can be compared event by event (mtmtrace diff).
-//     Configuring a sink forces the engine sequential (Workers = 1) — events
-//     are then emitted in ascending node order within each phase.
+//     The sink always observes events in ascending node order within each
+//     phase, at any worker count: parallel phase bodies emit into private
+//     per-worker buffers (WorkerBuf) that the engine drains into the sink
+//     in ascending worker order at each sequential barrier — worker chunks
+//     ascend in node id and each worker iterates its chunk ascending, so
+//     the concatenation reproduces exactly the sequential emission order,
+//     and a Workers=8 trace is byte-identical to the Workers=1 trace of
+//     the same seed. (Faulted traced runs are the one forced-sequential
+//     exception: fault draws interleave with the event stream.)
 //  3. Flat events. Event is a fixed-size value type (no pointers, no
 //     per-event heap allocation on the emit path); the per-type meaning of
 //     its payload fields is documented on the Type constants and frozen by
@@ -317,7 +324,9 @@ type Header struct {
 // Sink receives the event stream of one execution. The engine calls Begin
 // exactly once before the first event, Event zero or more times, and End
 // exactly once after the last event (also on abnormal termination). Calls
-// are never concurrent: configuring a sink forces the engine sequential.
+// are never concurrent, at any worker count: parallel workers emit into
+// private WorkerBuf buffers, and only the engine's sequential sections
+// call the configured sink — implementations need no locking.
 type Sink interface {
 	Begin(h Header)
 	Event(e Event)

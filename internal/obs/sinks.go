@@ -174,6 +174,13 @@ func (r *Reader) Next() (Event, error) {
 	if err := json.Unmarshal(data, &e); err != nil {
 		return Event{}, fmt.Errorf("obs: trace line %d: corrupt or truncated event: %w", r.line, err)
 	}
+	// A record with no event type is valid JSON but not an event — most
+	// likely a header from a concatenated or interleaved trace (possibly a
+	// different schema version). Reject it by line rather than folding a
+	// zero event into downstream aggregation.
+	if e.Type == TypeNone {
+		return Event{}, fmt.Errorf("obs: trace line %d: corrupt or truncated event: record has no event type (interleaved trace or foreign schema?)", r.line)
+	}
 	return e, nil
 }
 

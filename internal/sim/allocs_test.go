@@ -66,3 +66,41 @@ func TestSteadyStateZeroAllocsTraced(t *testing.T) {
 		t.Fatalf("traced steady-state round allocates: %v allocs/round, want 0", avg)
 	}
 }
+
+// TestSteadyStateZeroAllocsTracedParallel pins the parallel-emission claim:
+// with Workers > 1 the emit path itself — per-worker buffer appends plus the
+// chunk-order flush — must amortize to zero allocations per round once the
+// buffers are warm. Goroutine dispatch in parallelFor does allocate, so the
+// pin is differential: a traced parallel round may cost at most a fraction
+// of an allocation per round more than an untraced parallel round of the
+// same configuration.
+func TestSteadyStateZeroAllocsTracedParallel(t *testing.T) {
+	const (
+		n       = 512 // above parallelThreshold so the parallel path runs
+		workers = 4
+	)
+	run := func(sink obs.Sink) float64 {
+		eng, err := sim.New(
+			dyngraph.NewStatic(gen.RandomRegular(n, 8, 1)),
+			core.NewBlindGossipNetwork(core.UniqueUIDs(n, 42)),
+			sim.Config{Seed: 42, Workers: workers, Sink: sink},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up: one-time growth (inboxTo and worker-buffer high-water
+		// marks, lazy state).
+		eng.RunRounds(1, 50)
+		next := 51
+		return testing.AllocsPerRun(200, func() {
+			eng.RunRounds(next, 1)
+			next++
+		})
+	}
+	untraced := run(nil)
+	traced := run(obs.NewRing(1 << 13))
+	if delta := traced - untraced; delta > 0.25 {
+		t.Fatalf("traced parallel round allocates %v/round over untraced (%v vs %v), want amortized 0",
+			delta, traced, untraced)
+	}
+}

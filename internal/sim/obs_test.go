@@ -2,6 +2,7 @@
 package sim_test
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"mobiletel/internal/core"
@@ -128,6 +129,92 @@ func TestTraceCountersMatchStats(t *testing.T) {
 		if c.rejects != c.proposes-c.accepts {
 			t.Errorf("round %d: %d reject events, want proposals-accepts = %d",
 				s.Round, c.rejects, c.proposes-c.accepts)
+		}
+	}
+}
+
+// TestPhaseProfiler runs a profiled parallel election with a deterministic
+// counter clock and checks the mtmprof/v1 report: every parallel phase of
+// the fault-free core shows up with wall time and per-worker busy time, the
+// flush phase appears exactly when tracing is on, and profiling does not
+// perturb the run (bit-identical Result vs the unprofiled engine).
+func TestPhaseProfiler(t *testing.T) {
+	const (
+		n       = 512 // above parallelThreshold so the parallel phases run
+		workers = 4
+	)
+	run := func(prof *obs.Profiler, sink obs.Sink) sim.Result {
+		eng, err := sim.New(
+			dyngraph.NewStatic(gen.RandomRegular(n, 8, 3)),
+			core.NewBlindGossipNetwork(core.UniqueUIDs(n, 9)),
+			sim.Config{Seed: 9, Workers: workers, Profiler: prof, Sink: sink},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(sim.AllLeadersEqual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Workers read the clock concurrently for busy accounting, so the fake
+	// counter must be atomic like the real monotonic clock is safe.
+	var ticks atomic.Int64
+	clock := func() int64 { return ticks.Add(1) }
+	prof := obs.NewProfiler(clock)
+	got := run(prof, obs.NewRing(1<<16))
+	want := run(nil, nil)
+	if got != want {
+		t.Fatalf("profiled run diverged from unprofiled: %+v vs %+v", got, want)
+	}
+
+	rep := prof.Report()
+	if rep.Schema != obs.ProfSchema {
+		t.Fatalf("report schema %q, want %q", rep.Schema, obs.ProfSchema)
+	}
+	if rep.Workers != workers || rep.Rounds != int64(got.RoundsExecuted) {
+		t.Fatalf("report workers=%d rounds=%d, want %d/%d", rep.Workers, rep.Rounds, workers, got.RoundsExecuted)
+	}
+	if rep.WallNS <= 0 || rep.RoundsPerSec <= 0 {
+		t.Fatalf("report wall=%d rounds/sec=%v, want positive", rep.WallNS, rep.RoundsPerSec)
+	}
+	phases := make(map[string]obs.PhaseProfile, len(rep.Phases))
+	for _, p := range rep.Phases {
+		phases[p.Phase] = p
+	}
+	for _, name := range []string{"active_scan", "advertise", "decide", "count",
+		"merge", "scatter", "accept", "partner", "exchange", "end_round", "flush"} {
+		p, ok := phases[name]
+		if !ok {
+			t.Errorf("phase %q missing from report (got %v)", name, rep.Phases)
+			continue
+		}
+		if p.WallNS <= 0 {
+			t.Errorf("phase %q has no wall time", name)
+		}
+		if len(p.BusyNS) != workers {
+			t.Errorf("phase %q has %d busy slots, want %d", name, len(p.BusyNS), workers)
+		}
+		if p.Imbalance < 1 {
+			t.Errorf("phase %q imbalance %v < 1", name, p.Imbalance)
+		}
+	}
+	if _, ok := phases["bucket_accept"]; ok {
+		t.Error("fault-free parallel run reported the sequential bucket_accept phase")
+	}
+	if top := prof.TopPhases(3); len(top) != 3 {
+		t.Errorf("TopPhases(3) = %v, want 3 entries", top)
+	}
+
+	// An untraced profiled run must not report a flush phase.
+	var ticks2 atomic.Int64
+	prof2 := obs.NewProfiler(func() int64 { return ticks2.Add(1) })
+	run(prof2, nil)
+	for _, p := range prof2.Report().Phases {
+		if p.Phase == "flush" {
+			t.Error("untraced run reported a flush phase")
 		}
 	}
 }

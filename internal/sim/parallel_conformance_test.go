@@ -1,12 +1,14 @@
 package sim_test
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
 	"mobiletel/internal/core"
 	"mobiletel/internal/dyngraph"
 	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/obs"
 	"mobiletel/internal/rumor"
 	"mobiletel/internal/sim"
 )
@@ -80,7 +82,10 @@ func conformanceCases(n, maxDegree int) []conformanceCase {
 // line-of-stars topology at worker counts on both sides of the chunking
 // thresholds (1 = inline path, 2 = minimal split, 7 = uneven chunks,
 // 16 > GOMAXPROCS on most CI hosts), and every execution must produce a
-// bit-identical Result and final protocol state.
+// bit-identical Result, final protocol state, and — with a JSONL sink
+// attached — a byte-identical event trace: per-worker buffers flushed in
+// chunk order must reproduce the sequential ascending-node emission order
+// exactly (the contract mtmtrace diff relies on).
 func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 	f := gen.SqrtLineOfStars(20) // n = 420, Δ = 22: hubs stress degree-balanced chunking
 	workerCounts := []int{1, 2, 7, 16}
@@ -88,10 +93,13 @@ func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var wantRes sim.Result
 			var wantDigest uint64
+			var wantTrace []byte
 			for i, workers := range workerCounts {
 				protocols := tc.build(f.N())
+				var buf bytes.Buffer
 				eng, err := sim.New(dyngraph.NewPermuted(f, 2, 17), protocols, sim.Config{
 					Seed: 29, TagBits: tc.tagBits, Workers: workers, MaxRounds: 2_000_000,
+					Sink: obs.NewJSONL(&buf),
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -102,16 +110,35 @@ func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 				}
 				digest := tc.digest(protocols)
 				if i == 0 {
-					wantRes, wantDigest = res, digest
+					wantRes, wantDigest, wantTrace = res, digest, buf.Bytes()
 					continue
 				}
 				if res != wantRes || digest != wantDigest {
 					t.Fatalf("Workers=%d diverged from Workers=%d: (%+v, %#x) vs (%+v, %#x)",
 						workers, workerCounts[0], res, digest, wantRes, wantDigest)
 				}
+				if !bytes.Equal(buf.Bytes(), wantTrace) {
+					t.Fatalf("Workers=%d trace diverged from Workers=%d: %d vs %d bytes (first difference at byte %d)",
+						workers, workerCounts[0], buf.Len(), len(wantTrace), firstDiff(buf.Bytes(), wantTrace))
+				}
 			}
 		})
 	}
+}
+
+// firstDiff returns the index of the first differing byte (or the shorter
+// length when one slice is a prefix of the other).
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
 }
 
 // TestActiveSetMatchingZeroAllocs pins the RandomNeighborMatching slow path

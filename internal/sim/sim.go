@@ -248,12 +248,30 @@ type Config struct {
 	// Sink, when non-nil, receives the run's structured event trace:
 	// round boundaries, proposals sent/accepted/rejected, connections,
 	// message deliveries, and protocol state transitions (see internal/obs
-	// for the event schema). Configuring a sink forces Workers = 1 so the
-	// event order is a deterministic function of (seed, schedule, protocol,
-	// config) — the property mtmtrace diff relies on. With Sink nil every
-	// emission site reduces to one predictable branch and the engine's
-	// steady state stays at exactly 0 allocs/round.
+	// for the event schema). Tracing does not force the engine sequential:
+	// with Workers > 1 the parallel phase bodies emit into private
+	// per-worker buffers (obs.WorkerBuf) that the engine drains into the
+	// sink in ascending worker order at each sequential barrier. Worker
+	// chunks ascend in node id and each worker iterates its chunk
+	// ascending, so the chunk-order concatenation reproduces exactly the
+	// sequential ascending-node event order — the trace stays a
+	// deterministic function of (seed, schedule, protocol, config) at any
+	// worker count, the property mtmtrace diff relies on. Faulted traced
+	// runs are the one forced-sequential exception: fault draws interleave
+	// with the event stream in a defined order that buffering cannot
+	// reproduce. With Sink nil every emission site reduces to one
+	// predictable branch and the engine's steady state stays at exactly
+	// 0 allocs/round.
 	Sink obs.Sink
+
+	// Profiler, when non-nil, accumulates per-phase wall time and
+	// per-worker busy time for every round into an mtmprof/v1 report (see
+	// obs.NewProfiler — the monotonic clock is injected there; the engine
+	// never reads wall time itself, preserving the norand contract).
+	// Profiled runs add two clock reads per phase and trade the pinned
+	// zero-allocation steady state for timing; with Profiler nil the round
+	// loop is unchanged.
+	Profiler *obs.Profiler
 }
 
 // AcceptPolicy selects how a receiver chooses among incoming proposals.
@@ -354,9 +372,11 @@ type Engine struct {
 	// parCore selects the parallel round core: the active scan, proposal
 	// bucketing (two-pass counting sort: per-worker histograms + sequential
 	// prefix merge + parallel scatter), accept, and partner phases all run
-	// chunked across workers. It is legal only when fault and trace draws —
-	// which are order-dependent — cannot occur, so New enables it exactly
-	// when Workers > 1 and neither Faults nor Sink is configured. Results
+	// chunked across workers. It is legal only when fault draws — which are
+	// order-dependent — cannot occur, so New enables it exactly when
+	// Workers > 1 and Faults is nil. Tracing is compatible: phase bodies
+	// emit into per-worker buffers (wbufs) drained in chunk order at each
+	// barrier, which reproduces the sequential event order exactly. Results
 	// are bit-identical to the sequential core for any worker count: inboxes
 	// stay sender-ordered (worker chunks ascend in sender id) and each
 	// receiver's accept choice draws only from its own rngs[v] stream.
@@ -410,6 +430,17 @@ type Engine struct {
 	// the header is written exactly once even across RunRounds calls.
 	sinkBegan bool
 	sinkEnded bool
+
+	// wbufs, in traced parallel runs, holds one private event buffer per
+	// worker (cache-line padded, like counters): phase bodies running as
+	// worker w emit into wbufs[w], and flushWorkerBufs drains the buffers
+	// into cfg.Sink in ascending worker order at each sequential barrier.
+	// Nil whenever Workers == 1 or Sink is nil, so sequential traced runs
+	// keep emitting directly.
+	wbufs []obs.WorkerBuf
+
+	// prof is Config.Profiler (nil = unprofiled round loop).
+	prof *obs.Profiler
 }
 
 const (
@@ -485,11 +516,14 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Sink != nil {
-		// Tracing forces sequential execution: sinks are not required to be
-		// goroutine-safe, and a deterministic event order (ascending node
-		// order within each phase) is what makes two same-seed traces
-		// comparable event by event.
+	if cfg.Sink != nil && cfg.Faults != nil {
+		// Faulted traced runs stay sequential: fault draws happen in the
+		// engine's sequential sections and interleave with the event stream
+		// in a defined ascending order that per-worker buffering cannot
+		// reproduce. Fault-free traced runs keep their workers — phase
+		// bodies emit into private per-worker buffers drained in chunk
+		// order at each barrier (see the wbufs field), which reproduces the
+		// sequential ascending-node event order exactly.
 		workers = 1
 	}
 	if cfg.Faults != nil && cfg.Faults.N() != n {
@@ -524,15 +558,23 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	if cfg.TagBits < 64 {
 		e.tagLimit = uint64(1) << uint(cfg.TagBits)
 	}
-	// Fault and trace draws are order-dependent, so the parallel round core
-	// is reserved for the fault-free untraced configuration (Sink already
-	// forced workers to 1 above).
-	e.parCore = workers > 1 && cfg.Faults == nil && cfg.Sink == nil
+	// Fault draws are order-dependent, so the parallel round core is
+	// reserved for fault-free configurations (a faulted traced run was
+	// already forced sequential above). Tracing parallelizes: emissions go
+	// through per-worker buffers merged in chunk order at each barrier.
+	e.parCore = workers > 1 && cfg.Faults == nil
 	e.chunks = make([]int, workers+1)
 	if e.parCore {
 		e.hist = make([]int32, workers*n)
 		e.chosen = make([]int32, n)
 		e.counters = make([]workerCounters, workers)
+	}
+	if workers > 1 && cfg.Sink != nil {
+		e.wbufs = make([]obs.WorkerBuf, workers)
+	}
+	if cfg.Profiler != nil {
+		cfg.Profiler.Attach(workers)
+		e.prof = cfg.Profiler
 	}
 	// Method values allocate their receiver binding; do it once here, not
 	// once per parallelFor call.
@@ -609,10 +651,24 @@ func (e *Engine) Protocols() []Protocol { return e.protocols }
 
 // step runs one full round and returns its statistics. It is the root of
 // the steady-state zero-allocation contract that TestSteadyStateZeroAllocs
-// pins at runtime and the hotalloc analyzer certifies statically.
+// pins at runtime and the hotalloc analyzer certifies statically; profiled
+// runs take the timed branch and additionally record the round's wall time.
 //
 //mtmlint:hotpath
 func (e *Engine) step(r int) RoundStats {
+	if e.prof == nil {
+		return e.stepCore(r)
+	}
+	t0 := e.prof.Clock()
+	stats := e.stepCore(r)
+	e.prof.RoundDone(e.prof.Clock() - t0)
+	return stats
+}
+
+// stepCore is the round body shared by profiled and unprofiled runs.
+//
+//mtmlint:hotpath
+func (e *Engine) stepCore(r int) RoundStats {
 	g := e.sched.GraphAt(r)
 	if e.workers > 1 && e.n >= parallelThreshold && g != e.chunkG {
 		// Degree-weighted chunk boundaries for this round's graph: hub-skewed
@@ -635,11 +691,12 @@ func (e *Engine) step(r int) RoundStats {
 	if e.parCore {
 		// downMask is nil by construction (parCore requires Faults == nil),
 		// so the chunked scan needs no fault handling.
-		e.parallelFor(e.phActiveScan)
+		e.parallelFor(obs.PhaseActiveScan, e.phActiveScan)
 		for w := 0; w < e.spanWorkers(); w++ {
 			activeCount += int(e.counters[w].active)
 		}
 	} else {
+		t0 := e.profStart()
 		for u := 0; u < e.n; u++ {
 			a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
 			if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
@@ -653,6 +710,7 @@ func (e *Engine) step(r int) RoundStats {
 				activeCount++
 			}
 		}
+		e.profEnd(obs.PhaseActiveScan, t0)
 	}
 	var act []bool
 	if activeCount != e.n {
@@ -671,14 +729,17 @@ func (e *Engine) step(r int) RoundStats {
 	}
 
 	// Steps 2-3: advertise then decide, in parallel over nodes. Each node's
-	// RNG is derived from (seed, node, round) so ordering is irrelevant.
-	e.parallelFor(e.phAdvertise)
+	// RNG is derived from (seed, node, round) so ordering is irrelevant;
+	// traced parallel runs flush the worker event buffers at each barrier.
+	e.parallelFor(obs.PhaseAdvertise, e.phAdvertise)
+	e.flushWorkerBufs()
 	if e.cfg.Faults != nil && e.cfg.TagBits > 0 {
 		// Corrupt advertisements between advertise and decide, so deciders
 		// (and the propose events below) see the flipped tags.
 		e.applyTagFlips(r)
 	}
-	e.parallelFor(e.phDecide)
+	e.parallelFor(obs.PhaseDecide, e.phDecide)
+	e.flushWorkerBufs()
 
 	if e.cfg.Classical {
 		return e.classicalFinish(r, g, act, activeCount)
@@ -686,14 +747,17 @@ func (e *Engine) step(r int) RoundStats {
 
 	// Step 4: group proposals by receiver (counting sort keeps per-receiver
 	// inboxes ordered by sender id), then accept. The parallel core covers
-	// the fault-free untraced configuration; anything else runs the
-	// sequential path so fault/trace draws keep their defined ascending
-	// order. Both produce bit-identical partners, counters, and RNG states.
+	// fault-free configurations (traced or not); faulted runs take the
+	// sequential path so fault draws keep their defined ascending order.
+	// Both produce bit-identical partners, counters, RNG states, and
+	// event streams.
 	var proposals, connections, rejects int
 	if e.parCore {
 		proposals, connections, rejects = e.bucketAcceptParallel()
 	} else {
+		t0 := e.profStart()
 		proposals, connections, rejects = e.bucketAcceptSequential(r)
+		e.profEnd(obs.PhaseBucketSeq, t0)
 	}
 
 	if e.cfg.OnConnections != nil {
@@ -708,10 +772,12 @@ func (e *Engine) step(r int) RoundStats {
 
 	// Step 5: exchange over established connections, in parallel over pairs
 	// (pairs are node-disjoint, so this is race-free).
-	e.parallelFor(e.phExchange)
+	e.parallelFor(obs.PhaseExchange, e.phExchange)
+	e.flushWorkerBufs()
 
 	// End of round.
-	e.parallelFor(e.phEndRound)
+	e.parallelFor(obs.PhaseEndRound, e.phEndRound)
+	e.flushWorkerBufs()
 
 	if sink != nil {
 		sink.Event(obs.Event{Type: obs.TypeRoundEnd, Round: r,
@@ -725,8 +791,9 @@ func (e *Engine) step(r int) RoundStats {
 
 // bucketAcceptSequential is the historical single-threaded step-4 core: one
 // counting-sort pass groups proposals per receiver, then receivers accept in
-// ascending order. It is the only core legal under fault injection or
-// tracing, whose draws/events depend on this exact order.
+// ascending order. It is the only core legal under fault injection, whose
+// draws depend on this exact order (traced fault-free runs use the parallel
+// core: buffered emission reproduces this order, see wbufs).
 //
 //mtmlint:hotpath
 func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects int) {
@@ -862,7 +929,9 @@ func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects 
 //
 //mtmlint:hotpath
 func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects int) {
-	e.parallelFor(e.phCount)
+	e.parallelFor(obs.PhaseCount, e.phCount)
+	e.flushWorkerBufs()
+	t0 := e.profStart()
 	span := e.spanWorkers()
 	total := int32(0)
 	for t := 0; t < e.n; t++ {
@@ -885,9 +954,11 @@ func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects int) {
 	} else {
 		e.inboxTo = e.inboxTo[:total]
 	}
-	e.parallelFor(e.phScatter)
-	e.parallelFor(e.phAccept)
-	e.parallelFor(e.phPartner)
+	e.profEnd(obs.PhaseMerge, t0)
+	e.parallelFor(obs.PhaseScatter, e.phScatter)
+	e.parallelFor(obs.PhaseAccept, e.phAccept)
+	e.flushWorkerBufs()
+	e.parallelFor(obs.PhasePartner, e.phPartner)
 	for w := 0; w < span; w++ {
 		c := &e.counters[w]
 		proposals += int(c.proposals)
@@ -960,8 +1031,26 @@ func (e *Engine) applyTagFlips(r int) {
 	}
 }
 
-// bindCtx points the scratch Context at the current round's state.
-func (e *Engine) bindCtx(c *Context) {
+// bindCtx points the scratch Context at the current round's state, routing
+// event emission to worker w's private buffer in traced parallel runs (and
+// directly to the sink otherwise).
+func (e *Engine) bindCtx(c *Context, w int) {
+	c.Round = e.curRound
+	c.g = e.curG
+	c.tags = e.tags
+	c.act = e.curAct
+	if e.wbufs != nil {
+		c.sink = &e.wbufs[w]
+	} else {
+		c.sink = e.cfg.Sink
+	}
+}
+
+// bindCtxSeq is bindCtx for contexts used only in the engine's sequential
+// sections (the classical exchange loop): emission goes directly to the
+// configured sink so it interleaves correctly with the section's own direct
+// emissions.
+func (e *Engine) bindCtxSeq(c *Context) {
 	c.Round = e.curRound
 	c.g = e.curG
 	c.tags = e.tags
@@ -969,12 +1058,53 @@ func (e *Engine) bindCtx(c *Context) {
 	c.sink = e.cfg.Sink
 }
 
+// flushWorkerBufs drains the per-worker event buffers into the configured
+// sink in ascending worker order; the engine calls it at every sequential
+// barrier that follows an emitting parallel phase. Worker chunks ascend in
+// node id and each worker iterates its chunk ascending, so this
+// concatenation reproduces exactly the sequential ascending-node emission
+// order. No-op (one branch) for untraced or sequential runs.
+//
+//mtmlint:hotpath
+func (e *Engine) flushWorkerBufs() {
+	if e.wbufs == nil {
+		return
+	}
+	t0 := e.profStart()
+	sink := e.cfg.Sink
+	for w := range e.wbufs {
+		e.wbufs[w].FlushTo(sink)
+	}
+	e.profEnd(obs.PhaseFlush, t0)
+}
+
+// profStart reads the profiler clock at the start of a sequential section,
+// or 0 when unprofiled.
+//
+//mtmlint:hotpath
+func (e *Engine) profStart() int64 {
+	if e.prof == nil {
+		return 0
+	}
+	return e.prof.Clock()
+}
+
+// profEnd charges a sequential section started at profStart to phase ph.
+//
+//mtmlint:hotpath
+func (e *Engine) profEnd(ph obs.Phase, t0 int64) {
+	if e.prof == nil {
+		return
+	}
+	e.prof.AddSeq(ph, e.prof.Clock()-t0)
+}
+
 // phaseAdvertise runs step 2 for nodes [lo, hi) using worker w's scratch.
 //
 //mtmlint:hotpath
 func (e *Engine) phaseAdvertise(w, lo, hi int) {
 	ctx := &e.ctxA[w]
-	e.bindCtx(ctx)
+	e.bindCtx(ctx, w)
 	r := e.curRound
 	for u := lo; u < hi; u++ {
 		if !e.active[u] {
@@ -998,7 +1128,7 @@ func (e *Engine) phaseAdvertise(w, lo, hi int) {
 //mtmlint:hotpath
 func (e *Engine) phaseDecide(w, lo, hi int) {
 	ctx := &e.ctxA[w]
-	e.bindCtx(ctx)
+	e.bindCtx(ctx, w)
 	for u := lo; u < hi; u++ {
 		if !e.active[u] {
 			continue
@@ -1025,8 +1155,8 @@ func (e *Engine) phaseDecide(w, lo, hi int) {
 //mtmlint:hotpath
 func (e *Engine) phaseExchange(w, lo, hi int) {
 	ctxU, ctxV := &e.ctxA[w], &e.ctxB[w]
-	e.bindCtx(ctxU)
-	e.bindCtx(ctxV)
+	e.bindCtx(ctxU, w)
+	e.bindCtx(ctxV, w)
 	for u := lo; u < hi; u++ {
 		v := e.partner[u]
 		if v == noPartner || int(v) < u {
@@ -1040,25 +1170,28 @@ func (e *Engine) phaseExchange(w, lo, hi int) {
 		mv := e.protocols[v].Outgoing(ctxV, int32(u))
 		e.checkMessage(u, mu)
 		e.checkMessage(int(v), mv)
-		e.emitDeliver(int32(u), v, mv)
+		e.emitDeliver(ctxU.sink, int32(u), v, mv)
 		e.protocols[u].Deliver(ctxU, v, mv)
-		e.emitDeliver(v, int32(u), mu)
+		e.emitDeliver(ctxU.sink, v, int32(u), mu)
 		e.protocols[v].Deliver(ctxV, int32(u), mu)
 	}
 }
 
 // emitDeliver publishes one message delivery (recipient <- sender) to the
-// sink; the event precedes the Deliver callback so any transition the
-// message causes appears after its delivery in the trace.
-func (e *Engine) emitDeliver(to, from int32, m Message) {
-	if e.cfg.Sink == nil {
+// given sink (the worker's buffer in traced parallel runs); the event
+// precedes the Deliver callback so any transition the message causes
+// appears after its delivery in the trace.
+//
+//mtmlint:hotpath
+func (e *Engine) emitDeliver(sink obs.Sink, to, from int32, m Message) {
+	if sink == nil {
 		return
 	}
 	var uid uint64
 	if len(m.UIDs) > 0 {
 		uid = m.UIDs[0]
 	}
-	e.cfg.Sink.Event(obs.Event{Type: obs.TypeDeliver, Round: e.curRound,
+	sink.Event(obs.Event{Type: obs.TypeDeliver, Round: e.curRound,
 		Node: to, Peer: from, A: uid, B: m.Aux})
 }
 
@@ -1067,7 +1200,7 @@ func (e *Engine) emitDeliver(to, from int32, m Message) {
 //mtmlint:hotpath
 func (e *Engine) phaseEndRound(w, lo, hi int) {
 	ctx := &e.ctxA[w]
-	e.bindCtx(ctx)
+	e.bindCtx(ctx, w)
 	for u := lo; u < hi; u++ {
 		if !e.active[u] {
 			continue
@@ -1102,7 +1235,9 @@ func (e *Engine) phaseActiveScan(w, lo, hi int) {
 // phaseCount is counting-sort pass one: worker w histograms the proposals of
 // senders [lo, hi) into its private row of e.hist, counting every proposal
 // (delivered or busy-lost) into its proposals counter — the same accounting
-// as the sequential core.
+// as the sequential core. Traced runs also emit the propose and busy-reject
+// events here, into the worker's private buffer, in the exact per-sender
+// order the sequential core emits them.
 //
 //mtmlint:hotpath
 func (e *Engine) phaseCount(w, lo, hi int) {
@@ -1110,11 +1245,20 @@ func (e *Engine) phaseCount(w, lo, hi int) {
 	clear(row)
 	ctr := &e.counters[w]
 	ctr.proposals = 0
+	traced := e.wbufs != nil
+	r := e.curRound
 	for u := lo; u < hi; u++ {
 		if t := e.actions[u]; t >= 0 {
+			if traced {
+				e.wbufs[w].Event(obs.Event{Type: obs.TypePropose, Round: r,
+					Node: int32(u), Peer: t, A: e.tags[u], B: e.tags[t]})
+			}
 			ctr.proposals++
 			if e.actions[t] == actionReceive {
 				row[t]++
+			} else if traced {
+				e.wbufs[w].Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindBusy,
+					Round: r, Node: t, Peer: int32(u)})
 			}
 		}
 	}
@@ -1141,13 +1285,17 @@ func (e *Engine) phaseScatter(w, lo, hi int) {
 // picks among its inbox exactly as the sequential core does, drawing only
 // from its own rngs[v] stream, and records the winner in e.chosen. Every v
 // in the chunk gets a chosen entry (noPartner for non-receivers) so
-// phasePartner can test chosen[t] for any target.
+// phasePartner can test chosen[t] for any target. Traced runs also emit the
+// accept, contention-reject, and connect events here, into the worker's
+// private buffer, in the exact per-receiver order of the sequential core.
 //
 //mtmlint:hotpath
 func (e *Engine) phaseAccept(w, lo, hi int) {
 	ctr := &e.counters[w]
 	ctr.connections = 0
 	ctr.rejects = 0
+	traced := e.wbufs != nil
+	r := e.curRound
 	for v := lo; v < hi; v++ {
 		if e.actions[v] != actionReceive {
 			e.chosen[v] = noPartner
@@ -1174,6 +1322,20 @@ func (e *Engine) phaseAccept(w, lo, hi int) {
 		e.chosen[v] = c
 		ctr.connections++
 		ctr.rejects += int64(len(inbox) - 1)
+		if traced {
+			e.wbufs[w].Event(obs.Event{Type: obs.TypeAccept, Round: r, Node: int32(v), Peer: c})
+			for _, s := range inbox {
+				if s != c {
+					e.wbufs[w].Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindContention,
+						Round: r, Node: int32(v), Peer: s})
+				}
+			}
+			lo32, hi32 := int32(v), c
+			if hi32 < lo32 {
+				lo32, hi32 = hi32, lo32
+			}
+			e.wbufs[w].Event(obs.Event{Type: obs.TypeConnect, Round: r, Node: lo32, Peer: hi32})
+		}
 	}
 }
 
@@ -1182,6 +1344,9 @@ func (e *Engine) phaseAccept(w, lo, hi int) {
 // pairs with its target iff that target chose it. Each node writes only its
 // own entries, so the symmetric writes of the sequential core become two
 // one-sided reads.
+//
+// Traced runs emit nothing here: the accept phase already emitted the
+// round's accept/reject/connect events.
 //
 //mtmlint:hotpath
 func (e *Engine) phasePartner(w, lo, hi int) {
@@ -1207,14 +1372,18 @@ func (e *Engine) phasePartner(w, lo, hi int) {
 // to many times per round.
 func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount int) RoundStats {
 	ctxU, ctxV := &e.ctxA[0], &e.ctxB[0]
-	e.bindCtx(ctxU)
-	e.bindCtx(ctxV)
+	// The exchange loop below is sequential, so its contexts bind the sink
+	// directly: buffering their transitions would tear them away from the
+	// propose/accept/connect events this loop emits in between.
+	e.bindCtxSeq(ctxU)
+	e.bindCtxSeq(ctxV)
 	connections := 0
 	proposals := 0
 	sink := e.cfg.Sink
 	if e.cfg.OnConnections != nil {
 		e.pairScratch = e.pairScratch[:0]
 	}
+	t0 := e.profStart()
 	for u := 0; u < e.n; u++ {
 		v := e.actions[u]
 		if v < 0 {
@@ -1258,11 +1427,12 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		mv := e.protocols[v].Outgoing(ctxV, int32(u))
 		e.checkMessage(u, mu)
 		e.checkMessage(int(v), mv)
-		e.emitDeliver(int32(u), v, mv)
+		e.emitDeliver(sink, int32(u), v, mv)
 		e.protocols[u].Deliver(ctxU, v, mv)
-		e.emitDeliver(v, int32(u), mu)
+		e.emitDeliver(sink, v, int32(u), mu)
 		e.protocols[v].Deliver(ctxV, int32(u), mu)
 	}
+	e.profEnd(obs.PhaseExchange, t0)
 
 	// The callback fires after the loop (unlike the main path's
 	// pre-exchange call) so fault-dropped proposals are excluded; it still
@@ -1271,7 +1441,8 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		e.cfg.OnConnections(r, e.pairScratch)
 	}
 
-	e.parallelFor(e.phEndRound)
+	e.parallelFor(obs.PhaseEndRound, e.phEndRound)
+	e.flushWorkerBufs()
 	if sink != nil {
 		sink.Event(obs.Event{Type: obs.TypeRoundEnd, Round: r,
 			Node: int32(connections), Peer: 0,
@@ -1309,22 +1480,52 @@ func (e *Engine) spanWorkers() int {
 // when its chunk is empty, so per-worker counter and histogram rows are
 // freshly written on every call. With Workers == 1 (or a tiny n) it runs
 // inline with w = 0 and allocates nothing.
-func (e *Engine) parallelFor(fn func(w, lo, hi int)) {
+//
+// ph names the phase for the profiler: profiled runs record the phase's wall
+// time and each worker's busy time (the per-phase imbalance in the
+// mtmprof/v1 report); unprofiled runs never read the clock.
+func (e *Engine) parallelFor(ph obs.Phase, fn func(w, lo, hi int)) {
 	if e.workers == 1 || e.n < parallelThreshold {
+		if e.prof == nil {
+			fn(0, 0, e.n)
+			return
+		}
+		t0 := e.prof.Clock()
 		fn(0, 0, e.n)
+		e.prof.AddSeq(ph, e.prof.Clock()-t0)
 		return
 	}
 	//mtmlint:hotpath-end goroutine dispatch below only runs with Workers > 1; the pinned zero-alloc configuration takes the inline path above
+	if e.prof == nil {
+		var wg sync.WaitGroup
+		for w := 1; w < e.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fn(w, e.chunks[w], e.chunks[w+1])
+			}(w)
+		}
+		fn(0, e.chunks[0], e.chunks[1])
+		wg.Wait()
+		return
+	}
+	prof := e.prof
+	t0 := prof.Clock()
 	var wg sync.WaitGroup
 	for w := 1; w < e.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			s := prof.Clock()
 			fn(w, e.chunks[w], e.chunks[w+1])
+			prof.AddBusy(ph, w, prof.Clock()-s)
 		}(w)
 	}
+	s := prof.Clock()
 	fn(0, e.chunks[0], e.chunks[1])
+	prof.AddBusy(ph, 0, prof.Clock()-s)
 	wg.Wait()
+	prof.AddWall(ph, prof.Clock()-t0)
 }
 
 // StableFor wraps a stop condition with a realistic stabilization detector:

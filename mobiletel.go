@@ -248,14 +248,34 @@ type Options struct {
 	// TraceTo, when non-nil, receives a structured JSONL event trace of the
 	// run (schema mtmtrace/v1 — proposals, accepts, rejects, connections,
 	// deliveries, and protocol state transitions; inspect or diff it with
-	// cmd/mtmtrace). Tracing forces sequential execution so the event order
-	// is deterministic; a run with no trace configured pays zero overhead.
+	// cmd/mtmtrace). Tracing works at any Workers setting and the trace is
+	// byte-identical across worker counts: parallel phase bodies emit into
+	// per-worker buffers merged in chunk order at each barrier, reproducing
+	// the sequential ascending-device event order exactly. (Fault-injected
+	// traced runs are the one exception: they run sequentially so fault
+	// draws keep their place in the stream.) A run with no trace configured
+	// pays zero overhead.
 	TraceTo io.Writer
+	// TraceSample, when > 1, keeps only events of rounds divisible by it
+	// (a deterministic round%N filter), so a traced large run produces a
+	// bounded artifact. Applies to TraceTo only; metrics stay exact.
+	TraceSample int
+	// TraceTypes, when non-empty, keeps only events of the named types
+	// (e.g. "connect", "transition"; see the mtmtrace/v1 schema). Composes
+	// with TraceSample. Applies to TraceTo only.
+	TraceTypes []string
 	// MetricsTo, when non-nil, receives a JSON run-metrics summary (schema
 	// mtmtrace-metrics/v1: rounds to convergence, acceptance rate, matching
 	// sizes vs the Lemma V.1 γ bound, load imbalance, transition counts)
-	// after the run. Like TraceTo, it forces sequential execution.
+	// after the run. Aggregation is streaming and O(1) in run length, and —
+	// like TraceTo — works at any Workers setting.
 	MetricsTo io.Writer
+	// PhaseProfTo, when non-nil, receives an mtmprof/v1 phase-timing report
+	// (JSON) after the run: per-phase wall time, per-worker busy time,
+	// chunk-imbalance ratio, and rounds/sec. Render it with mtmtrace prof.
+	// The profiler's monotonic clock is injected here in the facade; the
+	// engine never reads wall time.
+	PhaseProfTo io.Writer
 	// Classical runs the execution under *classical* telephone model
 	// semantics (a device may serve unboundedly many incoming connections
 	// per round) — the related-work baseline, not the paper's model. See
@@ -353,14 +373,28 @@ func (o Options) observer() func(sim.RoundStats) {
 }
 
 // buildSink assembles the engine event sink for TraceTo/MetricsTo; every
-// return is nil when neither destination is set.
-func (o Options) buildSink() (obs.Sink, *obs.JSONL, *obs.Metrics) {
+// return is nil when neither destination is set. TraceSample/TraceTypes
+// filter the JSONL trace only — the metrics aggregator always sees the full
+// stream, so summaries of sampled traces stay exact.
+func (o Options) buildSink() (obs.Sink, *obs.JSONL, *obs.Metrics, error) {
 	var jsonl *obs.JSONL
 	var metrics *obs.Metrics
 	var sinks []obs.Sink
 	if o.TraceTo != nil {
 		jsonl = obs.NewJSONL(o.TraceTo)
-		sinks = append(sinks, jsonl)
+		var trace obs.Sink = jsonl
+		if o.TraceSample > 1 || len(o.TraceTypes) > 0 {
+			types := make([]obs.Type, 0, len(o.TraceTypes))
+			for _, name := range o.TraceTypes {
+				t, err := obs.ParseType(name)
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("mobiletel: trace type filter: %w", err)
+				}
+				types = append(types, t)
+			}
+			trace = obs.NewFilter(jsonl, o.TraceSample, types)
+		}
+		sinks = append(sinks, trace)
 	}
 	if o.MetricsTo != nil {
 		metrics = obs.NewMetrics()
@@ -368,12 +402,37 @@ func (o Options) buildSink() (obs.Sink, *obs.JSONL, *obs.Metrics) {
 	}
 	switch len(sinks) {
 	case 0:
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	case 1:
-		return sinks[0], jsonl, metrics
+		return sinks[0], jsonl, metrics, nil
 	default:
-		return obs.Tee(sinks...), jsonl, metrics
+		return obs.Tee(sinks...), jsonl, metrics, nil
 	}
+}
+
+// buildProfiler constructs the phase profiler for PhaseProfTo, injecting a
+// monotonic clock (the engine never reads wall time — the norand contract
+// keeps internal/ clock-free; the facade is where time enters).
+func (o Options) buildProfiler() *obs.Profiler {
+	if o.PhaseProfTo == nil {
+		return nil
+	}
+	base := time.Now()
+	return obs.NewProfiler(func() int64 { return int64(time.Since(base)) })
+}
+
+// writeProf renders the profiler's mtmprof/v1 report as indented JSON.
+func writeProf(prof *obs.Profiler, w io.Writer) error {
+	if prof == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	rep := prof.Report()
+	if err := enc.Encode(&rep); err != nil {
+		return fmt.Errorf("mobiletel: writing phase profile: %w", err)
+	}
+	return nil
 }
 
 // drainSinks finalizes trace/metrics output after a run: it surfaces any
@@ -461,7 +520,11 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		return ElectionResult{}, err
 	}
 
-	sink, jsonl, metrics := opts.buildSink()
+	sink, jsonl, metrics, err := opts.buildSink()
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	prof := opts.buildProfiler()
 	cfg := sim.Config{
 		Seed:        opts.Seed,
 		TagBits:     tagBits,
@@ -471,6 +534,7 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		Observer:    opts.observer(),
 		Classical:   opts.Classical,
 		Sink:        sink,
+		Profiler:    prof,
 		Faults:      injector,
 	}
 	if recorder != nil {
@@ -512,6 +576,9 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 	}
 	setGammaBound(metrics, s)
 	if err := drainSinks(jsonl, metrics, opts.MetricsTo); err != nil {
+		return ElectionResult{}, err
+	}
+	if err := writeProf(prof, opts.PhaseProfTo); err != nil {
 		return ElectionResult{}, err
 	}
 	leaderOf := 0
@@ -594,7 +661,11 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 	if err != nil {
 		return RumorResult{}, err
 	}
-	sink, jsonl, metrics := opts.buildSink()
+	sink, jsonl, metrics, err := opts.buildSink()
+	if err != nil {
+		return RumorResult{}, err
+	}
+	prof := opts.buildProfiler()
 	eng, err := sim.New(s.sched, protocols, sim.Config{
 		Seed:      opts.Seed,
 		TagBits:   tagBits,
@@ -603,6 +674,7 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 		Observer:  opts.observer(),
 		Classical: opts.Classical,
 		Sink:      sink,
+		Profiler:  prof,
 		Faults:    injector,
 	})
 	if err != nil {
@@ -614,6 +686,9 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 	}
 	setGammaBound(metrics, s)
 	if err := drainSinks(jsonl, metrics, opts.MetricsTo); err != nil {
+		return RumorResult{}, err
+	}
+	if err := writeProf(prof, opts.PhaseProfTo); err != nil {
 		return RumorResult{}, err
 	}
 	return RumorResult{Rounds: res.StabilizedRound, Connections: res.Connections}, nil
@@ -652,6 +727,10 @@ type ExperimentOptions struct {
 	// MetricsTo, when non-nil, receives a JSON metrics summary (schema
 	// mtmtrace-metrics/v1) of the experiment's first trial.
 	MetricsTo io.Writer
+	// PhaseProfTo, when non-nil, receives an mtmprof/v1 phase-timing report
+	// of the experiment's first trial (the same trial TraceTo observes);
+	// Progress lines additionally show the hottest phases while it runs.
+	PhaseProfTo io.Writer
 	// CheckpointDir, when non-empty, enables crash-safe per-trial
 	// checkpointing: completed trial results are appended to
 	// <CheckpointDir>/<id>.ckpt.jsonl and replayed on the next run with the
@@ -679,7 +758,11 @@ func RunExperiment(id string, opts ExperimentOptions) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("mobiletel: unknown experiment %q", id)
 	}
-	sink, jsonl, metrics := Options{TraceTo: opts.TraceTo, MetricsTo: opts.MetricsTo}.buildSink()
+	sink, jsonl, metrics, err := Options{TraceTo: opts.TraceTo, MetricsTo: opts.MetricsTo}.buildSink()
+	if err != nil {
+		return "", err
+	}
+	prof := Options{PhaseProfTo: opts.PhaseProfTo}.buildProfiler()
 	var ck *experiment.Checkpoint
 	if opts.CheckpointDir != "" {
 		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
@@ -707,6 +790,7 @@ func RunExperiment(id string, opts ExperimentOptions) (string, error) {
 		Progress:   opts.Progress,
 		Now:        time.Now,
 		Sink:       sink,
+		Profiler:   prof,
 		Checkpoint: ck,
 		Interrupt:  opts.Interrupt,
 	})
@@ -714,6 +798,9 @@ func RunExperiment(id string, opts ExperimentOptions) (string, error) {
 		return "", err
 	}
 	if err := drainSinks(jsonl, metrics, opts.MetricsTo); err != nil {
+		return "", err
+	}
+	if err := writeProf(prof, opts.PhaseProfTo); err != nil {
 		return "", err
 	}
 	if opts.CSV {
