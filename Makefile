@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-smoke lint lint-baseline baseline-check check bench bench-smoke trace-smoke fault-smoke prof-smoke
+.PHONY: build vet test race race-smoke lint lint-baseline baseline-check check bench bench-smoke trace-smoke fault-smoke fault-par-smoke prof-smoke
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,15 @@ race:
 
 # race-smoke mirrors the CI race-smoke job: the concurrency-heavy tests
 # (parallel round loop, worker fan-out, parallel accept/bucketing and its
-# cross-worker conformance suite, the million-node scale round, fault
-# injection) under the race detector, without -short. This is the dynamic
-# backstop for the happensbefore analyzer's documented static boundaries
-# (untraceable pointers, receiver-method bodies, the scatter-cursor idiom
-# whose disjointness rests on the sequential prefix merge).
+# cross-worker conformance suite, the million-node scale round — faulted
+# expander column included, fault injection inside the parallel phase
+# bodies, and the chaos soak) under the race detector, without -short. This
+# is the dynamic backstop for the happensbefore analyzer's documented
+# static boundaries (untraceable pointers, receiver-method bodies, the
+# scatter-cursor idiom whose disjointness rests on the sequential prefix
+# merge, and the frozen-for-the-round fault mask reads).
 race-smoke:
-	$(GO) test -race -timeout 20m ./internal/sim ./internal/fault -run 'Parallel|Workers|Fault'
+	$(GO) test -race -timeout 20m ./internal/sim ./internal/fault -run 'Parallel|Workers|Fault|Chaos'
 
 lint:
 	$(GO) run ./cmd/mtmlint ./...
@@ -82,6 +84,23 @@ trace-smoke:
 	$(GO) run ./cmd/mtmtrace record -topo regular -n 64 -deg 8 -algo blindgossip -seed 7 -o /tmp/mtmtrace-smoke-b.jsonl
 	$(GO) run ./cmd/mtmtrace diff /tmp/mtmtrace-smoke-a.jsonl /tmp/mtmtrace-smoke-b.jsonl
 	$(GO) run ./cmd/mtmtrace summary /tmp/mtmtrace-smoke-a.jsonl
+
+# fault-par-smoke mirrors the CI fault-par-smoke job: faulted runs ride the
+# parallel round core, so a faulted, partitioned, invariant-audited trace at
+# 8 workers must be byte-identical to the sequential one — node-addressed
+# fault draws are pure functions of (plan seed, kind, node, round) and never
+# depend on visit order. Pins both a small leader election (every fault kind
+# plus a scheduled partition) and a large 65536-node case.
+fault-par-smoke:
+	rm -rf /tmp/mtm-fault-par && mkdir -p /tmp/mtm-fault-par
+	$(GO) build -o /tmp/mtm-fault-par/mtmtrace ./cmd/mtmtrace
+	/tmp/mtm-fault-par/mtmtrace record -topo regular -n 512 -deg 8 -algo blindgossip -workers 1 -max-rounds 100000 -crash-rate 0.005 -recover-rate 0.3 -proposal-loss 0.05 -conn-loss 0.03 -tagflip-rate 0.02 -partition 5:25:2 -seed 9 -o /tmp/mtm-fault-par/small-w1.jsonl
+	/tmp/mtm-fault-par/mtmtrace record -topo regular -n 512 -deg 8 -algo blindgossip -workers 8 -max-rounds 100000 -crash-rate 0.005 -recover-rate 0.3 -proposal-loss 0.05 -conn-loss 0.03 -tagflip-rate 0.02 -partition 5:25:2 -seed 9 -o /tmp/mtm-fault-par/small-w8.jsonl
+	/tmp/mtm-fault-par/mtmtrace diff /tmp/mtm-fault-par/small-w1.jsonl /tmp/mtm-fault-par/small-w8.jsonl
+	/tmp/mtm-fault-par/mtmtrace record -topo expander -n 65536 -rumor pushpull -workers 1 -sample 2 -types connect,transition -proposal-loss 0.02 -conn-loss 0.01 -partition 2:6:2 -seed 7 -o /tmp/mtm-fault-par/big-w1.jsonl
+	/tmp/mtm-fault-par/mtmtrace record -topo expander -n 65536 -rumor pushpull -workers 8 -sample 2 -types connect,transition -proposal-loss 0.02 -conn-loss 0.01 -partition 2:6:2 -seed 7 -o /tmp/mtm-fault-par/big-w8.jsonl
+	/tmp/mtm-fault-par/mtmtrace diff /tmp/mtm-fault-par/big-w1.jsonl /tmp/mtm-fault-par/big-w8.jsonl
+	/tmp/mtm-fault-par/mtmtrace summary /tmp/mtm-fault-par/small-w8.jsonl
 
 # prof-smoke mirrors the CI prof-smoke job, the scale-safe observability
 # contract end to end: (1) the same sampled, type-filtered parallel record

@@ -7,6 +7,7 @@ import (
 	"mobiletel"
 	"mobiletel/internal/core"
 	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/fault"
 	"mobiletel/internal/graph/gen"
 	"mobiletel/internal/obs"
 	"mobiletel/internal/sim"
@@ -153,18 +154,23 @@ func scaleBenches() []Benchmark {
 			}
 			return *shared
 		}
-		sweep := []struct {
+		type sweepEntry struct {
 			workers int
 			traced  bool
-		}{{1, false}, {2, false}, {8, false}}
+			faulted bool
+		}
+		sweep := []sweepEntry{{1, false, false}, {2, false, false}, {8, false, false}}
 		if f.traced {
 			// The traced entry records what buffered parallel emission costs
 			// at scale: per-worker buffers plus the chunk-order flush into a
 			// ring sink, compared against the untraced w=8 entry beside it.
-			sweep = append(sweep, struct {
-				workers int
-				traced  bool
-			}{8, true})
+			sweep = append(sweep, sweepEntry{8, true, false})
+			// The faulted entries record what node-addressed fault draws cost
+			// inside the parallel phase bodies (a stack-local reseed per
+			// queried node), swept across the same worker counts as the
+			// fault-free rows so the overhead and its scaling are both in
+			// every recording.
+			sweep = append(sweep, sweepEntry{1, false, true}, sweepEntry{2, false, true}, sweepEntry{8, false, true})
 		}
 		for i, sw := range sweep {
 			sw := sw
@@ -172,6 +178,9 @@ func scaleBenches() []Benchmark {
 			name := fmt.Sprintf("scale/round/%s/w=%d", f.label, sw.workers)
 			if sw.traced {
 				name += "-traced"
+			}
+			if sw.faulted {
+				name += "-faulted"
 			}
 			var (
 				eng  *sim.Engine
@@ -191,6 +200,16 @@ func scaleBenches() []Benchmark {
 						cfg := sim.Config{Seed: suiteSeed, Workers: sw.workers}
 						if sw.traced {
 							cfg.Sink = obs.NewRing(1 << 16)
+						}
+						if sw.faulted {
+							in, err := fault.NewInjector(fault.Plan{
+								Seed: suiteSeed, CrashRate: 0.001, RecoverRate: 0.2,
+								ProposalLoss: 0.02, ConnLoss: 0.01,
+							}, fam.N())
+							if err != nil {
+								fatalf("scale round bench (%s): %v", name, err)
+							}
+							cfg.Faults = in
 						}
 						var err error
 						eng, err = sim.New(dyngraph.NewStatic(fam), protocols, cfg)

@@ -58,6 +58,8 @@ func run() error {
 		connLoss     = flag.Float64("conn-loss", 0, "probability that an accepted connection fails before transfer")
 		tagFlipRate  = flag.Float64("tagflip-rate", 0, "probability that an advertised tag has one bit flipped")
 		faultSeed    = flag.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
+		partition    = flag.String("partition", "", "schedule a network partition as start:heal:parts (heal 0 = never; repeatable via commas)")
+		check        = flag.Bool("check", false, "audit every round against the engine's safety invariants (debugging aid; panics on violation)")
 	)
 	flag.Parse()
 
@@ -88,8 +90,12 @@ func run() error {
 		fmt.Printf("schedule: %s τ=%v\n", sched.Name(), sched.Tau())
 	}
 
-	opts := mobiletel.Options{Seed: *seed + 2, MaxRounds: *maxRounds, Classical: *classical, Workers: *workers}
-	if *crashRate > 0 || *recoverRate > 0 || *proposalLoss > 0 || *connLoss > 0 || *tagFlipRate > 0 {
+	partitions, err := mobiletel.ParsePartitions(*partition)
+	if err != nil {
+		return err
+	}
+	opts := mobiletel.Options{Seed: *seed + 2, MaxRounds: *maxRounds, Classical: *classical, Workers: *workers, Check: *check}
+	if *crashRate > 0 || *recoverRate > 0 || *proposalLoss > 0 || *connLoss > 0 || *tagFlipRate > 0 || len(partitions) > 0 {
 		fseed := *faultSeed
 		if fseed == 0 {
 			fseed = *seed + 3
@@ -103,6 +109,7 @@ func run() error {
 			ProposalLoss:   *proposalLoss,
 			ConnLoss:       *connLoss,
 			TagFlipRate:    *tagFlipRate,
+			Partitions:     partitions,
 		}
 	}
 	var outFiles []*atomicwrite.File

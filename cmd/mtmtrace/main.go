@@ -119,13 +119,14 @@ type recordConfig struct {
 	ConnLoss     float64
 	TagFlipRate  float64
 	FaultSeed    uint64
+	Partitions   []mobiletel.FaultPartition
 }
 
 // faults converts the fault knobs into an Options.Faults plan, or nil when
 // every knob is zero (keeping the fault-free fast path allocation-free).
 func (cfg recordConfig) faults() *mobiletel.FaultPlan {
 	if cfg.CrashRate == 0 && cfg.RecoverRate == 0 && cfg.ProposalLoss == 0 &&
-		cfg.ConnLoss == 0 && cfg.TagFlipRate == 0 {
+		cfg.ConnLoss == 0 && cfg.TagFlipRate == 0 && len(cfg.Partitions) == 0 {
 		return nil
 	}
 	fseed := cfg.FaultSeed
@@ -141,6 +142,7 @@ func (cfg recordConfig) faults() *mobiletel.FaultPlan {
 		ProposalLoss:   cfg.ProposalLoss,
 		ConnLoss:       cfg.ConnLoss,
 		TagFlipRate:    cfg.TagFlipRate,
+		Partitions:     cfg.Partitions,
 	}
 }
 
@@ -211,9 +213,14 @@ func cmdRecord(args []string, stdout io.Writer) error {
 	fs.Float64Var(&cfg.ConnLoss, "conn-loss", 0, "probability that an accepted connection fails before transfer")
 	fs.Float64Var(&cfg.TagFlipRate, "tagflip-rate", 0, "probability that an advertised tag has one bit flipped")
 	fs.Uint64Var(&cfg.FaultSeed, "fault-seed", 0, "fault plan seed (0 = derive from -seed)")
+	partition := fs.String("partition", "", "schedule a network partition as start:heal:parts (heal 0 = never; repeatable via commas)")
 	out := fs.String("o", "-", "trace output file ('-' = stdout)")
 	metricsOut := fs.String("metrics", "", "also write a JSON metrics summary to this file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var err error
+	if cfg.Partitions, err = mobiletel.ParsePartitions(*partition); err != nil {
 		return err
 	}
 

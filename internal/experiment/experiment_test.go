@@ -26,6 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"R1-leader-crash-reelection",
 		"R2-corruption-recovery",
 		"R3-message-loss-slowdown",
+		"R4-partition-heal",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,25 +1,33 @@
 // Package fault is the simulator's deterministic fault-injection layer: a
 // seed-derived Plan of crashes, recoveries, message loss, advertisement
-// corruption, and adversarial state resets, compiled into an Injector the
-// engine consults at fixed points of each round.
+// corruption, network partitions, and adversarial state resets, compiled
+// into an Injector the engine consults at fixed points of each round.
 //
 // Design constraints, in priority order:
 //
-//  1. Determinism. Every fault draw comes from a dedicated per-round RNG
-//     stream derived from (Plan.Seed, round) — never from the node streams —
-//     so a faulted execution is a pure function of (seed, schedule, protocol,
-//     config, plan), at any worker count. The engine consumes draws only in
-//     its sequential sections, in a fixed documented order per round: churn
-//     (ascending node), tag flips (ascending active node), proposal drops
-//     (ascending proposer), connection drops (ascending receiver). Rates of
-//     zero consume no draws, so adding an unused knob never perturbs runs.
+//  1. Determinism, order-independently. Every per-node fault draw comes from
+//     its own per-(node, round) stream, derived exactly like the engine's
+//     node streams (rng.Reseed(seed, node, round)) but from Plan.Seed and a
+//     per-fault-kind salt folded into the node address. A draw's outcome
+//     therefore depends only on (plan seed, kind, node, round) — never on
+//     how many draws other nodes consumed first — so the engine may evaluate
+//     them in any order, from any worker, and a faulted execution stays a
+//     pure function of (seed, schedule, protocol, config, plan) at any
+//     worker count. Only the churn state machine (scripted crashes and
+//     recoveries, rate churn under the MaxDown cap) is inherently
+//     order-dependent; it runs once per round in BeginRound, on the
+//     engine's sequential prologue, drawing from a per-round stream in
+//     ascending node order. Rates of zero consume no draws and touch no
+//     stream, so adding an unused knob never perturbs runs.
 //  2. Composability. Faults stack on top of any schedule: a crashed node is
 //     treated exactly like a node outside its activation window (invisible,
 //     no callbacks), and recovers into whatever topology the schedule then
 //     prescribes.
 //  3. Zero cost when absent. A nil *Injector in sim.Config adds only
 //     nil-checks to the round loop; the fault-free steady state stays at
-//     0 allocs/round (TestSteadyStateZeroAllocs).
+//     0 allocs/round (TestSteadyStateZeroAllocs). Per-node draw methods
+//     construct their stream in a stack-local RNG, so they are heap-free
+//     and safe to call concurrently.
 //
 // The Injector is single-run state: build one per engine with NewInjector
 // and do not share or reuse it across runs.
@@ -32,9 +40,27 @@ import (
 	"mobiletel/internal/xrand"
 )
 
-// faultStream salts the per-round fault RNG stream so it can never collide
-// with the engine's per-(node, round) streams.
-const faultStream = 0xfa171
+// StreamVersion identifies the fault stream derivation scheme. Version 2
+// replaced version 1's single sequential per-round stream (draws consumed in
+// a fixed documented order) with the node-addressed streams described in the
+// package comment; any numeric result of a faulted run changed at that
+// boundary (see DESIGN §10).
+const StreamVersion = 2
+
+// Per-stream salts. The churn stream is addressed (Plan.Seed, churnStream,
+// round); per-node streams are addressed (Plan.Seed, kindSalt|node, round).
+// The salts occupy high bits far above any node id (node ids are int32), so
+// streams of different kinds — and the churn stream — can never collide, and
+// none of them collides with the engine's per-(node, round) streams, which
+// mix a different seed.
+const (
+	churnStream = 0xfa171 // BeginRound churn state machine (per-round)
+	tagStream   = 0xfa17_2000_0000_0000
+	propStream  = 0xfa17_3000_0000_0000
+	connStream  = 0xfa17_4000_0000_0000
+	resetStream = 0xfa17_5000_0000_0000
+	partStream  = 0xfa17_6000_0000_0000
+)
 
 // NodeRound schedules a scripted fault for one node at the start of one
 // round (rounds are 1-based, matching the engine).
@@ -51,10 +77,24 @@ type Burst struct {
 	Nodes []int
 }
 
+// Partition cuts the network into Parts seed-derived components for the
+// rounds [Start, Heal): every edge whose endpoints fall in different
+// components deterministically loses any connection accepted over it
+// (modeled as ConnLoss on cut edges — proposals still cross the cut, so a
+// receiver can waste its round accepting one, exactly like a connection
+// that fails after acceptance). Heal == 0 means the cut never heals.
+// Component assignment hashes (Plan.Seed, partition index, node), so the
+// same plan splits the same nodes regardless of topology.
+type Partition struct {
+	Start int
+	Heal  int
+	Parts int
+}
+
 // Plan describes the faults to inject into one execution. The zero value is
-// a fault-free plan. Scripted faults (Crashes, Recoveries, Corruptions) fire
-// at exact rounds; rates draw independently each round from the plan's own
-// seed-derived stream.
+// a fault-free plan. Scripted faults (Crashes, Recoveries, Corruptions,
+// Partitions) fire at exact rounds; rates draw independently each round
+// from the plan's own seed-derived streams.
 type Plan struct {
 	// Seed derives the fault RNG streams. Independent of sim.Config.Seed so
 	// the same fault pattern can be replayed against different executions
@@ -86,20 +126,25 @@ type Plan struct {
 
 	// Scripted faults, applied at the start of their round before any rate
 	// draws. A crash of an already-down node (or recovery of an up one) is a
-	// no-op.
+	// no-op. Validate rejects duplicate (round, node) crash entries and
+	// recoveries of nodes with no strictly earlier scripted crash.
 	Crashes    []NodeRound
 	Recoveries []NodeRound
 
 	// Corruptions are adversarial state-reset bursts. Only nodes active in
 	// the burst round are corrupted.
 	Corruptions []Burst
+
+	// Partitions are scheduled network splits with heal rounds.
+	Partitions []Partition
 }
 
 // Enabled reports whether the plan can inject any fault at all.
 func (p *Plan) Enabled() bool {
 	return p.CrashRate > 0 || p.RecoverRate > 0 ||
 		p.ProposalLoss > 0 || p.ConnLoss > 0 || p.TagFlipRate > 0 ||
-		len(p.Crashes) > 0 || len(p.Recoveries) > 0 || len(p.Corruptions) > 0
+		len(p.Crashes) > 0 || len(p.Recoveries) > 0 || len(p.Corruptions) > 0 ||
+		len(p.Partitions) > 0
 }
 
 // Validate checks the plan against a network of n nodes.
@@ -130,14 +175,26 @@ func (p *Plan) Validate(n int) error {
 		}
 		return nil
 	}
+	seenCrash := make(map[NodeRound]bool, len(p.Crashes))
+	firstCrash := make(map[int]int, len(p.Crashes)) // node -> earliest crash round
 	for _, c := range p.Crashes {
 		if err := check("scripted crash", c.Round, c.Node); err != nil {
 			return err
+		}
+		if seenCrash[c] {
+			return fmt.Errorf("fault: duplicate scripted crash of node %d at round %d", c.Node, c.Round)
+		}
+		seenCrash[c] = true
+		if first, ok := firstCrash[c.Node]; !ok || c.Round < first {
+			firstCrash[c.Node] = c.Round
 		}
 	}
 	for _, c := range p.Recoveries {
 		if err := check("scripted recovery", c.Round, c.Node); err != nil {
 			return err
+		}
+		if first, ok := firstCrash[c.Node]; !ok || first >= c.Round {
+			return fmt.Errorf("fault: scripted recovery of node %d at round %d without a scripted crash in an earlier round", c.Node, c.Round)
 		}
 	}
 	for _, b := range p.Corruptions {
@@ -150,25 +207,46 @@ func (p *Plan) Validate(n int) error {
 			}
 		}
 	}
+	for i, part := range p.Partitions {
+		if part.Start < 1 {
+			return fmt.Errorf("fault: partition %d starts at round %d, rounds are 1-based", i, part.Start)
+		}
+		if part.Heal != 0 && part.Heal <= part.Start {
+			return fmt.Errorf("fault: partition %d heals at round %d, want 0 (never) or > Start (%d)", i, part.Heal, part.Start)
+		}
+		if part.Parts < 2 || part.Parts > n {
+			return fmt.Errorf("fault: partition %d splits into %d parts, want [2, %d]", i, part.Parts, n)
+		}
+	}
 	return nil
 }
 
 // Injector is a Plan compiled for one n-node execution. The engine calls
-// BeginRound once per round in its sequential prologue, then consults the
-// query methods; all mutating methods are single-goroutine by contract.
+// BeginRound once per round in its sequential prologue; the churn accessors
+// (DownMask, NewlyDown, ...) and StateRNG are likewise sequential-only. The
+// per-node draw methods (FlipTag, DropProposal, DropConnection) touch no
+// injector state and may be called concurrently from any worker, in any
+// order.
 type Injector struct {
 	plan Plan
 	n    int
-	rng  xrand.RNG // per-round fault stream, reseeded in BeginRound
+
+	// rng is sequential scratch: the churn stream in BeginRound, then
+	// whatever per-(node, round) stream StateRNG last addressed.
+	rng xrand.RNG
 
 	down      []bool
 	downCount int
 
 	// Scripted faults indexed by round (single-key lookups only; iteration
-	// order never matters).
+	// order never matters — and CorruptTargets pins that the per-round node
+	// lists are sorted ascending regardless of plan declaration order).
 	crashAt   map[int][]int32
 	recoverAt map[int][]int32
 	corruptAt map[int][]int32
+
+	// partComp[i][u] is node u's seed-derived component under partition i.
+	partComp [][]int32
 
 	// Per-round scratch, valid until the next BeginRound.
 	newlyDown      []int32
@@ -197,6 +275,18 @@ func NewInjector(plan Plan, n int) (*Injector, error) {
 			nodes := append(in.corruptAt[b.Round], toInt32Sorted(b.Nodes)...)
 			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 			in.corruptAt[b.Round] = nodes
+		}
+	}
+	if len(plan.Partitions) > 0 {
+		in.partComp = make([][]int32, len(plan.Partitions))
+		var rng xrand.RNG
+		for i, part := range plan.Partitions {
+			comp := make([]int32, n)
+			for u := 0; u < n; u++ {
+				rng.Reseed(plan.Seed, partStream|uint64(uint32(i)), uint64(u))
+				comp[u] = int32(rng.Intn(part.Parts))
+			}
+			in.partComp[i] = comp
 		}
 	}
 	return in, nil
@@ -232,15 +322,26 @@ func (in *Injector) N() int { return in.n }
 // ResetOnRecover reports whether recovering nodes lose their state.
 func (in *Injector) ResetOnRecover() bool { return in.plan.ResetOnRecover }
 
-// RNG returns the current round's fault stream, for corruption draws.
-func (in *Injector) RNG() *xrand.RNG { return &in.rng }
+// TagFlipEnabled reports whether any tag-flip draw can fire, so the engine
+// can skip the flip pass entirely for plans that never flip.
+func (in *Injector) TagFlipEnabled() bool { return in.plan.TagFlipRate > 0 }
+
+// StateRNG returns the per-(node, round) stream for node u's adversarial
+// state reset (crash-with-amnesia recovery or corruption burst) at round r.
+// The returned pointer is the injector's sequential scratch generator:
+// engine sequential sections only, valid until the next StateRNG or
+// BeginRound call.
+func (in *Injector) StateRNG(u int32, r int) *xrand.RNG {
+	in.rng.Reseed(in.plan.Seed, resetStream|uint64(uint32(u)), uint64(r))
+	return &in.rng
+}
 
 // BeginRound advances the churn state machine into round r: it reseeds the
-// round's fault stream, applies scripted crashes and recoveries, then draws
+// round's churn stream, applies scripted crashes and recoveries, then draws
 // random churn in ascending node order. It must be called exactly once per
 // round, in ascending round order, before any other query for that round.
 func (in *Injector) BeginRound(r int) {
-	in.rng.Reseed(in.plan.Seed, faultStream, uint64(r))
+	in.rng.Reseed(in.plan.Seed, churnStream, uint64(r))
 	in.newlyDown = in.newlyDown[:0]
 	in.newlyRecovered = in.newlyRecovered[:0]
 	if in.down == nil {
@@ -316,31 +417,68 @@ func (in *Injector) CorruptTargets(r int) []int32 {
 	return in.corruptAt[r]
 }
 
-// FlipTag decides whether a node's advertisement is corrupted this round;
-// it returns the (possibly flipped) tag. The engine calls it once per
-// active node in ascending order after the advertise phase. A zero
-// TagFlipRate consumes no draws.
-func (in *Injector) FlipTag(tagBits int, tag uint64) (uint64, bool) {
+// FlipTag decides whether node u's advertisement is corrupted at round r; it
+// returns the (possibly flipped) tag. Node-addressed: safe from any worker,
+// in any order. A zero TagFlipRate touches no stream.
+//
+//mtmlint:hotpath
+func (in *Injector) FlipTag(u int32, r, tagBits int, tag uint64) (uint64, bool) {
 	if in.plan.TagFlipRate == 0 || tagBits == 0 {
 		return tag, false
 	}
-	if in.rng.Float64() >= in.plan.TagFlipRate {
+	var rng xrand.RNG
+	rng.Reseed(in.plan.Seed, tagStream|uint64(uint32(u)), uint64(r))
+	if rng.Float64() >= in.plan.TagFlipRate {
 		return tag, false
 	}
-	bit := in.rng.Intn(tagBits)
+	bit := rng.Intn(tagBits)
 	return tag ^ (1 << uint(bit)), true
 }
 
-// DropProposal decides whether one in-flight proposal is lost. The engine
-// calls it once per proposal in ascending proposer order. A zero
-// ProposalLoss consumes no draws.
-func (in *Injector) DropProposal() bool {
-	return in.plan.ProposalLoss > 0 && in.rng.Float64() < in.plan.ProposalLoss
+// DropProposal decides whether proposer u's in-flight proposal is lost at
+// round r. Node-addressed: safe from any worker, in any order. A zero
+// ProposalLoss touches no stream.
+//
+//mtmlint:hotpath
+func (in *Injector) DropProposal(u int32, r int) bool {
+	if in.plan.ProposalLoss == 0 {
+		return false
+	}
+	var rng xrand.RNG
+	rng.Reseed(in.plan.Seed, propStream|uint64(uint32(u)), uint64(r))
+	return rng.Float64() < in.plan.ProposalLoss
 }
 
-// DropConnection decides whether one accepted connection fails before the
-// exchange. The engine calls it once per acceptance in ascending receiver
-// order. A zero ConnLoss consumes no draws.
-func (in *Injector) DropConnection() bool {
-	return in.plan.ConnLoss > 0 && in.rng.Float64() < in.plan.ConnLoss
+// DropConnection decides whether the connection receiver v accepted from
+// sender c fails before the exchange at round r: deterministically when a
+// live partition cuts the (v, c) edge, otherwise by a per-(receiver, round)
+// ConnLoss draw. Node-addressed: safe from any worker, in any order. With
+// no partitions and a zero ConnLoss it touches no stream.
+//
+//mtmlint:hotpath
+func (in *Injector) DropConnection(v, c int32, r int) bool {
+	for i := range in.partComp {
+		p := &in.plan.Partitions[i]
+		if r >= p.Start && (p.Heal == 0 || r < p.Heal) && in.partComp[i][v] != in.partComp[i][c] {
+			return true
+		}
+	}
+	if in.plan.ConnLoss == 0 {
+		return false
+	}
+	var rng xrand.RNG
+	rng.Reseed(in.plan.Seed, connStream|uint64(uint32(v)), uint64(r))
+	return rng.Float64() < in.plan.ConnLoss
+}
+
+// CutEdge reports whether a live partition separates u and v at round r
+// (for observers and experiments; DropConnection already folds this in).
+func (in *Injector) CutEdge(u, v int32, r int) bool {
+	for i := range in.partComp {
+		p := &in.plan.Partitions[i]
+		if r >= p.Start && (p.Heal == 0 || r < p.Heal) && in.partComp[i][u] != in.partComp[i][v] {
+			return true
+		}
+	}
+	return false
 }

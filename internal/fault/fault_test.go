@@ -18,11 +18,30 @@ func TestValidate(t *testing.T) {
 		{"crash round zero", Plan{Crashes: []NodeRound{{Round: 0, Node: 0}}}, false},
 		{"crash node out of range", Plan{Crashes: []NodeRound{{Round: 1, Node: 8}}}, false},
 		{"recovery node negative", Plan{Recoveries: []NodeRound{{Round: 1, Node: -1}}}, false},
+		{"crash then recovery", Plan{Crashes: []NodeRound{{Round: 2, Node: 3}},
+			Recoveries: []NodeRound{{Round: 4, Node: 3}}}, true},
+		{"recovery without crash", Plan{Recoveries: []NodeRound{{Round: 4, Node: 3}}}, false},
+		{"recovery before crash", Plan{Crashes: []NodeRound{{Round: 5, Node: 3}},
+			Recoveries: []NodeRound{{Round: 4, Node: 3}}}, false},
+		{"recovery at crash round", Plan{Crashes: []NodeRound{{Round: 4, Node: 3}},
+			Recoveries: []NodeRound{{Round: 4, Node: 3}}}, false},
+		{"recovery of other crashed node", Plan{Crashes: []NodeRound{{Round: 2, Node: 1}},
+			Recoveries: []NodeRound{{Round: 4, Node: 3}}}, false},
+		{"duplicate crash entry", Plan{Crashes: []NodeRound{{Round: 2, Node: 3}, {Round: 2, Node: 3}}}, false},
+		{"same node crashes twice at different rounds", Plan{Crashes: []NodeRound{
+			{Round: 2, Node: 3}, {Round: 6, Node: 3}}, Recoveries: []NodeRound{{Round: 4, Node: 3}}}, true},
 		{"corruption ok", Plan{Corruptions: []Burst{{Round: 2, Nodes: []int{0, 7}}}}, true},
 		{"corruption empty", Plan{Corruptions: []Burst{{Round: 2}}}, false},
 		{"corruption node out of range", Plan{Corruptions: []Burst{{Round: 2, Nodes: []int{8}}}}, false},
 		{"maxdown negative", Plan{MaxDown: -1}, false},
+		{"maxdown at n", Plan{MaxDown: 8}, true},
 		{"maxdown above n", Plan{MaxDown: 9}, false},
+		{"partition ok", Plan{Partitions: []Partition{{Start: 3, Heal: 9, Parts: 2}}}, true},
+		{"partition never heals", Plan{Partitions: []Partition{{Start: 3, Heal: 0, Parts: 3}}}, true},
+		{"partition start zero", Plan{Partitions: []Partition{{Start: 0, Heal: 9, Parts: 2}}}, false},
+		{"partition heals before start", Plan{Partitions: []Partition{{Start: 5, Heal: 5, Parts: 2}}}, false},
+		{"partition one part", Plan{Partitions: []Partition{{Start: 3, Parts: 1}}}, false},
+		{"partition more parts than nodes", Plan{Partitions: []Partition{{Start: 3, Parts: 9}}}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -50,6 +69,7 @@ func TestEnabled(t *testing.T) {
 		{Crashes: []NodeRound{{Round: 1, Node: 0}}},
 		{Recoveries: []NodeRound{{Round: 1, Node: 0}}},
 		{Corruptions: []Burst{{Round: 1, Nodes: []int{0}}}},
+		{Partitions: []Partition{{Start: 1, Parts: 2}}},
 	} {
 		if !p.Enabled() {
 			t.Errorf("plan %+v reports disabled", p)
@@ -166,6 +186,12 @@ func TestMaxDownCap(t *testing.T) {
 	if in.DownCount() != 3 {
 		t.Errorf("DownCount = %d, want capped at 3", in.DownCount())
 	}
+	// MaxDown boundary: a cap of n lets churn take the whole network down.
+	inAll, _ := NewInjector(Plan{Seed: 7, CrashRate: 1, MaxDown: 16}, 16)
+	inAll.BeginRound(1)
+	if inAll.DownCount() != 16 {
+		t.Errorf("MaxDown = n: DownCount = %d, want 16", inAll.DownCount())
+	}
 	// Scripted crashes are exempt from the cap.
 	in2, _ := NewInjector(Plan{Seed: 7, CrashRate: 1, MaxDown: 1,
 		Crashes: []NodeRound{{Round: 1, Node: 4}, {Round: 1, Node: 5}}}, 16)
@@ -185,20 +211,16 @@ func TestDropAndFlipDeterminism(t *testing.T) {
 		var got []uint64
 		for r := 1; r <= 50; r++ {
 			in.BeginRound(r)
-			for u := 0; u < 8; u++ {
-				tag, flipped := in.FlipTag(3, uint64(u))
+			for u := int32(0); u < 8; u++ {
+				tag, flipped := in.FlipTag(u, r, 3, uint64(u))
 				if flipped {
 					got = append(got, uint64(r)<<32|tag)
 				}
-			}
-			for i := 0; i < 6; i++ {
-				if in.DropProposal() {
-					got = append(got, uint64(r)<<16|uint64(i))
+				if in.DropProposal(u, r) {
+					got = append(got, uint64(r)<<16|uint64(u))
 				}
-			}
-			for i := 0; i < 3; i++ {
-				if in.DropConnection() {
-					got = append(got, uint64(r)<<8|uint64(i))
+				if in.DropConnection(u, (u+1)%8, r) {
+					got = append(got, uint64(r)<<8|uint64(u))
 				}
 			}
 		}
@@ -218,12 +240,72 @@ func TestDropAndFlipDeterminism(t *testing.T) {
 	}
 }
 
+// TestDrawsAreOrderIndependent pins the property the parallel round core
+// rests on: a per-node draw's outcome depends only on (plan seed, kind,
+// node, round) — evaluating draws in reverse order, skipping nodes, or
+// interleaving kinds never changes any verdict.
+func TestDrawsAreOrderIndependent(t *testing.T) {
+	plan := Plan{Seed: 41, ProposalLoss: 0.4, ConnLoss: 0.3, TagFlipRate: 0.5}
+	const n, rounds = 32, 20
+	in, err := NewInjector(plan, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type verdicts struct {
+		drop, conn bool
+		tag        uint64
+		flipped    bool
+	}
+	forward := make([][]verdicts, rounds+1)
+	for r := 1; r <= rounds; r++ {
+		in.BeginRound(r)
+		forward[r] = make([]verdicts, n)
+		for u := int32(0); u < n; u++ {
+			v := &forward[r][int(u)]
+			v.drop = in.DropProposal(u, r)
+			v.conn = in.DropConnection(u, (u+3)%n, r)
+			v.tag, v.flipped = in.FlipTag(u, r, 4, uint64(u)%16)
+		}
+	}
+
+	// Second injector: descending node order, kinds interleaved differently,
+	// odd nodes queried twice and even rounds partially skipped.
+	in2, err := NewInjector(plan, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := rounds; r >= 1; r-- {
+		in2.BeginRound(r)
+		for u := int32(n - 1); u >= 0; u-- {
+			if r%2 == 0 && u%4 == 0 {
+				continue // skipped draws must not shift anyone else's
+			}
+			want := forward[r][int(u)]
+			if u%2 == 1 {
+				_ = in2.DropProposal(u, r) // replay: draws are idempotent
+			}
+			tag, flipped := in2.FlipTag(u, r, 4, uint64(u)%16)
+			if got := in2.DropProposal(u, r); got != want.drop {
+				t.Fatalf("round %d node %d: DropProposal %v out of order, want %v", r, u, got, want.drop)
+			}
+			if got := in2.DropConnection(u, (u+3)%n, r); got != want.conn {
+				t.Fatalf("round %d node %d: DropConnection %v out of order, want %v", r, u, got, want.conn)
+			}
+			if tag != want.tag || flipped != want.flipped {
+				t.Fatalf("round %d node %d: FlipTag (%d, %v) out of order, want (%d, %v)",
+					r, u, tag, flipped, want.tag, want.flipped)
+			}
+		}
+	}
+}
+
 func TestFlipTagStaysInRange(t *testing.T) {
-	in, _ := NewInjector(Plan{Seed: 3, TagFlipRate: 1}, 4)
+	in, _ := NewInjector(Plan{Seed: 3, TagFlipRate: 1}, 256)
 	in.BeginRound(1)
 	const bits = 4
-	for i := 0; i < 100; i++ {
-		tag, flipped := in.FlipTag(bits, 0b1010)
+	for u := int32(0); u < 100; u++ {
+		tag, flipped := in.FlipTag(u, 1, bits, 0b1010)
 		if !flipped {
 			t.Fatal("TagFlipRate 1 did not flip")
 		}
@@ -235,30 +317,48 @@ func TestFlipTagStaysInRange(t *testing.T) {
 		}
 	}
 	// Zero tag bits (no advertisements) can never flip.
-	if _, flipped := in.FlipTag(0, 0); flipped {
+	if _, flipped := in.FlipTag(0, 1, 0, 0); flipped {
 		t.Error("flip with 0 tag bits")
 	}
 }
 
 func TestZeroRatesConsumeNoDraws(t *testing.T) {
-	// With all rates zero, query methods must not touch the RNG, so a plan
-	// that only scripts faults leaves the stream untouched for corruption
-	// draws — and adding unused knobs can never perturb existing runs.
+	// Zero-rate plans draw nothing: the query methods return their no-fault
+	// verdicts without touching any stream, so adding unused knobs can never
+	// perturb existing runs — and the state-reset streams are untouched by
+	// any number of interleaved queries.
 	in, _ := NewInjector(Plan{Seed: 11, Crashes: []NodeRound{{Round: 1, Node: 0}}}, 4)
 	in.BeginRound(1)
-	before := in.RNG().Uint64()
-	in.BeginRound(1) // reseed to replay the round
-	if in.DropProposal() || in.DropConnection() {
+	before := in.StateRNG(0, 1).Uint64()
+	in.BeginRound(1) // replay the round
+	if in.DropProposal(1, 1) || in.DropConnection(1, 2, 1) {
 		t.Fatal("zero-rate drop fired")
 	}
-	if _, flipped := in.FlipTag(3, 1); flipped {
+	if _, flipped := in.FlipTag(1, 1, 3, 1); flipped {
 		t.Fatal("zero-rate flip fired")
 	}
-	if got := in.RNG().Uint64(); got != before {
-		t.Error("zero-rate queries consumed RNG draws")
+	if got := in.StateRNG(0, 1).Uint64(); got != before {
+		t.Error("zero-rate queries perturbed the state-reset stream")
 	}
 }
 
+func TestStateRNGIsNodeAddressed(t *testing.T) {
+	in, _ := NewInjector(Plan{Seed: 11, Corruptions: []Burst{{Round: 1, Nodes: []int{0, 1}}}}, 4)
+	in.BeginRound(1)
+	a01 := in.StateRNG(0, 1).Uint64()
+	a11 := in.StateRNG(1, 1).Uint64()
+	a02 := in.StateRNG(0, 2).Uint64()
+	if a01 == a11 || a01 == a02 {
+		t.Error("StateRNG streams for distinct (node, round) collide")
+	}
+	if got := in.StateRNG(0, 1).Uint64(); got != a01 {
+		t.Error("StateRNG is not a pure function of (node, round)")
+	}
+}
+
+// TestCorruptTargets pins that burst targets come back in ascending node
+// order regardless of plan declaration order — corruptAt is map-backed, and
+// map iteration order must never leak into results.
 func TestCorruptTargets(t *testing.T) {
 	in, err := NewInjector(Plan{Corruptions: []Burst{
 		{Round: 3, Nodes: []int{5, 1}},
@@ -277,6 +377,86 @@ func TestCorruptTargets(t *testing.T) {
 	}
 	if got := in.CorruptTargets(7); len(got) != 1 || got[0] != 0 {
 		t.Errorf("round 7 targets = %v", got)
+	}
+
+	// Reversed declaration order (and reversed node lists) must produce the
+	// identical ascending target lists.
+	rev, err := NewInjector(Plan{Corruptions: []Burst{
+		{Round: 7, Nodes: []int{0}},
+		{Round: 3, Nodes: []int{2}},
+		{Round: 3, Nodes: []int{1, 5}},
+	}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{2, 3, 7} {
+		a, b := in.CorruptTargets(r), rev.CorruptTargets(r)
+		if len(a) != len(b) {
+			t.Fatalf("round %d: %v vs %v", r, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: declaration order leaked: %v vs %v", r, a, b)
+			}
+		}
+	}
+}
+
+func TestPartitionCut(t *testing.T) {
+	plan := Plan{Seed: 17, Partitions: []Partition{{Start: 4, Heal: 10, Parts: 2}}}
+	const n = 64
+	in, err := NewInjector(plan, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find one cut pair and one same-side pair via CutEdge during the window.
+	cutU, cutV, sameU, sameV := int32(-1), int32(-1), int32(-1), int32(-1)
+	for v := int32(1); v < n; v++ {
+		if in.CutEdge(0, v, 5) {
+			cutU, cutV = 0, v
+		} else {
+			sameU, sameV = 0, v
+		}
+	}
+	if cutU < 0 || sameU < 0 {
+		t.Fatal("partition did not split node 0's pairs into both sides")
+	}
+	for r := 1; r <= 12; r++ {
+		in.BeginRound(r)
+		live := r >= 4 && r < 10
+		if got := in.CutEdge(cutU, cutV, r); got != live {
+			t.Errorf("round %d: CutEdge(%d, %d) = %v, want %v", r, cutU, cutV, got, live)
+		}
+		if in.CutEdge(sameU, sameV, r) {
+			t.Errorf("round %d: same-component pair reported cut", r)
+		}
+		// DropConnection folds the cut in deterministically (ConnLoss = 0,
+		// so any true verdict is the partition).
+		if got := in.DropConnection(cutU, cutV, r); got != live {
+			t.Errorf("round %d: DropConnection on cut edge = %v, want %v", r, got, live)
+		}
+		if in.DropConnection(sameU, sameV, r) {
+			t.Errorf("round %d: DropConnection fired on same-component edge with zero ConnLoss", r)
+		}
+	}
+	// Symmetry and determinism of the component assignment.
+	in2, _ := NewInjector(plan, n)
+	for v := int32(1); v < n; v++ {
+		if in.CutEdge(0, v, 5) != in.CutEdge(v, 0, 5) {
+			t.Fatalf("CutEdge(0, %d) is asymmetric", v)
+		}
+		if in.CutEdge(0, v, 5) != in2.CutEdge(0, v, 5) {
+			t.Fatalf("component assignment not deterministic for node %d", v)
+		}
+	}
+	// A never-healing partition stays cut arbitrarily far out.
+	never, _ := NewInjector(Plan{Seed: 17, Partitions: []Partition{{Start: 2, Parts: 2}}}, n)
+	cut := false
+	for v := int32(1); v < n; v++ {
+		cut = cut || never.CutEdge(0, v, 1_000_000)
+	}
+	if !cut {
+		t.Error("Heal = 0 partition healed")
 	}
 }
 

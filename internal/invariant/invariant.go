@@ -1,0 +1,171 @@
+// Package invariant is the engine's per-round safety checker: a cheap,
+// allocation-light audit of the state the round core leaves behind, run
+// behind sim.Config.Check. It exists for fault injection — the fault layer
+// removes proposals, cuts connections, and silences nodes in ways the
+// fault-free engine never does, and every removal must still balance the
+// books. The checks:
+//
+//   - Conservation: every proposal lands in exactly one bucket —
+//     Accepts + Rejects + BusyLost + FaultLost == Proposals — and the
+//     proposal and accept counters match independent recounts from the
+//     actions and partner arrays.
+//   - Matching symmetry / one-sided-partner sanity: partner is a symmetric
+//     matching over graph edges, each matched pair joins exactly one
+//     receiver with a sender that proposed to it, and every partnered
+//     receiver was actually proposed to by its partner.
+//   - Down-node silence: a down node is inactive, and every inactive node
+//     advertises nothing, proposes nothing, and connects to nobody.
+//   - Tag-domain bounds: every active node's advertised tag fits in
+//     TagBits.
+//
+// The package holds the engine's action encoding (sim aliases these
+// constants) so a View can be audited without importing sim.
+package invariant
+
+import (
+	"fmt"
+
+	"mobiletel/internal/graph"
+)
+
+// Action encoding of the engine's per-node decision array.
+const (
+	// ActionReceive marks a node that elected to receive proposals.
+	ActionReceive = int32(-1)
+	// ActionInactive marks a node outside its activation window (or down).
+	ActionInactive = int32(-2)
+	// NoPartner marks a node with no established connection this round.
+	NoPartner = int32(-1)
+)
+
+// Stats is the engine's accounting for one round.
+type Stats struct {
+	Proposals int
+	Accepts   int
+	Rejects   int
+	BusyLost  int
+	FaultLost int
+}
+
+// View is one round's end state as the engine left it. Slices are borrowed,
+// never mutated.
+type View struct {
+	Round int
+
+	// G is the round's communication graph.
+	G *graph.Graph
+
+	// Active is the per-node activity mask; nil means every node was active.
+	Active []bool
+
+	// Down is the fault layer's down mask; nil means nobody was down.
+	Down []bool
+
+	// Actions holds each node's decision: >= 0 is a proposal target,
+	// ActionReceive a receiver, ActionInactive an inactive node.
+	Actions []int32
+
+	// Partner holds each node's established connection peer, or NoPartner.
+	Partner []int32
+
+	// Tags holds the advertised tags (inactive nodes advertise 0).
+	Tags []uint64
+
+	// TagBits bounds the tag domain (0..64).
+	TagBits int
+
+	Stats Stats
+}
+
+// Check audits one round and returns the first violated invariant, or nil.
+// It allocates only on failure.
+func Check(v View) error {
+	n := len(v.Actions)
+	if len(v.Partner) != n || len(v.Tags) != n {
+		return fmt.Errorf("invariant: inconsistent view: %d actions, %d partners, %d tags",
+			n, len(v.Partner), len(v.Tags))
+	}
+	s := v.Stats
+	if s.Accepts+s.Rejects+s.BusyLost+s.FaultLost != s.Proposals {
+		return fmt.Errorf("invariant: conservation violated: accepts %d + rejects %d + busy_lost %d + fault_lost %d != proposals %d",
+			s.Accepts, s.Rejects, s.BusyLost, s.FaultLost, s.Proposals)
+	}
+
+	var tagLimit uint64
+	if v.TagBits < 64 {
+		tagLimit = uint64(1) << uint(v.TagBits)
+	}
+	proposals, matched := 0, 0
+	for u := 0; u < n; u++ {
+		act := v.Active == nil || v.Active[u]
+		if v.Down != nil && v.Down[u] && act {
+			return fmt.Errorf("invariant: down node %d is active", u)
+		}
+		a, p := v.Actions[u], v.Partner[u]
+		if !act {
+			// Down-node silence (and inactive-node silence in general).
+			switch {
+			case a != ActionInactive:
+				return fmt.Errorf("invariant: inactive node %d has action %d, want %d", u, a, ActionInactive)
+			case p != NoPartner:
+				return fmt.Errorf("invariant: inactive node %d has partner %d", u, p)
+			case v.Tags[u] != 0:
+				return fmt.Errorf("invariant: inactive node %d advertises tag %d", u, v.Tags[u])
+			}
+			continue
+		}
+		if tagLimit != 0 && v.Tags[u] >= tagLimit {
+			return fmt.Errorf("invariant: node %d advertises tag %d outside the %d-bit domain", u, v.Tags[u], v.TagBits)
+		}
+		switch {
+		case a >= 0:
+			proposals++
+			if int(a) >= n || a == int32(u) {
+				return fmt.Errorf("invariant: node %d proposed to invalid target %d", u, a)
+			}
+			if !v.G.HasEdge(u, int(a)) {
+				return fmt.Errorf("invariant: node %d proposed to non-neighbor %d", u, a)
+			}
+			if v.Active != nil && !v.Active[a] {
+				return fmt.Errorf("invariant: node %d proposed to inactive node %d", u, a)
+			}
+		case a != ActionReceive:
+			return fmt.Errorf("invariant: active node %d has unknown action %d", u, a)
+		}
+		if p == NoPartner {
+			continue
+		}
+		matched++
+		if int(p) >= n || p < 0 || p == int32(u) {
+			return fmt.Errorf("invariant: node %d has invalid partner %d", u, p)
+		}
+		if v.Partner[p] != int32(u) {
+			return fmt.Errorf("invariant: asymmetric matching: partner[%d] = %d but partner[%d] = %d",
+				u, p, p, v.Partner[p])
+		}
+		if !v.G.HasEdge(u, int(p)) {
+			return fmt.Errorf("invariant: nodes %d and %d connected without an edge", u, p)
+		}
+		// One-sided-partner sanity: exactly one endpoint is the receiver,
+		// and the sender's proposal targeted that receiver.
+		uRecv, pRecv := a == ActionReceive, v.Actions[p] == ActionReceive
+		switch {
+		case uRecv == pRecv:
+			return fmt.Errorf("invariant: connection %d-%d joins two %s", u, p,
+				map[bool]string{true: "receivers", false: "senders"}[uRecv])
+		case uRecv && v.Actions[p] != int32(u):
+			return fmt.Errorf("invariant: receiver %d partnered sender %d whose proposal targeted %d",
+				u, p, v.Actions[p])
+		case pRecv && a != p:
+			return fmt.Errorf("invariant: sender %d partnered receiver %d but proposed to %d", u, p, a)
+		}
+	}
+	if proposals != s.Proposals {
+		return fmt.Errorf("invariant: engine counted %d proposals, actions array holds %d", s.Proposals, proposals)
+	}
+	if matched != 2*s.Accepts {
+		return fmt.Errorf("invariant: engine counted %d accepts, partner array holds %d matched endpoints (want %d)",
+			s.Accepts, matched, 2*s.Accepts)
+	}
+	return nil
+}

@@ -37,9 +37,11 @@ import (
 //     non-escaping (graph.HasEdge's binary search).
 //
 // A //mtmlint:hotpath-end <reason> comment inside a function ends the
-// certified region at that line: parallelFor's goroutine dispatch sits
-// after one, because the pinned zero-alloc configuration (Workers=1) takes
-// the inline path. Dynamic calls — interface methods, func-typed fields
+// certified region at that line: nothing past it is flagged, and calls past
+// it do not pull their callees into the certification walk. parallelFor's
+// goroutine dispatch sits after one, because the pinned zero-alloc
+// configuration (Workers=1) takes the inline path; stepCore's opt-in
+// invariant audit (Config.Check) sits after another. Dynamic calls — interface methods, func-typed fields
 // and parameters — are boundaries this analyzer cannot see across; the
 // protocol callbacks behind them are certified separately (their
 // implementations carry their own hotpath roots or runtime pins).
@@ -246,6 +248,11 @@ func (f *hotFuncWalk) walk(root ast.Node) {
 // check inspects one node; returning false prunes the subtree (the stack
 // entry is popped by the caller).
 func (f *hotFuncWalk) check(n ast.Node) bool {
+	if f.cutoff.IsValid() && n.Pos() > f.cutoff {
+		// Past the //mtmlint:hotpath-end region boundary: nothing here is
+		// certified, so don't flag it and don't walk its callees.
+		return false
+	}
 	switch x := n.(type) {
 	case *ast.GoStmt:
 		f.flag(x, "go statement in the hot path: spawning a goroutine allocates its stack and defer records")

@@ -275,3 +275,61 @@ func (e *bufEngine) run() {
 	parallelFor(len(e.vals), e.phOK)
 	parallelFor(len(e.vals), e.phBad)
 }
+
+// maskEngine mirrors the faulted parallel round: BeginRound publishes the
+// fault down-mask to a receiver field sequentially, before the dispatch,
+// and the mask is frozen until the barrier. Workers read it through a
+// captured local alias at the induction index and at arbitrary derived
+// indices while writing only their own chunk.
+type maskEngine struct {
+	down    []bool
+	targets []int
+	out     []int
+	phOK    func(w, lo, hi int)
+	phBad   func(w, lo, hi int)
+}
+
+func newMaskEngine(n int) *maskEngine {
+	e := &maskEngine{down: make([]bool, n), targets: make([]int, n), out: make([]int, n)}
+	e.phOK = e.phaseMaskScan
+	e.phBad = e.phaseMaskFlip
+	return e
+}
+
+// phaseMaskScan reads the frozen mask at both the induction index and an
+// arbitrary target index. Both reads are safe on any index for the same
+// reason ReadOnlyTable's are: no worker in the region writes the mask, so
+// the sequential publish before the dispatch is its only writer and the
+// barrier sequences every read after it.
+func (e *maskEngine) phaseMaskScan(w, lo, hi int) {
+	down := e.down
+	for u := lo; u < hi; u++ {
+		v := 1
+		if down != nil && down[u] {
+			v = 0
+		}
+		if down[e.targets[u]] {
+			v = 0
+		}
+		e.out[u] = v
+	}
+}
+
+// phaseMaskFlip mutates the mask from inside the region at a non-induction
+// index: the moment any worker writes it, the frozen-mask argument is gone
+// and arbitrary-index reads race with that writer.
+func (e *maskEngine) phaseMaskFlip(w, lo, hi int) {
+	down := e.down
+	for u := lo; u < hi; u++ {
+		down[e.targets[u]] = true // want `cannot prove`
+	}
+}
+
+func (e *maskEngine) run() {
+	// The sequential publish: the only write to the mask outside a region.
+	for i := range e.down {
+		e.down[i] = false
+	}
+	parallelFor(len(e.out), e.phOK)
+	parallelFor(len(e.out), e.phBad)
+}

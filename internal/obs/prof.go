@@ -19,6 +19,9 @@ const (
 	PhaseActiveScan Phase = iota
 	// PhaseAdvertise runs step 2 (tag advertisement).
 	PhaseAdvertise
+	// PhaseTagFlip is the fault layer's advertisement-corruption pass,
+	// between advertise and decide (faulted runs with a tag-flip rate only).
+	PhaseTagFlip
 	// PhaseDecide runs step 3 (propose-or-receive decisions).
 	PhaseDecide
 	// PhaseCount is counting-sort pass one (per-worker proposal histograms).
@@ -50,6 +53,7 @@ const (
 var phaseNames = [numPhases]string{
 	PhaseActiveScan: "active_scan",
 	PhaseAdvertise:  "advertise",
+	PhaseTagFlip:    "tag_flip",
 	PhaseDecide:     "decide",
 	PhaseCount:      "count",
 	PhaseMerge:      "merge",

@@ -1,0 +1,115 @@
+// Chaos soak: every fault class at once, audited every round.
+package sim_test
+
+import (
+	"testing"
+
+	"mobiletel/internal/core"
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/fault"
+	"mobiletel/internal/graph/gen"
+	"mobiletel/internal/sim"
+)
+
+// TestChaosSoak runs the full fault repertoire simultaneously — rate-driven
+// churn, corruption bursts, message loss, tag flips, and two partition
+// windows — with Config.Check auditing every round's bookkeeping (the engine
+// panics on the first violated invariant). After the final partition heals
+// the network must still re-converge to the correct leader: faults delay the
+// election, they never wedge it or unbalance the books.
+func TestChaosSoak(t *testing.T) {
+	const finalHeal = 80
+	cases := []struct {
+		name    string
+		family  gen.Family
+		tagBits func(n int) int
+		build   func(n int) []sim.Protocol
+		uids    func(n int) []uint64
+		// exactMin: corruption and loss cannot destroy the minimum for
+		// blind gossip, so it must win. Knockout protocols advertise
+		// elimination bits, and an adversarially flipped tag can knock out
+		// the true minimum — agreement on some legitimate UID is the
+		// guarantee that survives tag corruption.
+		exactMin bool
+	}{
+		{
+			name:    "expander/asyncbitconv",
+			family:  gen.Expander(2048, 8, 19),
+			tagBits: func(n int) int { return core.TagBitsNeeded(core.DefaultBitConvParams(n, 8)) },
+			build: func(n int) []sim.Protocol {
+				p, _ := core.NewAsyncBitConvNetwork(core.UniqueUIDs(n, 61), core.DefaultBitConvParams(n, 8), 5)
+				return p
+			},
+			uids: func(n int) []uint64 { return core.UniqueUIDs(n, 61) },
+		},
+		{
+			name:    "torus/blindgossip",
+			family:  gen.Torus(64, 32),
+			tagBits: func(int) int { return 0 },
+			build: func(n int) []sim.Protocol {
+				return core.NewBlindGossipNetwork(core.UniqueUIDs(n, 62))
+			},
+			uids:     func(n int) []uint64 { return core.UniqueUIDs(n, 62) },
+			exactMin: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.family.N()
+			plan := fault.Plan{
+				Seed: 23, CrashRate: 0.01, RecoverRate: 0.3, MaxDown: n / 4,
+				ProposalLoss: 0.05, ConnLoss: 0.03, TagFlipRate: 0.01,
+				Corruptions: []fault.Burst{
+					{Round: 15, Nodes: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+					{Round: 45, Nodes: []int{100, 200, 300, 400}},
+				},
+				Partitions: []fault.Partition{
+					{Start: 10, Heal: 40, Parts: 3},
+					{Start: 60, Heal: finalHeal, Parts: 2},
+				},
+			}
+			in, err := fault.NewInjector(plan, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := sim.New(
+				dyngraph.NewStatic(tc.family),
+				tc.build(n),
+				sim.Config{
+					Seed: 23, TagBits: tc.tagBits(n), Workers: 4, MaxRounds: 200_000,
+					Faults: in, Check: true,
+				},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Gate the stop past the final heal: agreement reached inside a
+			// partition window doesn't count as surviving it.
+			stop := func(round int, protocols []sim.Protocol) bool {
+				return round > finalHeal && sim.AllLeadersEqual(round, protocols)
+			}
+			res, err := eng.Run(stop)
+			if err != nil {
+				t.Fatalf("no re-convergence after the final heal: %v", err)
+			}
+			if res.StabilizedRound <= finalHeal {
+				t.Fatalf("stabilized at round %d, before the final heal at %d", res.StabilizedRound, finalHeal)
+			}
+			uids := tc.uids(n)
+			legit := make(map[uint64]bool, n)
+			for _, u := range uids {
+				legit[u] = true
+			}
+			min := core.MinUID(uids)
+			for i, p := range eng.Protocols() {
+				l := p.Leader()
+				if tc.exactMin && l != min {
+					t.Fatalf("node %d elected leader %d after the chaos, want min UID %d", i, l, min)
+				}
+				if !legit[l] {
+					t.Fatalf("node %d elected leader %d, which is nobody's UID", i, l)
+				}
+			}
+		})
+	}
+}

@@ -53,8 +53,11 @@ func TestSteadyStateZeroAllocsFaultFree(t *testing.T) {
 }
 
 // TestFaultDeterminismAcrossWorkers: with a fixed (seed, plan), the faulted
-// execution is bit-identical at any worker count — all fault draws happen in
-// the engine's sequential sections from the plan's own stream.
+// execution is bit-identical at any worker count — per-node fault draws are
+// node-addressed (pure functions of plan seed, kind, node, and round), so
+// they run inside the parallel phase bodies without any draw-order coupling.
+// The full repertoire sweep with traces lives in
+// TestParallelRoundConformanceAcrossWorkers; this is the long-run version.
 func TestFaultDeterminismAcrossWorkers(t *testing.T) {
 	const n = 300 // above the parallelFor inline threshold
 	plan := fault.Plan{

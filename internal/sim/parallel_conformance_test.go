@@ -7,6 +7,7 @@ import (
 
 	"mobiletel/internal/core"
 	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/fault"
 	"mobiletel/internal/graph/gen"
 	"mobiletel/internal/obs"
 	"mobiletel/internal/rumor"
@@ -86,43 +87,73 @@ func conformanceCases(n, maxDegree int) []conformanceCase {
 // attached — a byte-identical event trace: per-worker buffers flushed in
 // chunk order must reproduce the sequential ascending-node emission order
 // exactly (the contract mtmtrace diff relies on).
+//
+// The faulted column repeats the sweep with a full-repertoire fault plan
+// (rate churn, a partition with a scheduled heal, corruption bursts, message
+// loss, tag flips) and the invariant audit on: node-addressed fault draws
+// are pure functions of (plan seed, kind, node, round), so the faulted
+// execution — trace bytes included — must be just as worker-independent as
+// the fault-free one.
 func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 	f := gen.SqrtLineOfStars(20) // n = 420, Δ = 22: hubs stress degree-balanced chunking
 	workerCounts := []int{1, 2, 7, 16}
-	for _, tc := range conformanceCases(f.N(), 22) {
-		t.Run(tc.name, func(t *testing.T) {
-			var wantRes sim.Result
-			var wantDigest uint64
-			var wantTrace []byte
-			for i, workers := range workerCounts {
-				protocols := tc.build(f.N())
-				var buf bytes.Buffer
-				eng, err := sim.New(dyngraph.NewPermuted(f, 2, 17), protocols, sim.Config{
-					Seed: 29, TagBits: tc.tagBits, Workers: workers, MaxRounds: 2_000_000,
-					Sink: obs.NewJSONL(&buf),
-				})
-				if err != nil {
-					t.Fatal(err)
+	plan := fault.Plan{
+		Seed: 31, CrashRate: 0.002, RecoverRate: 0.3, MaxDown: f.N() / 8,
+		ProposalLoss: 0.05, ConnLoss: 0.03, TagFlipRate: 0.02,
+		Corruptions: []fault.Burst{{Round: 12, Nodes: []int{3, 9, 200}}},
+		Partitions:  []fault.Partition{{Start: 5, Heal: 25, Parts: 2}},
+	}
+	for _, faulted := range []bool{false, true} {
+		col := "fault-free"
+		if faulted {
+			col = "faulted"
+		}
+		for _, tc := range conformanceCases(f.N(), 22) {
+			t.Run(col+"/"+tc.name, func(t *testing.T) {
+				var wantRes sim.Result
+				var wantDigest uint64
+				var wantTrace []byte
+				for i, workers := range workerCounts {
+					protocols := tc.build(f.N())
+					var buf bytes.Buffer
+					cfg := sim.Config{
+						Seed: 29, TagBits: tc.tagBits, Workers: workers, MaxRounds: 2_000_000,
+						Sink: obs.NewJSONL(&buf),
+					}
+					if faulted {
+						// A fresh injector per engine run: injectors carry
+						// mutable down-state across rounds.
+						in, err := fault.NewInjector(plan, f.N())
+						if err != nil {
+							t.Fatal(err)
+						}
+						cfg.Faults = in
+						cfg.Check = true
+					}
+					eng, err := sim.New(dyngraph.NewPermuted(f, 2, 17), protocols, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := eng.Run(tc.stop)
+					if err != nil {
+						t.Fatalf("Workers=%d: %v", workers, err)
+					}
+					digest := tc.digest(protocols)
+					if i == 0 {
+						wantRes, wantDigest, wantTrace = res, digest, buf.Bytes()
+						continue
+					}
+					if res != wantRes || digest != wantDigest {
+						t.Fatalf("Workers=%d diverged from Workers=%d: (%+v, %#x) vs (%+v, %#x)",
+							workers, workerCounts[0], res, digest, wantRes, wantDigest)
+					}
+					if !bytes.Equal(buf.Bytes(), wantTrace) {
+						t.Fatalf("Workers=%d trace diverged from Workers=%d: %d vs %d bytes (first difference at byte %d)",
+							workers, workerCounts[0], buf.Len(), len(wantTrace), firstDiff(buf.Bytes(), wantTrace))
+					}
 				}
-				res, err := eng.Run(tc.stop)
-				if err != nil {
-					t.Fatalf("Workers=%d: %v", workers, err)
-				}
-				digest := tc.digest(protocols)
-				if i == 0 {
-					wantRes, wantDigest, wantTrace = res, digest, buf.Bytes()
-					continue
-				}
-				if res != wantRes || digest != wantDigest {
-					t.Fatalf("Workers=%d diverged from Workers=%d: (%+v, %#x) vs (%+v, %#x)",
-						workers, workerCounts[0], res, digest, wantRes, wantDigest)
-				}
-				if !bytes.Equal(buf.Bytes(), wantTrace) {
-					t.Fatalf("Workers=%d trace diverged from Workers=%d: %d vs %d bytes (first difference at byte %d)",
-						workers, workerCounts[0], buf.Len(), len(wantTrace), firstDiff(buf.Bytes(), wantTrace))
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -172,26 +203,50 @@ func TestActiveSetMatchingZeroAllocs(t *testing.T) {
 // complete — no quadratic intermediate allocation anywhere in the generator,
 // scheduler, or round core — and the round's stats must be bit-identical
 // across worker counts spanning the inline and parallel dispatch paths.
+// The faulted expander subtest repeats the sweep with rate-driven loss and a
+// live partition: fault draws at a million nodes stay worker-independent.
 func TestParallelMillionNodeRound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1M-node round skipped in -short mode")
 	}
-	families := []gen.Family{
-		gen.Torus(1024, 1024),
-		gen.Expander(1<<20, 8, 77),
+	expander := gen.Expander(1<<20, 8, 77)
+	cases := []struct {
+		f       gen.Family
+		faulted bool
+	}{
+		{gen.Torus(1024, 1024), false},
+		{expander, false},
+		{expander, true},
 	}
-	for _, f := range families {
-		t.Run(f.Name, func(t *testing.T) {
+	plan := fault.Plan{
+		Seed: 13, ProposalLoss: 0.01, ConnLoss: 0.01,
+		Partitions: []fault.Partition{{Start: 1, Parts: 2}},
+	}
+	for _, c := range cases {
+		f, faulted := c.f, c.faulted
+		name := f.Name
+		if faulted {
+			name += "/faulted"
+		}
+		t.Run(name, func(t *testing.T) {
 			var want sim.RoundStats
 			for i, workers := range []int{1, 2, 8} {
 				var got sim.RoundStats
+				cfg := sim.Config{
+					Seed: 11, Workers: workers, MaxRounds: 1,
+					Observer: func(s sim.RoundStats) { got = s },
+				}
+				if faulted {
+					in, err := fault.NewInjector(plan, f.N())
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Faults = in
+				}
 				eng, err := sim.New(
 					dyngraph.NewStatic(f),
 					core.NewBlindGossipNetwork(core.UniqueUIDs(f.N(), 7)),
-					sim.Config{
-						Seed: 11, Workers: workers, MaxRounds: 1,
-						Observer: func(s sim.RoundStats) { got = s },
-					},
+					cfg,
 				)
 				if err != nil {
 					t.Fatal(err)
@@ -201,6 +256,9 @@ func TestParallelMillionNodeRound(t *testing.T) {
 				}
 				if got.ActiveNodes != f.N() || got.Proposals == 0 || got.Connections == 0 {
 					t.Fatalf("Workers=%d: implausible round stats %+v", workers, got)
+				}
+				if faulted && got.FaultLost == 0 {
+					t.Fatalf("Workers=%d: no fault-lost proposals under loss rates and a live partition", workers)
 				}
 				if i == 0 {
 					want = got

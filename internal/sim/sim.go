@@ -32,6 +32,7 @@ import (
 	"mobiletel/internal/dyngraph"
 	"mobiletel/internal/fault"
 	"mobiletel/internal/graph"
+	"mobiletel/internal/invariant"
 	"mobiletel/internal/obs"
 	"mobiletel/internal/xrand"
 )
@@ -235,33 +236,47 @@ type Config struct {
 	// Faults, when non-nil, injects the compiled fault plan into the
 	// execution: crash/recover churn (a down node is treated exactly like a
 	// node outside its activation window), advertisement tag flips, proposal
-	// and connection loss, and adversarial state resets of Corruptible
-	// protocols (see internal/fault). All fault randomness comes from the
-	// plan's own per-round stream, consumed only in the engine's sequential
-	// sections, so faulted executions stay deterministic at any worker count
-	// and the node RNG streams are exactly those of the fault-free run. The
-	// injector is single-run state: build a fresh one per engine. With
-	// Faults nil every hook reduces to one predictable branch and the
-	// steady state stays at exactly 0 allocs/round.
+	// and connection loss, partitions, and adversarial state resets of
+	// Corruptible protocols (see internal/fault). Per-node fault draws are
+	// node-addressed — each comes from its own (plan seed, kind, node,
+	// round) stream, exactly like the engine's node RNG streams — so they
+	// are order-independent and run inside the parallel phase bodies; only
+	// the churn state machine and state resets run in the sequential
+	// prologue. Faulted executions are therefore bit-identical at any
+	// worker count, and the node RNG streams are exactly those of the
+	// fault-free run. The injector is single-run state: build a fresh one
+	// per engine. With Faults nil every hook reduces to one predictable
+	// branch and the steady state stays at exactly 0 allocs/round.
 	Faults *fault.Injector
+
+	// Check, when true, verifies the engine's per-round invariants at the
+	// end of every round (conservation of proposals across accepts,
+	// contention rejects, busy losses, and fault losses; matching symmetry
+	// and one-sided-partner sanity; down-node silence; tag-domain bounds —
+	// see internal/invariant) and panics on the first violation. It is a
+	// debugging and soak-testing aid: O(n + connections) extra work per
+	// round, outside the zero-allocation contract. Classical-mode rounds
+	// are not checked (the classical baseline has no accept step or
+	// partner matching).
+	Check bool
 
 	// Sink, when non-nil, receives the run's structured event trace:
 	// round boundaries, proposals sent/accepted/rejected, connections,
-	// message deliveries, and protocol state transitions (see internal/obs
-	// for the event schema). Tracing does not force the engine sequential:
-	// with Workers > 1 the parallel phase bodies emit into private
-	// per-worker buffers (obs.WorkerBuf) that the engine drains into the
-	// sink in ascending worker order at each sequential barrier. Worker
-	// chunks ascend in node id and each worker iterates its chunk
-	// ascending, so the chunk-order concatenation reproduces exactly the
-	// sequential ascending-node event order — the trace stays a
-	// deterministic function of (seed, schedule, protocol, config) at any
-	// worker count, the property mtmtrace diff relies on. Faulted traced
-	// runs are the one forced-sequential exception: fault draws interleave
-	// with the event stream in a defined order that buffering cannot
-	// reproduce. With Sink nil every emission site reduces to one
-	// predictable branch and the engine's steady state stays at exactly
-	// 0 allocs/round.
+	// message deliveries, fault events, and protocol state transitions
+	// (see internal/obs for the event schema). Tracing does not force the
+	// engine sequential: with Workers > 1 the parallel phase bodies emit
+	// into private per-worker buffers (obs.WorkerBuf) that the engine
+	// drains into the sink in ascending worker order at each sequential
+	// barrier. Worker chunks ascend in node id and each worker iterates
+	// its chunk ascending, so the chunk-order concatenation reproduces
+	// exactly the sequential ascending-node event order — the trace stays
+	// a deterministic function of (seed, schedule, protocol, config) at
+	// any worker count, the property mtmtrace diff relies on. Fault events
+	// ride the same buffers: node-addressed draws fire at fixed per-node
+	// points of the phase bodies, so faulted traces are byte-identical
+	// across worker counts too. With Sink nil every emission site reduces
+	// to one predictable branch and the engine's steady state stays at
+	// exactly 0 allocs/round.
 	Sink obs.Sink
 
 	// Profiler, when non-nil, accumulates per-phase wall time and
@@ -299,12 +314,16 @@ type RoundStats struct {
 	// Accepts counts proposals a receiver accepted (in the mobile telephone
 	// model this equals Connections; in classical mode every proposal is
 	// accepted). Rejects counts proposals that reached a receiver but were
-	// not the one chosen. Proposals - Accepts - Rejects is the number of
-	// proposals lost because their target was itself sending — reporting
-	// the three separately disambiguates multi-proposal contention, which
-	// "proposals minus connections" alone cannot.
-	Accepts int
-	Rejects int
+	// not the one chosen. BusyLost counts proposals lost because their
+	// target was itself sending; FaultLost counts proposals removed by
+	// fault injection (dropped in transit, or accepted over a connection
+	// that then failed). Every proposal lands in exactly one bucket:
+	// Accepts + Rejects + BusyLost + FaultLost == Proposals, the
+	// conservation identity internal/invariant checks.
+	Accepts   int
+	Rejects   int
+	BusyLost  int
+	FaultLost int
 }
 
 // Result summarizes an execution.
@@ -372,17 +391,31 @@ type Engine struct {
 	// parCore selects the parallel round core: the active scan, proposal
 	// bucketing (two-pass counting sort: per-worker histograms + sequential
 	// prefix merge + parallel scatter), accept, and partner phases all run
-	// chunked across workers. It is legal only when fault draws — which are
-	// order-dependent — cannot occur, so New enables it exactly when
-	// Workers > 1 and Faults is nil. Tracing is compatible: phase bodies
-	// emit into per-worker buffers (wbufs) drained in chunk order at each
-	// barrier, which reproduces the sequential event order exactly. Results
-	// are bit-identical to the sequential core for any worker count: inboxes
-	// stay sender-ordered (worker chunks ascend in sender id) and each
-	// receiver's accept choice draws only from its own rngs[v] stream.
+	// chunked across workers. New enables it exactly when Workers > 1 —
+	// fault injection is compatible, because every per-node fault draw is
+	// node-addressed (its own (plan seed, kind, node, round) stream, see
+	// internal/fault), so phase bodies evaluate them at fixed per-node
+	// points with no cross-worker ordering. Tracing is compatible too:
+	// phase bodies emit into per-worker buffers (wbufs) drained in chunk
+	// order at each barrier, which reproduces the sequential event order
+	// exactly. Results are bit-identical to the sequential core for any
+	// worker count: inboxes stay sender-ordered (worker chunks ascend in
+	// sender id) and each receiver's accept choice draws only from its own
+	// rngs[v] stream.
 	parCore bool
 	hist    []int32 // per-worker proposal histograms/cursors, workers rows of n
 	chosen  []int32 // per-receiver accepted sender (or noPartner), parCore only
+
+	// propLost[u] records whether a fault dropped sender u's proposal in
+	// transit this round: written at u by the counting pass, read at u by
+	// the scatter pass (chunk-local in both), replacing the historical
+	// in-place actions[u] rewrite that the parallel core could not perform
+	// race-free. Allocated only when Faults is non-nil.
+	propLost []bool
+
+	// curDown is this round's fault down-mask (nil when nobody is down),
+	// published before the active scan so the parallel scan can read it.
+	curDown []bool
 
 	// chunks holds degree-weighted parallelFor boundaries for the current
 	// round graph (weight deg(u)+1), recomputed only when the schedule hands
@@ -406,6 +439,7 @@ type Engine struct {
 	phExchange   func(w, lo, hi int)
 	phEndRound   func(w, lo, hi int)
 	phActiveScan func(w, lo, hi int)
+	phTagFlip    func(w, lo, hi int)
 	phCount      func(w, lo, hi int)
 	phScatter    func(w, lo, hi int)
 	phAccept     func(w, lo, hi int)
@@ -444,10 +478,9 @@ type Engine struct {
 }
 
 const (
-	actionReceive  = int32(-1)
-	actionInactive = int32(-2)
-	actionSendLost = int32(-3) // sender whose proposal a fault dropped in transit
-	noPartner      = int32(-1)
+	actionReceive  = invariant.ActionReceive
+	actionInactive = invariant.ActionInactive
+	noPartner      = invariant.NoPartner
 )
 
 // workerCounters is one worker's round accounting, padded to a full cache
@@ -456,8 +489,10 @@ type workerCounters struct {
 	proposals   int64
 	connections int64
 	rejects     int64
+	busyLost    int64
+	faultLost   int64
 	active      int64
-	_           [4]int64
+	_           [2]int64
 }
 
 // Corruptible is implemented by protocols that support fault-injected state
@@ -516,16 +551,6 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Sink != nil && cfg.Faults != nil {
-		// Faulted traced runs stay sequential: fault draws happen in the
-		// engine's sequential sections and interleave with the event stream
-		// in a defined ascending order that per-worker buffering cannot
-		// reproduce. Fault-free traced runs keep their workers — phase
-		// bodies emit into private per-worker buffers drained in chunk
-		// order at each barrier (see the wbufs field), which reproduces the
-		// sequential ascending-node event order exactly.
-		workers = 1
-	}
 	if cfg.Faults != nil && cfg.Faults.N() != n {
 		return nil, fmt.Errorf("sim: fault injector compiled for %d nodes, network has %d", cfg.Faults.N(), n)
 	}
@@ -558,16 +583,19 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	if cfg.TagBits < 64 {
 		e.tagLimit = uint64(1) << uint(cfg.TagBits)
 	}
-	// Fault draws are order-dependent, so the parallel round core is
-	// reserved for fault-free configurations (a faulted traced run was
-	// already forced sequential above). Tracing parallelizes: emissions go
-	// through per-worker buffers merged in chunk order at each barrier.
-	e.parCore = workers > 1 && cfg.Faults == nil
+	// The parallel round core is unconditional at Workers > 1: per-node
+	// fault draws are node-addressed (order-independent, see internal/fault)
+	// and tracing goes through per-worker buffers merged in chunk order at
+	// each barrier, so neither forces the engine sequential.
+	e.parCore = workers > 1
 	e.chunks = make([]int, workers+1)
 	if e.parCore {
 		e.hist = make([]int32, workers*n)
 		e.chosen = make([]int32, n)
 		e.counters = make([]workerCounters, workers)
+	}
+	if cfg.Faults != nil {
+		e.propLost = make([]bool, n)
 	}
 	if workers > 1 && cfg.Sink != nil {
 		e.wbufs = make([]obs.WorkerBuf, workers)
@@ -583,6 +611,7 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	e.phExchange = e.phaseExchange
 	e.phEndRound = e.phaseEndRound
 	e.phActiveScan = e.phaseActiveScan
+	e.phTagFlip = e.phaseTagFlip
 	e.phCount = e.phaseCount
 	e.phScatter = e.phaseScatter
 	e.phAccept = e.phaseAccept
@@ -687,10 +716,11 @@ func (e *Engine) stepCore(r int) RoundStats {
 		e.cfg.Faults.BeginRound(r)
 		downMask = e.cfg.Faults.DownMask()
 	}
+	e.curDown = downMask
 	activeCount := 0
 	if e.parCore {
-		// downMask is nil by construction (parCore requires Faults == nil),
-		// so the chunked scan needs no fault handling.
+		// The chunked scan reads the published down-mask (e.curDown) per
+		// index; the mask is frozen for the round before the dispatch.
 		e.parallelFor(obs.PhaseActiveScan, e.phActiveScan)
 		for w := 0; w < e.spanWorkers(); w++ {
 			activeCount += int(e.counters[w].active)
@@ -733,10 +763,12 @@ func (e *Engine) stepCore(r int) RoundStats {
 	// traced parallel runs flush the worker event buffers at each barrier.
 	e.parallelFor(obs.PhaseAdvertise, e.phAdvertise)
 	e.flushWorkerBufs()
-	if e.cfg.Faults != nil && e.cfg.TagBits > 0 {
+	if e.cfg.Faults != nil && e.cfg.TagBits > 0 && e.cfg.Faults.TagFlipEnabled() {
 		// Corrupt advertisements between advertise and decide, so deciders
-		// (and the propose events below) see the flipped tags.
-		e.applyTagFlips(r)
+		// (and the propose events below) see the flipped tags. Flip draws
+		// are node-addressed, so the pass runs chunked like any other phase.
+		e.parallelFor(obs.PhaseTagFlip, e.phTagFlip)
+		e.flushWorkerBufs()
 	}
 	e.parallelFor(obs.PhaseDecide, e.phDecide)
 	e.flushWorkerBufs()
@@ -746,17 +778,16 @@ func (e *Engine) stepCore(r int) RoundStats {
 	}
 
 	// Step 4: group proposals by receiver (counting sort keeps per-receiver
-	// inboxes ordered by sender id), then accept. The parallel core covers
-	// fault-free configurations (traced or not); faulted runs take the
-	// sequential path so fault draws keep their defined ascending order.
-	// Both produce bit-identical partners, counters, RNG states, and
-	// event streams.
-	var proposals, connections, rejects int
+	// inboxes ordered by sender id), then accept. Both cores — faulted or
+	// not — produce bit-identical partners, counters, RNG states, and event
+	// streams: fault draws are node-addressed, so each core evaluates them
+	// at the same per-node points.
+	var proposals, connections, rejects, busyLost, faultLost int
 	if e.parCore {
-		proposals, connections, rejects = e.bucketAcceptParallel()
+		proposals, connections, rejects, busyLost, faultLost = e.bucketAcceptParallel()
 	} else {
 		t0 := e.profStart()
-		proposals, connections, rejects = e.bucketAcceptSequential(r)
+		proposals, connections, rejects, busyLost, faultLost = e.bucketAcceptSequential(r)
 		e.profEnd(obs.PhaseBucketSeq, t0)
 	}
 
@@ -785,18 +816,50 @@ func (e *Engine) stepCore(r int) RoundStats {
 			A: uint64(proposals), B: uint64(connections)})
 	}
 
-	return RoundStats{Round: r, Proposals: proposals, Connections: connections,
-		ActiveNodes: activeCount, Accepts: connections, Rejects: rejects}
+	stats := RoundStats{Round: r, Proposals: proposals, Connections: connections,
+		ActiveNodes: activeCount, Accepts: connections, Rejects: rejects,
+		BusyLost: busyLost, FaultLost: faultLost}
+	if e.cfg.Check {
+		//mtmlint:hotpath-end invariant checking is opt-in (Config.Check) and outside the zero-alloc contract; the pinned configuration never takes this branch
+		e.verifyRound(r, stats)
+	}
+	return stats
+}
+
+// verifyRound feeds the round's end state to the internal/invariant checker
+// and panics on the first violation — Config.Check only.
+func (e *Engine) verifyRound(r int, s RoundStats) {
+	v := invariant.View{
+		Round:   r,
+		G:       e.curG,
+		Active:  e.curAct,
+		Down:    e.curDown,
+		Actions: e.actions,
+		Partner: e.partner,
+		Tags:    e.tags,
+		TagBits: e.cfg.TagBits,
+		Stats: invariant.Stats{
+			Proposals: s.Proposals,
+			Accepts:   s.Accepts,
+			Rejects:   s.Rejects,
+			BusyLost:  s.BusyLost,
+			FaultLost: s.FaultLost,
+		},
+	}
+	if err := invariant.Check(v); err != nil {
+		panic(fmt.Sprintf("sim: round %d: %v", r, err))
+	}
 }
 
 // bucketAcceptSequential is the historical single-threaded step-4 core: one
 // counting-sort pass groups proposals per receiver, then receivers accept in
-// ascending order. It is the only core legal under fault injection, whose
-// draws depend on this exact order (traced fault-free runs use the parallel
-// core: buffered emission reproduces this order, see wbufs).
+// ascending order. The parallel core (bucketAcceptParallel) reproduces its
+// results and event stream bit for bit — fault draws included, because
+// every draw is node-addressed and both cores evaluate it at the same
+// per-node point.
 //
 //mtmlint:hotpath
-func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects int) {
+func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects, busyLost, faultLost int) {
 	sink := e.cfg.Sink
 	for u := range e.inboxAt {
 		e.inboxAt[u] = 0
@@ -808,24 +871,33 @@ func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects 
 					Node: int32(u), Peer: t, A: e.tags[u], B: e.tags[t]})
 			}
 			proposals++
-			// One fault draw per proposal, ascending proposer order: a
-			// dropped proposal never reaches its target (but the node still
-			// transmitted, so proposals aimed at it stay busy-lost).
-			if e.cfg.Faults != nil && e.cfg.Faults.DropProposal() {
-				e.actions[u] = actionSendLost
-				if sink != nil {
-					sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindPropLoss,
-						Round: r, Node: t, Peer: int32(u)})
+			// One node-addressed fault draw per proposal: a dropped proposal
+			// never reaches its target (but the node still transmitted, so
+			// proposals aimed at it stay busy-lost). The drop is recorded in
+			// propLost for the scatter pass rather than rewriting actions[u],
+			// so the parallel core can make the same decision race-free.
+			if e.cfg.Faults != nil {
+				if e.cfg.Faults.DropProposal(int32(u), r) {
+					e.propLost[u] = true
+					faultLost++
+					if sink != nil {
+						sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindPropLoss,
+							Round: r, Node: t, Peer: int32(u)})
+					}
+					continue
 				}
-				continue
+				e.propLost[u] = false
 			}
 			// A proposal to a node that itself proposed is lost (the model:
 			// a node that sends cannot also receive).
 			if e.actions[t] == actionReceive {
 				e.inboxAt[t+1]++
-			} else if sink != nil {
-				sink.Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindBusy,
-					Round: r, Node: t, Peer: int32(u)})
+			} else {
+				busyLost++
+				if sink != nil {
+					sink.Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindBusy,
+						Round: r, Node: t, Peer: int32(u)})
+				}
 			}
 		}
 	}
@@ -845,8 +917,9 @@ func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects 
 		e.inboxTo = e.inboxTo[:total]
 	}
 	copy(e.cursor, e.inboxAt[:e.n])
+	lost := e.propLost // nil exactly when Faults is nil
 	for u := 0; u < e.n; u++ {
-		if t := e.actions[u]; t >= 0 && e.actions[t] == actionReceive {
+		if t := e.actions[u]; t >= 0 && e.actions[t] == actionReceive && (lost == nil || !lost[u]) {
 			e.inboxTo[e.cursor[t]] = int32(u)
 			e.cursor[t]++
 		}
@@ -876,11 +949,12 @@ func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects 
 		default:
 			panic(fmt.Sprintf("sim: unknown accept policy %d", e.cfg.Accept))
 		}
-		// One fault draw per acceptance, ascending receiver order (after the
-		// accept choice, so the node RNG streams match the fault-free run):
-		// a dropped connection exchanges nothing, and the proposals the
+		// One node-addressed fault draw per acceptance (after the accept
+		// choice, so the node RNG streams match the fault-free run): a
+		// dropped connection exchanges nothing, and the proposals the
 		// receiver turned down stay contention rejects.
-		if e.cfg.Faults != nil && e.cfg.Faults.DropConnection() {
+		if e.cfg.Faults != nil && e.cfg.Faults.DropConnection(int32(v), chosen, r) {
+			faultLost++
 			rejects += len(inbox) - 1
 			if sink != nil {
 				sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindConnLoss,
@@ -915,7 +989,7 @@ func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects 
 			sink.Event(obs.Event{Type: obs.TypeConnect, Round: r, Node: lo, Peer: hi})
 		}
 	}
-	return proposals, connections, rejects
+	return proposals, connections, rejects, busyLost, faultLost
 }
 
 // bucketAcceptParallel is the parCore step-4 core: a two-pass parallel
@@ -928,7 +1002,7 @@ func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects 
 // the sequential core produces.
 //
 //mtmlint:hotpath
-func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects int) {
+func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects, busyLost, faultLost int) {
 	e.parallelFor(obs.PhaseCount, e.phCount)
 	e.flushWorkerBufs()
 	t0 := e.profStart()
@@ -964,15 +1038,17 @@ func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects int) {
 		proposals += int(c.proposals)
 		connections += int(c.connections)
 		rejects += int(c.rejects)
+		busyLost += int(c.busyLost)
+		faultLost += int(c.faultLost)
 	}
-	return proposals, connections, rejects
+	return proposals, connections, rejects, busyLost, faultLost
 }
 
 // applyRoundStartFaults publishes this round's churn and applies state
 // resets: crash-with-amnesia recoveries (Plan.ResetOnRecover) and scripted
 // corruption bursts. Runs sequentially after the active set is computed and
-// before the advertise phase; resets draw from the injector's fault stream
-// in ascending node order.
+// before the advertise phase; each reset draws from the injector's
+// per-(node, round) state stream.
 func (e *Engine) applyRoundStartFaults(r int) {
 	in := e.cfg.Faults
 	sink := e.cfg.Sink
@@ -986,7 +1062,7 @@ func (e *Engine) applyRoundStartFaults(r int) {
 		old := e.protocols[u].Leader()
 		if in.ResetOnRecover() {
 			if c, ok := e.protocols[u].(Corruptible); ok {
-				c.CorruptState(in.RNG())
+				c.CorruptState(in.StateRNG(u, r))
 			}
 		}
 		if sink != nil {
@@ -1003,7 +1079,7 @@ func (e *Engine) applyRoundStartFaults(r int) {
 			continue
 		}
 		old := e.protocols[u].Leader()
-		c.CorruptState(in.RNG())
+		c.CorruptState(in.StateRNG(u, r))
 		if sink != nil {
 			sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindCorrupt,
 				Round: r, Node: u, Peer: obs.NoNode, A: old, B: e.protocols[u].Leader()})
@@ -1011,15 +1087,25 @@ func (e *Engine) applyRoundStartFaults(r int) {
 	}
 }
 
-// applyTagFlips corrupts advertisements on the air: one fault draw per
-// active node in ascending order, between the advertise and decide phases.
-func (e *Engine) applyTagFlips(r int) {
-	sink := e.cfg.Sink
-	for u := 0; u < e.n; u++ {
+// phaseTagFlip corrupts advertisements on the air for nodes [lo, hi): one
+// node-addressed fault draw per active node, between the advertise and
+// decide phases. Flip events ride the per-worker buffers like any phase
+// emission, so the flushed stream keeps the sequential ascending-node order.
+//
+//mtmlint:hotpath
+func (e *Engine) phaseTagFlip(w, lo, hi int) {
+	var sink obs.Sink
+	if e.wbufs != nil {
+		sink = &e.wbufs[w]
+	} else {
+		sink = e.cfg.Sink
+	}
+	r := e.curRound
+	for u := lo; u < hi; u++ {
 		if !e.active[u] {
 			continue
 		}
-		tag, flipped := e.cfg.Faults.FlipTag(e.cfg.TagBits, e.tags[u])
+		tag, flipped := e.cfg.Faults.FlipTag(int32(u), r, e.cfg.TagBits, e.tags[u])
 		if !flipped {
 			continue
 		}
@@ -1212,17 +1298,22 @@ func (e *Engine) phaseEndRound(w, lo, hi int) {
 }
 
 // phaseActiveScan computes the activity bits for nodes [lo, hi) and counts
-// them into worker w's counter row. parCore only, so fault down-masks never
-// apply here.
+// them into worker w's counter row. The fault down-mask (e.curDown,
+// published sequentially before the dispatch and frozen for the round) is
+// read per index, so crashed nodes scan as inactive on any worker.
 //
 //mtmlint:hotpath
 func (e *Engine) phaseActiveScan(w, lo, hi int) {
 	r := e.curRound
 	ctr := &e.counters[w]
 	ctr.active = 0
+	down := e.curDown
 	for u := lo; u < hi; u++ {
 		a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
 		if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
+			a = false
+		}
+		if a && down != nil && down[u] {
 			a = false
 		}
 		e.active[u] = a
@@ -1245,6 +1336,8 @@ func (e *Engine) phaseCount(w, lo, hi int) {
 	clear(row)
 	ctr := &e.counters[w]
 	ctr.proposals = 0
+	ctr.busyLost = 0
+	ctr.faultLost = 0
 	traced := e.wbufs != nil
 	r := e.curRound
 	for u := lo; u < hi; u++ {
@@ -1254,11 +1347,29 @@ func (e *Engine) phaseCount(w, lo, hi int) {
 					Node: int32(u), Peer: t, A: e.tags[u], B: e.tags[t]})
 			}
 			ctr.proposals++
+			// Node-addressed drop draw, evaluated at the same per-sender
+			// point as the sequential core; the verdict lands in the
+			// chunk-local propLost[u] cell for the scatter pass.
+			if e.cfg.Faults != nil {
+				if e.cfg.Faults.DropProposal(int32(u), r) {
+					e.propLost[u] = true
+					ctr.faultLost++
+					if traced {
+						e.wbufs[w].Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindPropLoss,
+							Round: r, Node: t, Peer: int32(u)})
+					}
+					continue
+				}
+				e.propLost[u] = false
+			}
 			if e.actions[t] == actionReceive {
 				row[t]++
-			} else if traced {
-				e.wbufs[w].Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindBusy,
-					Round: r, Node: t, Peer: int32(u)})
+			} else {
+				ctr.busyLost++
+				if traced {
+					e.wbufs[w].Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindBusy,
+						Round: r, Node: t, Peer: int32(u)})
+				}
 			}
 		}
 	}
@@ -1274,7 +1385,7 @@ func (e *Engine) phaseCount(w, lo, hi int) {
 func (e *Engine) phaseScatter(w, lo, hi int) {
 	row := e.hist[w*e.n : (w+1)*e.n]
 	for u := lo; u < hi; u++ {
-		if t := e.actions[u]; t >= 0 && e.actions[t] == actionReceive {
+		if t := e.actions[u]; t >= 0 && e.actions[t] == actionReceive && (e.propLost == nil || !e.propLost[u]) {
 			e.inboxTo[row[t]] = int32(u)
 			row[t]++
 		}
@@ -1296,6 +1407,7 @@ func (e *Engine) phaseAccept(w, lo, hi int) {
 	ctr.rejects = 0
 	traced := e.wbufs != nil
 	r := e.curRound
+	faulted := e.cfg.Faults != nil
 	for v := lo; v < hi; v++ {
 		if e.actions[v] != actionReceive {
 			e.chosen[v] = noPartner
@@ -1318,6 +1430,25 @@ func (e *Engine) phaseAccept(w, lo, hi int) {
 			c = inbox[len(inbox)-1]
 		default:
 			panic(fmt.Sprintf("sim: unknown accept policy %d", e.cfg.Accept))
+		}
+		// Node-addressed connection-drop draw, after the accept choice like
+		// the sequential core: the receiver wastes its round (no partner),
+		// and the turned-down proposals stay contention rejects.
+		if faulted && e.cfg.Faults.DropConnection(int32(v), c, r) {
+			e.chosen[v] = noPartner
+			ctr.faultLost++
+			ctr.rejects += int64(len(inbox) - 1)
+			if traced {
+				e.wbufs[w].Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindConnLoss,
+					Round: r, Node: int32(v), Peer: c})
+				for _, s := range inbox {
+					if s != c {
+						e.wbufs[w].Event(obs.Event{Type: obs.TypeReject, Kind: obs.KindContention,
+							Round: r, Node: int32(v), Peer: s})
+					}
+				}
+			}
+			continue
 		}
 		e.chosen[v] = c
 		ctr.connections++
@@ -1397,8 +1528,7 @@ func (e *Engine) classicalFinish(r int, g *graph.Graph, act []bool, activeCount 
 		// Classical mode has no accept step, so only proposal loss applies
 		// (ConnLoss draws nothing here — classical connects every proposal
 		// that arrives).
-		if e.cfg.Faults != nil && e.cfg.Faults.DropProposal() {
-			e.actions[u] = actionSendLost
+		if e.cfg.Faults != nil && e.cfg.Faults.DropProposal(int32(u), r) {
 			if sink != nil {
 				sink.Event(obs.Event{Type: obs.TypeFault, Kind: obs.KindPropLoss,
 					Round: r, Node: v, Peer: int32(u)})

@@ -251,10 +251,10 @@ type Options struct {
 	// cmd/mtmtrace). Tracing works at any Workers setting and the trace is
 	// byte-identical across worker counts: parallel phase bodies emit into
 	// per-worker buffers merged in chunk order at each barrier, reproducing
-	// the sequential ascending-device event order exactly. (Fault-injected
-	// traced runs are the one exception: they run sequentially so fault
-	// draws keep their place in the stream.) A run with no trace configured
-	// pays zero overhead.
+	// the sequential ascending-device event order exactly. Fault-injected
+	// runs included — fault draws are addressed by (device, round), so their
+	// events hold the same place in the stream at any worker count. A run
+	// with no trace configured pays zero overhead.
 	TraceTo io.Writer
 	// TraceSample, when > 1, keeps only events of rounds divisible by it
 	// (a deterministic round%N filter), so a traced large run produces a
@@ -288,6 +288,11 @@ type Options struct {
 	// With crash faults, ElectLeader's stop condition and reported Leader
 	// quantify over up devices only (a crashed device keeps stale state).
 	Faults *FaultPlan
+	// Check audits every round against the engine's safety invariants
+	// (proposal conservation, matching symmetry, down-device silence,
+	// advertisement domain bounds) and panics on the first violation. An
+	// O(n + connections) debugging aid for faulted runs, off by default.
+	Check bool
 }
 
 // FaultEvent schedules a scripted crash or recovery of one device at the
@@ -302,6 +307,34 @@ type FaultEvent struct {
 type FaultBurst struct {
 	Round   int
 	Devices []int
+}
+
+// FaultPartition schedules a seed-derived network partition: from round
+// Start (inclusive) to round Heal (exclusive; 0 = never heals), the devices
+// are split into Parts components and every connection crossing a component
+// boundary deterministically fails.
+type FaultPartition struct {
+	Start int
+	Heal  int
+	Parts int
+}
+
+// ParsePartitions parses a comma-separated list of start:heal:parts triples
+// (the CLI -partition syntax), e.g. "10:40:2" or "10:40:2,60:0:3". Heal 0
+// means the partition never heals. An empty string is no partitions.
+func ParsePartitions(s string) ([]FaultPartition, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []FaultPartition
+	for _, spec := range strings.Split(s, ",") {
+		var p FaultPartition
+		if _, err := fmt.Sscanf(spec, "%d:%d:%d", &p.Start, &p.Heal, &p.Parts); err != nil {
+			return nil, fmt.Errorf("mobiletel: bad partition %q (want start:heal:parts): %v", spec, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // FaultPlan mirrors internal/fault.Plan: a deterministic, seed-derived
@@ -329,6 +362,8 @@ type FaultPlan struct {
 	Crashes     []FaultEvent
 	Recoveries  []FaultEvent
 	Corruptions []FaultBurst
+	// Partitions schedules network splits with optional heal rounds.
+	Partitions []FaultPartition
 }
 
 // compile converts the public plan into a validated engine injector.
@@ -354,6 +389,9 @@ func (p *FaultPlan) compile(n int) (*fault.Injector, error) {
 	}
 	for _, b := range p.Corruptions {
 		plan.Corruptions = append(plan.Corruptions, fault.Burst{Round: b.Round, Nodes: b.Devices})
+	}
+	for _, pt := range p.Partitions {
+		plan.Partitions = append(plan.Partitions, fault.Partition{Start: pt.Start, Heal: pt.Heal, Parts: pt.Parts})
 	}
 	return fault.NewInjector(plan, n)
 }
@@ -536,6 +574,7 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 		Sink:        sink,
 		Profiler:    prof,
 		Faults:      injector,
+		Check:       opts.Check,
 	}
 	if recorder != nil {
 		recorder.Attach(&cfg)
@@ -676,6 +715,7 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 		Sink:      sink,
 		Profiler:  prof,
 		Faults:    injector,
+		Check:     opts.Check,
 	})
 	if err != nil {
 		return RumorResult{}, err

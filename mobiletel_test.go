@@ -172,8 +172,8 @@ func TestParseAlgorithm(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	infos := mobiletel.Experiments()
-	if len(infos) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(infos))
+	if len(infos) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(infos))
 	}
 	for _, info := range infos {
 		if info.ID == "" || info.Claim == "" {
