@@ -19,15 +19,18 @@ race:
 
 # race-smoke mirrors the CI race-smoke job: the concurrency-heavy tests
 # (parallel round loop, worker fan-out, parallel accept/bucketing and its
-# cross-worker conformance suite, the million-node scale round — faulted
-# expander column included, fault injection inside the parallel phase
-# bodies, and the chaos soak) under the race detector, without -short. This
-# is the dynamic backstop for the happensbefore analyzer's documented
-# static boundaries (untraceable pointers, receiver-method bodies, the
-# scatter-cursor idiom whose disjointness rests on the sequential prefix
-# merge, and the frozen-for-the-round fault mask reads).
+# cross-worker conformance suite — forced pool and spawn dispatch columns
+# included, the persistent-pool rapid-dispatch and close-cycle stresses,
+# the million-node scale round — faulted expander column included, fault
+# injection inside the parallel phase bodies, and the chaos soak) under the
+# race detector, without -short. This is the dynamic backstop for the
+# happensbefore analyzer's documented static boundaries (untraceable
+# pointers, receiver-method bodies, the scatter-cursor idiom whose
+# disjointness rests on the sequential prefix merge, the frozen-for-the-
+# round fault mask reads, and the epoch-publish proof's single-dispatcher
+# and constructor-before-spawn assumptions).
 race-smoke:
-	$(GO) test -race -timeout 20m ./internal/sim ./internal/fault -run 'Parallel|Workers|Fault|Chaos'
+	$(GO) test -race -timeout 20m ./internal/sim ./internal/fault -run 'Parallel|Workers|Fault|Chaos|Pool'
 
 lint:
 	$(GO) run ./cmd/mtmlint ./...

@@ -93,6 +93,7 @@ func buildSuite() []Benchmark {
 	rumorBench("rumor/ppush/expander512/tau=8", expander, mobiletel.PPush, 8, false)
 
 	suite = append(suite, steadyRoundBench(), steadyRoundTracedBench())
+	suite = append(suite, roundsBenches()...)
 	suite = append(suite, scaleBenches()...)
 
 	for _, exp := range []struct {
@@ -120,6 +121,87 @@ func buildSuite() []Benchmark {
 		})
 	}
 
+	return suite
+}
+
+// roundsBenches is the paper-scale round tier: one op = one steady-state
+// round at the n the paper's experiments actually use (10³–10⁴ nodes),
+// where per-round dispatch overhead — not per-node work — decides whether
+// parallelism pays. Each family sweeps the three dispatch cores at w=8
+// alongside the w=1 inline baseline: DispatchAuto is what production runs
+// get (the pool with its benchmark-derived gate, resolving inline on
+// single-P hosts), DispatchPool forces the persistent pool's epoch-publish
+// dispatch, and DispatchSpawn forces the historical per-phase
+// goroutine-spawning core the pool replaced. A recording therefore carries
+// the pool-vs-spawn crossover evidence at both n, and -compare against the
+// seed watches the w=8 auto entry for regressions in exactly the regime the
+// rework targets.
+func roundsBenches() []Benchmark {
+	var suite []Benchmark
+	for _, nodes := range []int{1 << 10, 1 << 12} {
+		nodes := nodes
+		label := fmt.Sprintf("expander%d", nodes)
+		var shared *gen.Family
+		family := func() gen.Family {
+			if shared == nil {
+				fam := gen.Expander(nodes, 8, suiteSeed)
+				shared = &fam
+			}
+			return *shared
+		}
+		sweep := []struct {
+			suffix   string
+			workers  int
+			dispatch sim.Dispatch
+		}{
+			{"w=1", 1, sim.DispatchAuto},
+			{"w=8", 8, sim.DispatchAuto},
+			{"w=8-pool", 8, sim.DispatchPool},
+			{"w=8-spawn", 8, sim.DispatchSpawn},
+		}
+		for i, sw := range sweep {
+			sw := sw
+			last := i == len(sweep)-1
+			name := fmt.Sprintf("rounds/%s/%s", label, sw.suffix)
+			var (
+				eng  *sim.Engine
+				next = 1
+			)
+			suite = append(suite, Benchmark{
+				Name:  name,
+				Nodes: nodes,
+				// The production-config entry at the larger n joins the quick
+				// subset: CI's compare gate watches the exact configuration
+				// the pool rework promises to speed up.
+				Quick:   nodes == 1<<12 && sw.suffix == "w=8",
+				Workers: sw.workers,
+				Fn: func(iters int) int64 {
+					if eng == nil {
+						fam := family()
+						protocols := core.NewBlindGossipNetwork(core.UniqueUIDs(fam.N(), suiteSeed))
+						var err error
+						eng, err = sim.New(dyngraph.NewStatic(fam), protocols,
+							sim.Config{Seed: suiteSeed, Workers: sw.workers, Dispatch: sw.dispatch})
+						if err != nil {
+							fatalf("rounds bench (%s): %v", name, err)
+						}
+					}
+					eng.RunRounds(next, iters)
+					next += iters
+					return int64(iters)
+				},
+				Cleanup: func() {
+					if eng != nil {
+						eng.Close() // forced-pool entries own parked worker goroutines
+						eng = nil
+					}
+					if last {
+						shared = nil
+					}
+				},
+			})
+		}
+	}
 	return suite
 }
 

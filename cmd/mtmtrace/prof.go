@@ -51,6 +51,15 @@ func readProfReport(in io.Reader) (obs.ProfReport, error) {
 func writeProfText(w io.Writer, rep obs.ProfReport) error {
 	title := fmt.Sprintf("phase profile: workers=%d rounds=%d wall=%s rounds/sec=%.4g",
 		rep.Workers, rep.Rounds, time.Duration(rep.WallNS), rep.RoundsPerSec)
+	if rep.Dispatch != "" {
+		// The engine's resolved dispatch mode: a run that silently fell back
+		// to inline dispatch (small n, one worker, single-P host) says so
+		// here instead of just being mysteriously sequential.
+		title += fmt.Sprintf(" dispatch=%s", rep.Dispatch)
+		if rep.GateNodes > 0 {
+			title += fmt.Sprintf(" gate=%d", rep.GateNodes)
+		}
+	}
 	t := trace.NewTable(title, "phase", "wall", "share", "busy max", "imbalance")
 	var phaseTotal int64
 	for _, p := range rep.Phases {

@@ -93,6 +93,38 @@ func TestProfRender(t *testing.T) {
 	}
 }
 
+// TestProfRenderDispatch checks the resolved dispatch mode and gate appear
+// in the title when the report carries them — and that the golden fixture,
+// which predates the worker pool, renders without them (the omitempty
+// compatibility contract).
+func TestProfRenderDispatch(t *testing.T) {
+	p := goldenProfiler()
+	p.SetDispatch("inline", 1024)
+	rep := p.Report()
+	path := filepath.Join(t.TempDir(), "gated.prof.json")
+	if err := os.WriteFile(path, encodeProf(t, rep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"prof", path}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("prof: code %d, err %v", code, err)
+	}
+	for _, want := range []string{"dispatch=inline", "gate=1024"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if code, err := run([]string{"prof", goldenProfPath}, &out); err != nil || code != 0 {
+		t.Fatalf("prof: code %d, err %v", code, err)
+	}
+	if strings.Contains(out.String(), "dispatch=") {
+		t.Errorf("pre-pool golden report rendered a dispatch mode:\n%s", out.String())
+	}
+}
+
 // TestProfWrongSchema checks that a report from a different schema version is
 // refused with an error naming both versions, not misrendered.
 func TestProfWrongSchema(t *testing.T) {

@@ -80,6 +80,29 @@ func TestUniqueUIDsDeterministic(t *testing.T) {
 	}
 }
 
+// TestUniqueUIDsMatchesScalarDraws pins the batch-fill rewrite to the
+// historical one-call-per-draw loop: every seeded UID space in every test,
+// benchmark, and experiment stays bit-identical.
+func TestUniqueUIDsMatchesScalarDraws(t *testing.T) {
+	for _, seed := range []uint64{0, 9, 0xdeadbeef} {
+		rng := xrand.New(seed)
+		seen := make(map[uint64]bool)
+		var want []uint64
+		for len(want) < 300 {
+			if u := rng.Uint64(); u != 0 && !seen[u] {
+				seen[u] = true
+				want = append(want, u)
+			}
+		}
+		got := UniqueUIDs(300, seed)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: UID %d = %#x, want scalar-draw %#x", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestMinUIDAndMinPair(t *testing.T) {
 	if MinUID([]uint64{5, 3, 9}) != 3 {
 		t.Fatal("MinUID wrong")

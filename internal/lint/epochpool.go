@@ -1,0 +1,451 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is happensbefore's second proof domain: the persistent
+// worker-pool dispatch idiom (internal/sim's workerPool). The chunk proofs
+// in happensbefore.go cover what the dispatched workers do to engine state;
+// the epoch-publish proof here covers how the dispatch slots themselves —
+// the fn/bounds fields a pool goroutine reads — travel from the dispatcher
+// to long-lived workers without a per-dispatch channel or lock.
+//
+// The idiom under proof (see internal/sim/pool.go):
+//
+//	publisher                          worker goroutine
+//	---------                          ----------------
+//	plain fields = ...                 acquire (epoch.Load != last)
+//	atomic epoch.Add / .Store          read plain fields
+//	join: spin on done.Load            atomic done.Add
+//	plain fields = nil
+//
+// A type enters the proof when some `go` statement spawns one of its
+// methods and the type carries sync/atomic fields. Its plain fields are
+// then classified:
+//
+//   - *immutable*: written by no method — construction-time state, made
+//     visible to workers by the `go` statement itself;
+//   - *mutex-guarded*: every method that touches the field also locks a
+//     sync.Mutex field of the receiver (the park/wake bookkeeping around a
+//     sync.Cond). Granularity is the method body, backed by `make race`;
+//   - *epoch-published*: everything else. Publisher methods may write such
+//     a field only before an atomic release (a .Add/.Store call on an
+//     atomic field of the receiver) or after an atomic join (a for loop
+//     spinning on a .Load), and spawned workers may only read it after an
+//     acquire — a .Load on an atomic field, directly or via a method call
+//     like await — and may never write it.
+//
+// Boundaries: the single-dispatcher assumption (engine methods are not
+// called concurrently) is the engine's documented API contract, and writes
+// that precede the `go` spawn in a constructor are ordinary go-statement
+// happens-before — neither needs a proof here. Both are exercised under
+// the race detector by `make race-smoke`'s pool stress test.
+
+// hbCheckEpochPools finds goroutine-spawned methods whose receiver type
+// carries atomic fields and proves the epoch-publish idiom over every
+// method of that type.
+func hbCheckEpochPools(p *Pass) {
+	types_ := collectSpawnedReceivers(p)
+	if len(types_) == 0 {
+		return
+	}
+	decls := funcDecls(p.Pkg)
+	for named, spawned := range types_ {
+		ep := newEpochPool(p, named, spawned, decls)
+		if ep == nil {
+			continue // no atomic fields: not this idiom (sharedwrite's domain)
+		}
+		ep.check()
+	}
+}
+
+// collectSpawnedReceivers maps each package-local named struct type to the
+// set of its methods launched by a `go` statement anywhere in the package.
+func collectSpawnedReceivers(p *Pass) map[*types.Named]map[*types.Func]bool {
+	var out map[*types.Named]map[*types.Func]bool
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			named := receiverNamed(fn)
+			if named == nil || named.Obj().Pkg() != p.Pkg.Types {
+				return true
+			}
+			if out == nil {
+				out = map[*types.Named]map[*types.Func]bool{}
+			}
+			if out[named] == nil {
+				out[named] = map[*types.Func]bool{}
+			}
+			out[named][fn] = true
+			return true
+		})
+	}
+	return out
+}
+
+// receiverNamed returns the named type behind fn's (possibly pointer)
+// receiver, or nil for plain functions.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// epochPool is the proof state for one spawned-receiver type.
+type epochPool struct {
+	p       *Pass
+	named   *types.Named
+	spawned map[*types.Func]bool // methods launched via `go`, plus callees
+	decls   map[*types.Func]*ast.FuncDecl
+	methods []*ast.FuncDecl
+
+	atomics map[*types.Var]bool // sync/atomic-typed fields
+	mutexes map[*types.Var]bool // sync.Mutex / sync.Cond fields
+	plain   map[*types.Var]bool // everything else
+}
+
+func newEpochPool(p *Pass, named *types.Named, spawned map[*types.Func]bool, decls map[*types.Func]*ast.FuncDecl) *epochPool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	ep := &epochPool{
+		p: p, named: named, spawned: spawned, decls: decls,
+		atomics: map[*types.Var]bool{},
+		mutexes: map[*types.Var]bool{},
+		plain:   map[*types.Var]bool{},
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch fieldPkgPath(f.Type()) {
+		case "sync/atomic":
+			ep.atomics[f] = true
+		case "sync":
+			ep.mutexes[f] = true
+		default:
+			ep.plain[f] = true
+		}
+	}
+	if len(ep.atomics) == 0 {
+		return nil
+	}
+	for fn, decl := range decls {
+		if receiverNamed(fn) == named && decl.Body != nil {
+			ep.methods = append(ep.methods, decl)
+		}
+	}
+	// Close the spawned set over same-receiver calls: a worker's helper
+	// (await) is part of the worker side of the proof.
+	for changed := true; changed; {
+		changed = false
+		for _, decl := range ep.methods {
+			fn, _ := p.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if fn == nil || !ep.spawned[fn] {
+				continue
+			}
+			recv := declRecvObj(p, decl)
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !isObjUse(p, sel.X, recv) {
+					return true
+				}
+				callee, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+				if ok && receiverNamed(callee) == ep.named && !ep.spawned[callee] {
+					ep.spawned[callee] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+	return ep
+}
+
+// fieldPkgPath returns the defining package path of a field's (possibly
+// pointer) named type, or "".
+func fieldPkgPath(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// declRecvObj returns the receiver object of a method declaration.
+func declRecvObj(p *Pass, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return p.Pkg.Info.Defs[decl.Recv.List[0].Names[0]]
+}
+
+func isObjUse(p *Pass, x ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	return ok && obj != nil && p.Pkg.Info.ObjectOf(id) == obj
+}
+
+// check runs the field classification and both sides of the proof.
+func (ep *epochPool) check() {
+	written := ep.fieldsWrittenByMethods()
+	guarded := ep.mutexGuardedFields()
+	for _, decl := range ep.methods {
+		fn, _ := ep.p.Pkg.Info.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		if ep.spawned[fn] {
+			ep.checkWorker(decl, written, guarded)
+		} else {
+			ep.checkPublisher(decl, written, guarded)
+		}
+	}
+}
+
+// fieldsWrittenByMethods returns the plain fields some method of the type
+// writes; the rest are construction-time immutable and exempt.
+func (ep *epochPool) fieldsWrittenByMethods() map[*types.Var]bool {
+	written := map[*types.Var]bool{}
+	for _, decl := range ep.methods {
+		recv := declRecvObj(ep.p, decl)
+		ep.forFieldAccesses(decl.Body, recv, func(field *types.Var, n ast.Node, write bool) {
+			if write {
+				written[field] = true
+			}
+		})
+	}
+	return written
+}
+
+// mutexGuardedFields returns the plain fields whose every access sits in a
+// method body that locks a receiver mutex — the cond-variable bookkeeping.
+func (ep *epochPool) mutexGuardedFields() map[*types.Var]bool {
+	guarded := map[*types.Var]bool{}
+	unguarded := map[*types.Var]bool{}
+	for _, decl := range ep.methods {
+		recv := declRecvObj(ep.p, decl)
+		locks := ep.bodyLocksMutex(decl.Body, recv)
+		ep.forFieldAccesses(decl.Body, recv, func(field *types.Var, n ast.Node, write bool) {
+			if locks {
+				guarded[field] = true
+			} else {
+				unguarded[field] = true
+			}
+		})
+	}
+	for f := range unguarded {
+		delete(guarded, f)
+	}
+	return guarded
+}
+
+// bodyLocksMutex reports whether the body calls Lock on a mutex field of
+// the receiver.
+func (ep *epochPool) bodyLocksMutex(body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f, op := ep.atomicOp(call, recv, ep.mutexes); f != nil && op == "Lock" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// atomicOp matches recv.field.Op(...) for a field in the given class and
+// returns the field and method name.
+func (ep *epochPool) atomicOp(call *ast.CallExpr, recv types.Object, class map[*types.Var]bool) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || !isObjUse(ep.p, inner.X, recv) {
+		return nil, ""
+	}
+	field, ok := ep.p.Pkg.Info.Uses[inner.Sel].(*types.Var)
+	if !ok || !class[field] {
+		return nil, ""
+	}
+	return field, sel.Sel.Name
+}
+
+// forFieldAccesses visits every plain-field access of the receiver in the
+// body: recv.field reads, and writes when the access is an assignment or
+// inc/dec target.
+func (ep *epochPool) forFieldAccesses(body *ast.BlockStmt, recv types.Object, visit func(field *types.Var, n ast.Node, write bool)) {
+	if recv == nil {
+		return
+	}
+	writes := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				writes[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[ast.Unparen(s.X)] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isObjUse(ep.p, sel.X, recv) {
+			return true
+		}
+		field, ok := ep.p.Pkg.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !ep.plain[field] {
+			return true
+		}
+		visit(field, sel, writes[sel])
+		return true
+	})
+}
+
+// checkPublisher proves the dispatcher side: each write to an
+// epoch-published field must precede an atomic release or follow an atomic
+// join in the same body.
+func (ep *epochPool) checkPublisher(decl *ast.FuncDecl, written, guarded map[*types.Var]bool) {
+	recv := declRecvObj(ep.p, decl)
+	if recv == nil {
+		return
+	}
+	var releases []token.Pos // recv.atomic.Add / .Store call positions
+	var joins []token.Pos    // End() of for loops spinning on recv.atomic.Load
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if f, op := ep.atomicOp(s, recv, ep.atomics); f != nil && (op == "Add" || op == "Store") {
+				releases = append(releases, s.Pos())
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil && ep.exprLoadsAtomic(s.Cond, recv) {
+				joins = append(joins, s.End())
+			}
+		}
+		return true
+	})
+	ep.forFieldAccesses(decl.Body, recv, func(field *types.Var, n ast.Node, write bool) {
+		if !write || guarded[field] || !written[field] {
+			return // reads are dispatcher-owned; see the boundary note above
+		}
+		for _, rel := range releases {
+			if n.Pos() < rel {
+				return // published before the release edge
+			}
+		}
+		for _, join := range joins {
+			if n.Pos() > join {
+				return // sequenced after the workers' done edge
+			}
+		}
+		ep.p.Reportf(n.Pos(), "epoch-publish: %s.%s writes dispatch slot %s outside the publish window; slot writes must precede the atomic release (.Add/.Store) or follow the atomic join spin", ep.named.Obj().Name(), decl.Name.Name, field.Name())
+	})
+}
+
+// checkWorker proves the worker side: epoch-published fields are read only
+// after an acquire and never written.
+func (ep *epochPool) checkWorker(decl *ast.FuncDecl, written, guarded map[*types.Var]bool) {
+	recv := declRecvObj(ep.p, decl)
+	if recv == nil {
+		return
+	}
+	var acquires []token.Pos
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ep.callAcquires(call, recv) {
+			acquires = append(acquires, call.Pos())
+		}
+		return true
+	})
+	ep.forFieldAccesses(decl.Body, recv, func(field *types.Var, n ast.Node, write bool) {
+		if guarded[field] || !written[field] {
+			return
+		}
+		if write {
+			ep.p.Reportf(n.Pos(), "epoch-publish: spawned worker %s.%s writes dispatch slot %s; workers may only read published slots (signal through an atomic instead)", ep.named.Obj().Name(), decl.Name.Name, field.Name())
+			return
+		}
+		for _, acq := range acquires {
+			if acq < n.Pos() {
+				return // read after an acquire edge
+			}
+		}
+		ep.p.Reportf(n.Pos(), "epoch-publish: spawned worker %s.%s reads dispatch slot %s before any atomic acquire (.Load on an atomic field, directly or via a helper)", ep.named.Obj().Name(), decl.Name.Name, field.Name())
+	})
+}
+
+// callAcquires reports whether the call performs an atomic Load on a
+// receiver field — directly, or via a same-receiver method that does.
+func (ep *epochPool) callAcquires(call *ast.CallExpr, recv types.Object) bool {
+	if f, op := ep.atomicOp(call, recv, ep.atomics); f != nil && op == "Load" {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isObjUse(ep.p, sel.X, recv) {
+		return false
+	}
+	callee, ok := ep.p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || receiverNamed(callee) != ep.named {
+		return false
+	}
+	cdecl := ep.decls[callee]
+	if cdecl == nil || cdecl.Body == nil {
+		return false
+	}
+	crecv := declRecvObj(ep.p, cdecl)
+	return ep.exprLoadsAtomic(cdecl.Body, crecv)
+}
+
+// exprLoadsAtomic reports whether the subtree contains recv.atomic.Load().
+func (ep *epochPool) exprLoadsAtomic(root ast.Node, recv types.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f, op := ep.atomicOp(call, recv, ep.atomics); f != nil && op == "Load" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -8,9 +8,12 @@ import (
 	"mobiletel/internal/lint/ssa"
 )
 
-// Happensbefore proves that workers dispatched through parallelFor are
-// race-free by chunk partitioning, replacing sharedwrite's per-literal
-// heuristic with interval reasoning over the worker's (w, lo, hi) bounds.
+// Happensbefore proves that workers dispatched through parallelFor (and
+// its fused-sweep twin parallelForFused) are race-free by chunk
+// partitioning, replacing sharedwrite's per-literal heuristic with interval
+// reasoning over the worker's (w, lo, hi) bounds. A second proof domain —
+// the persistent worker pool's epoch-publish dispatch idiom — lives in
+// epochpool.go.
 //
 // internal/sim's dispatcher splits [0, n) into contiguous chunks and runs
 // fn(w, lo, hi) concurrently, with wg.Wait as the only barrier. Inside one
@@ -71,7 +74,10 @@ func runHappensbefore(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || calleeName(call.Fun) != "parallelFor" {
+			if !ok {
+				return true
+			}
+			if name := calleeName(call.Fun); name != "parallelFor" && name != "parallelForFused" {
 				return true
 			}
 			if decls == nil {
@@ -84,6 +90,7 @@ func runHappensbefore(p *Pass) {
 			return true
 		})
 	}
+	hbCheckEpochPools(p)
 }
 
 // hbCheckWorkerArg resolves one parallelFor argument of worker shape

@@ -34,7 +34,9 @@ import (
 //   - panic-cold code: allocations inside panic arguments, or in a block
 //     that ends by panicking, never run in the steady state;
 //   - closures passed directly to sort.Search, which is documented
-//     non-escaping (graph.HasEdge's binary search).
+//     non-escaping (graph.HasEdge's binary search);
+//   - runtime.Gosched, the pure scheduler yield the worker pool's spin
+//     loops lean on (see workerPool.dispatch/await).
 //
 // A //mtmlint:hotpath-end <reason> comment inside a function ends the
 // certified region at that line: nothing past it is flagged, and calls past
@@ -326,6 +328,10 @@ func (f *hotFuncWalk) checkCall(call *ast.CallExpr) {
 		case path == "sort" && fn.Name() == "Search":
 			// sort.Search is non-escaping and allocation-free; its
 			// callback closure is exempted in checkFuncLit.
+		case path == "runtime" && fn.Name() == "Gosched":
+			// A pure scheduler yield — the worker pool's spin loops call it
+			// every iteration to stay live at GOMAXPROCS=1, and it never
+			// allocates.
 		case path == "fmt":
 			f.flag(call, "fmt.%s in the hot path formats into fresh allocations", fn.Name())
 			return

@@ -1,0 +1,131 @@
+package hb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool mirrors internal/sim's workerPool: the canonical epoch-publish
+// dispatcher. Plain dispatch slots (fn, bounds) are published before the
+// atomic release, read by spawned workers only after an acquire, cleared
+// only after the atomic join, and the park bookkeeping stays under the
+// mutex — no findings.
+type pool struct {
+	fn     func(w, lo, hi int)
+	bounds []int
+
+	epoch atomic.Uint64
+	done  atomic.Int64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked int
+
+	workers int
+}
+
+func newPool(workers int) *pool {
+	p := &pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 1; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *pool) dispatch(fn func(w, lo, hi int), bounds []int) {
+	p.fn, p.bounds = fn, bounds
+	p.done.Store(0)
+	p.epoch.Add(1)
+	p.mu.Lock()
+	if p.parked > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	fn(0, bounds[0], bounds[1])
+	for p.done.Load() < int64(p.workers-1) {
+	}
+	p.fn, p.bounds = nil, nil
+}
+
+func (p *pool) worker(w int) {
+	last := uint64(0)
+	for {
+		last = p.await(last)
+		fn := p.fn
+		if fn == nil {
+			p.done.Add(1)
+			return
+		}
+		fn(w, p.bounds[w], p.bounds[w+1])
+		p.done.Add(1)
+	}
+}
+
+func (p *pool) await(last uint64) uint64 {
+	for {
+		if e := p.epoch.Load(); e != last {
+			return e
+		}
+		p.mu.Lock()
+		if e := p.epoch.Load(); e != last {
+			p.mu.Unlock()
+			return e
+		}
+		p.parked++
+		p.cond.Wait()
+		p.parked--
+		p.mu.Unlock()
+	}
+}
+
+// leakyPool breaks the idiom in every direction the checker proves: the
+// publisher mutates a slot between the release and the join, the worker
+// reads a slot before any acquire, and the worker writes a slot outright.
+type leakyPool struct {
+	fn    func(int)
+	arg   int
+	epoch atomic.Uint64
+	done  atomic.Int64
+}
+
+func newLeakyPool() *leakyPool {
+	p := &leakyPool{}
+	go p.worker()
+	return p
+}
+
+func (p *leakyPool) dispatch(fn func(int)) {
+	p.fn = fn
+	p.done.Store(0)
+	p.epoch.Add(1)
+	p.arg = 7 // want `epoch-publish: leakyPool\.dispatch writes dispatch slot arg outside the publish window`
+	for p.done.Load() < 1 {
+	}
+}
+
+func (p *leakyPool) worker() {
+	last := uint64(0)
+	for {
+		arg := p.arg // want `epoch-publish: spawned worker leakyPool\.worker reads dispatch slot arg before any atomic acquire`
+		for p.epoch.Load() == last {
+		}
+		last = p.epoch.Load()
+		p.fn(arg)
+		p.fn = nil // want `epoch-publish: spawned worker leakyPool\.worker writes dispatch slot fn`
+		p.done.Add(1)
+	}
+}
+
+// plainSpawner has no atomic fields at all: goroutine-spawned methods on
+// it are outside the epoch-publish idiom (sharedwrite's domain), so the
+// checker stays silent even though the field access is racy.
+type plainSpawner struct {
+	n int
+}
+
+func (s *plainSpawner) bump() { s.n++ }
+
+func (s *plainSpawner) start() {
+	go s.bump()
+}

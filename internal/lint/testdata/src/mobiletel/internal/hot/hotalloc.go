@@ -6,8 +6,10 @@ package hot
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 type item struct{ k, v int }
@@ -121,6 +123,18 @@ func (b *wbuf) Push(v int32) {
 		copy(b.buf, old)
 	}
 	b.buf = append(b.buf, v) // self-append to field buf
+}
+
+// Spin mirrors the worker pool's dispatch join: runtime.Gosched is the
+// audited pure scheduler yield and certifies clean, while any other
+// runtime call stays outside the allowlist.
+//
+//mtmlint:hotpath
+func Spin(done *atomic.Int64, workers int) {
+	for done.Load() < int64(workers-1) {
+		runtime.Gosched() // audited allocation-free yield
+	}
+	runtime.GC() // want `call to runtime.GC in the hot path may allocate`
 }
 
 // build is not reachable from any hotpath root: allocations here are the

@@ -45,6 +45,15 @@ const (
 	// PhaseFlush drains per-worker event buffers into the sink (parallel
 	// traced runs only).
 	PhaseFlush
+	// PhaseScanAdvertise is the fused active-scan + advertise dispatch (one
+	// barrier instead of two, fault-free rounds only). The dispatch's wall
+	// time lands here; the fused body self-times each sweep, so busy time
+	// still lands on PhaseActiveScan and PhaseAdvertise.
+	PhaseScanAdvertise
+	// PhasePartnerExchange is the fused partner-materialization + exchange
+	// dispatch of the parallel core. Wall time lands here; busy time is
+	// self-timed onto PhasePartner and PhaseExchange by the fused body.
+	PhasePartnerExchange
 
 	numPhases
 )
@@ -64,6 +73,9 @@ var phaseNames = [numPhases]string{
 	PhaseExchange:   "exchange",
 	PhaseEndRound:   "end_round",
 	PhaseFlush:      "flush",
+
+	PhaseScanAdvertise:   "scan_advertise",
+	PhasePartnerExchange: "partner_exchange",
 }
 
 // String returns the wire name of the phase.
@@ -88,12 +100,14 @@ const busyStride = 8
 // Profiled runs trade the zero-allocation steady state for timing; the
 // unprofiled engine path is branch-guarded and unchanged.
 type Profiler struct {
-	clock   func() int64
-	workers int
-	rounds  int64
-	runNS   int64
-	wall    [numPhases]int64
-	busy    []int64 // numPhases × workers slots, busyStride apart
+	clock    func() int64
+	workers  int
+	dispatch string // resolved dispatch mode ("inline", "pool", "spawn")
+	gate     int    // node-count floor below which dispatches run inline
+	rounds   int64
+	runNS    int64
+	wall     [numPhases]int64
+	busy     []int64 // numPhases × workers slots, busyStride apart
 }
 
 // NewProfiler creates a profiler reading the given monotonic nanosecond
@@ -115,6 +129,16 @@ func (p *Profiler) Attach(workers int) {
 		p.workers = workers
 		p.busy = make([]int64, int(numPhases)*workers*busyStride)
 	}
+}
+
+// SetDispatch records the engine's resolved dispatch mode and inline gate
+// for the report: a run that silently fell back to inline dispatch (worker
+// count 1, a node count under the gate, or a single-P host) is visible in
+// its profile instead of just being mysteriously sequential. The engine
+// calls it from New, before any rounds run.
+func (p *Profiler) SetDispatch(mode string, gateNodes int) {
+	p.dispatch = mode
+	p.gate = gateNodes
 }
 
 // Clock reads the injected monotonic clock (nanoseconds).
@@ -163,7 +187,13 @@ type PhaseProfile struct {
 type ProfReport struct {
 	Schema  string `json:"schema"`
 	Workers int    `json:"workers"`
-	Rounds  int64  `json:"rounds"`
+	// Dispatch is the engine's resolved dispatch mode ("inline", "pool",
+	// "spawn"); GateNodes is the node-count floor below which dispatches run
+	// inline. Both are omitted by profilers that predate the worker pool —
+	// adding omitempty fields is a compatible mtmprof/v1 extension.
+	Dispatch  string `json:"dispatch,omitempty"`
+	GateNodes int    `json:"gate_nodes,omitempty"`
+	Rounds    int64  `json:"rounds"`
 	// WallNS is total round wall time (sum over rounds; phase wall times
 	// sum to at most this — unattributed sequential glue is the gap).
 	WallNS       int64          `json:"wall_ns"`
@@ -178,10 +208,12 @@ type ProfReport struct {
 // reports alike).
 func (p *Profiler) Report() ProfReport {
 	rep := ProfReport{
-		Schema:  ProfSchema,
-		Workers: p.workers,
-		Rounds:  atomic.LoadInt64(&p.rounds),
-		WallNS:  atomic.LoadInt64(&p.runNS),
+		Schema:    ProfSchema,
+		Workers:   p.workers,
+		Dispatch:  p.dispatch,
+		GateNodes: p.gate,
+		Rounds:    atomic.LoadInt64(&p.rounds),
+		WallNS:    atomic.LoadInt64(&p.runNS),
 	}
 	if rep.WallNS > 0 {
 		rep.RoundsPerSec = float64(rep.Rounds) / (float64(rep.WallNS) / 1e9)

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"mobiletel/internal/dyngraph"
+	"mobiletel/internal/graph"
+	"mobiletel/internal/graph/gen"
+)
+
+// chunkProbe is a minimal protocol for white-box tests (package sim cannot
+// import internal/core without a cycle): every node immediately leads with
+// its own UID and never connects.
+type chunkProbe struct{ uid uint64 }
+
+func (p *chunkProbe) Advertise(*Context) uint64        { return 0 }
+func (p *chunkProbe) Decide(*Context) (int32, bool)    { return 0, false }
+func (p *chunkProbe) Outgoing(*Context, int32) Message { return Message{} }
+func (p *chunkProbe) Deliver(*Context, int32, Message) {}
+func (p *chunkProbe) EndRound(*Context)                {}
+func (p *chunkProbe) Leader() uint64                   { return p.uid }
+
+func chunkProbeNetwork(n int) []Protocol {
+	ps := make([]Protocol, n)
+	for i := range ps {
+		ps[i] = &chunkProbe{uid: uint64(i + 1)}
+	}
+	return ps
+}
+
+// TestChunkScratchBoundedAcrossTrials pins the chunk-boundary cache at O(1)
+// scratch: one workers+1 slice, reused for every graph an engine ever
+// sees. A 1000-trial churn-style sweep — every refresh presenting a graph
+// the cache has not just seen — must allocate nothing and must not grow
+// the boundary slice, so many-trial experiments cannot accumulate cached
+// boundaries.
+func TestChunkScratchBoundedAcrossTrials(t *testing.T) {
+	const (
+		n       = 512
+		workers = 7
+		trials  = 1000
+	)
+	eng, err := New(
+		dyngraph.NewStatic(gen.RandomRegular(n, 6, 11)),
+		chunkProbeNetwork(n),
+		Config{Seed: 11, Workers: workers},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// A pool of distinct graphs cycled in order: chunkG only remembers the
+	// most recent graph, so every refresh is a miss — the worst case a
+	// churning schedule can produce.
+	graphs := make([]*graph.Graph, 100)
+	for i := range graphs {
+		graphs[i] = gen.RandomRegular(n, 6, uint64(100+i)).Graph
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for trial := 0; trial < trials; trial++ {
+		eng.refreshChunks(graphs[trial%len(graphs)])
+	}
+	runtime.ReadMemStats(&after)
+	if mallocs := after.Mallocs - before.Mallocs; mallocs != 0 {
+		t.Errorf("%d chunk refreshes allocated %d objects, want 0 (unbounded chunk cache?)", trials, mallocs)
+	}
+	if got := cap(eng.chunks); got != workers+1 {
+		t.Errorf("chunk scratch grew to cap %d, want the fixed workers+1 = %d", got, workers+1)
+	}
+	if eng.chunks[0] != 0 || eng.chunks[workers] != n {
+		t.Errorf("boundaries [%d, ..., %d] do not span [0, %d]", eng.chunks[0], eng.chunks[workers], n)
+	}
+}

@@ -133,90 +133,197 @@ func TestTraceCountersMatchStats(t *testing.T) {
 	}
 }
 
-// TestPhaseProfiler runs a profiled parallel election with a deterministic
-// counter clock and checks the mtmprof/v1 report: every parallel phase of
-// the fault-free core shows up with wall time and per-worker busy time, the
-// flush phase appears exactly when tracing is on, and profiling does not
-// perturb the run (bit-identical Result vs the unprofiled engine).
+// TestPhaseProfiler runs profiled parallel elections with a deterministic
+// counter clock and checks the mtmprof/v1 report in every dispatch mode:
+// the fused default attributes dispatch wall time to the composite phases
+// and self-timed busy time to their constituent sweeps, the forced pool
+// does the same with real parallel workers, and the legacy spawn core keeps
+// its historical per-phase attribution. The flush phase appears exactly
+// when tracing is on, the resolved dispatch mode and gate are visible in
+// the report, and profiling never perturbs the run (bit-identical Result vs
+// the unprofiled engine).
 func TestPhaseProfiler(t *testing.T) {
 	const (
-		n       = 512 // above parallelThreshold so the parallel phases run
+		n       = 512 // above the spawn gate so the spawn core dispatches in parallel
 		workers = 4
 	)
-	run := func(prof *obs.Profiler, sink obs.Sink) sim.Result {
+	run := func(prof *obs.Profiler, sink obs.Sink, dispatch sim.Dispatch) sim.Result {
 		eng, err := sim.New(
 			dyngraph.NewStatic(gen.RandomRegular(n, 8, 3)),
 			core.NewBlindGossipNetwork(core.UniqueUIDs(n, 9)),
-			sim.Config{Seed: 9, Workers: workers, Profiler: prof, Sink: sink},
+			sim.Config{Seed: 9, Workers: workers, Profiler: prof, Sink: sink, Dispatch: dispatch},
 		)
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer eng.Close()
 		res, err := eng.Run(sim.AllLeadersEqual)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
+	newProf := func() *obs.Profiler {
+		// Workers read the clock concurrently for busy accounting, so the
+		// fake counter must be atomic like the real monotonic clock is safe.
+		ticks := new(atomic.Int64)
+		return obs.NewProfiler(func() int64 { return ticks.Add(1) })
+	}
+	report := func(t *testing.T, dispatch sim.Dispatch, want sim.Result) obs.ProfReport {
+		t.Helper()
+		prof := newProf()
+		got := run(prof, obs.NewRing(1<<16), dispatch)
+		if got != want {
+			t.Fatalf("profiled run diverged from unprofiled: %+v vs %+v", got, want)
+		}
+		rep := prof.Report()
+		if rep.Schema != obs.ProfSchema {
+			t.Fatalf("report schema %q, want %q", rep.Schema, obs.ProfSchema)
+		}
+		if rep.Workers != workers || rep.Rounds != int64(got.RoundsExecuted) {
+			t.Fatalf("report workers=%d rounds=%d, want %d/%d", rep.Workers, rep.Rounds, workers, got.RoundsExecuted)
+		}
+		if rep.WallNS <= 0 || rep.RoundsPerSec <= 0 {
+			t.Fatalf("report wall=%d rounds/sec=%v, want positive", rep.WallNS, rep.RoundsPerSec)
+		}
+		return rep
+	}
+	want := run(nil, nil, sim.DispatchAuto)
 
-	// Workers read the clock concurrently for busy accounting, so the fake
-	// counter must be atomic like the real monotonic clock is safe.
-	var ticks atomic.Int64
-	clock := func() int64 { return ticks.Add(1) }
-	prof := obs.NewProfiler(clock)
-	got := run(prof, obs.NewRing(1<<16))
-	want := run(nil, nil)
-	if got != want {
-		t.Fatalf("profiled run diverged from unprofiled: %+v vs %+v", got, want)
-	}
+	// The fused phase lists: composites carry the dispatch wall time, the
+	// constituent sweeps carry self-timed busy time only.
+	fusedWall := []string{"scan_advertise", "decide", "count", "merge",
+		"scatter", "accept", "partner_exchange", "end_round", "flush"}
+	fusedBusy := []string{"active_scan", "advertise", "partner", "exchange"}
 
-	rep := prof.Report()
-	if rep.Schema != obs.ProfSchema {
-		t.Fatalf("report schema %q, want %q", rep.Schema, obs.ProfSchema)
-	}
-	if rep.Workers != workers || rep.Rounds != int64(got.RoundsExecuted) {
-		t.Fatalf("report workers=%d rounds=%d, want %d/%d", rep.Workers, rep.Rounds, workers, got.RoundsExecuted)
-	}
-	if rep.WallNS <= 0 || rep.RoundsPerSec <= 0 {
-		t.Fatalf("report wall=%d rounds/sec=%v, want positive", rep.WallNS, rep.RoundsPerSec)
-	}
-	phases := make(map[string]obs.PhaseProfile, len(rep.Phases))
-	for _, p := range rep.Phases {
-		phases[p.Phase] = p
-	}
-	for _, name := range []string{"active_scan", "advertise", "decide", "count",
-		"merge", "scatter", "accept", "partner", "exchange", "end_round", "flush"} {
-		p, ok := phases[name]
-		if !ok {
-			t.Errorf("phase %q missing from report (got %v)", name, rep.Phases)
-			continue
+	t.Run("auto", func(t *testing.T) {
+		// n=512 is under the pool gate, so auto resolves to inline dispatch
+		// on any host — deterministically visible in the report — and an
+		// all-inline engine runs the sequential step-4 core, so the report
+		// shows bucket_accept instead of the chunk-safe count/merge/scatter/
+		// accept pipeline and its partner materialization.
+		rep := report(t, sim.DispatchAuto, want)
+		if rep.Dispatch != "inline" || rep.GateNodes <= n {
+			t.Errorf("auto dispatch resolved as %q (gate %d), want inline gated above n=%d",
+				rep.Dispatch, rep.GateNodes, n)
 		}
-		if p.WallNS <= 0 {
-			t.Errorf("phase %q has no wall time", name)
+		phases := phaseMap(rep)
+		for _, name := range []string{"scan_advertise", "decide", "bucket_accept",
+			"exchange", "end_round", "flush"} {
+			if p, ok := phases[name]; !ok || p.WallNS <= 0 {
+				t.Errorf("phase %q missing or without wall time (%+v)", name, p)
+			}
 		}
-		if len(p.BusyNS) != workers {
-			t.Errorf("phase %q has %d busy slots, want %d", name, len(p.BusyNS), workers)
+		for _, name := range []string{"active_scan", "advertise"} {
+			p, ok := phases[name]
+			if !ok || p.BusyNS[0] <= 0 {
+				t.Errorf("fused sweep %q missing or without worker-0 busy time (%+v)", name, p)
+				continue
+			}
+			if p.WallNS != 0 {
+				t.Errorf("fused sweep %q has wall time %d; the composite dispatch should own it", name, p.WallNS)
+			}
 		}
-		if p.Imbalance < 1 {
-			t.Errorf("phase %q imbalance %v < 1", name, p.Imbalance)
+		for _, name := range []string{"count", "merge", "scatter", "accept",
+			"partner", "partner_exchange"} {
+			if _, ok := phases[name]; ok {
+				t.Errorf("all-inline engine reported parallel-core phase %q", name)
+			}
 		}
-	}
-	if _, ok := phases["bucket_accept"]; ok {
-		t.Error("fault-free parallel run reported the sequential bucket_accept phase")
-	}
-	if top := prof.TopPhases(3); len(top) != 3 {
-		t.Errorf("TopPhases(3) = %v, want 3 entries", top)
+	})
+
+	t.Run("pool", func(t *testing.T) {
+		rep := report(t, sim.DispatchPool, want)
+		if rep.Dispatch != "pool" {
+			t.Errorf("forced pool resolved as %q", rep.Dispatch)
+		}
+		if _, ok := phaseMap(rep)["bucket_accept"]; ok {
+			t.Error("parallel pool run reported the sequential bucket_accept phase")
+		}
+		phases := phaseMap(rep)
+		for _, name := range fusedWall {
+			if p, ok := phases[name]; !ok || p.WallNS <= 0 {
+				t.Errorf("phase %q missing or without wall time (%+v)", name, p)
+			}
+		}
+		for _, name := range append(fusedBusy, "decide", "count", "scatter", "accept", "end_round") {
+			p, ok := phases[name]
+			if !ok {
+				t.Errorf("phase %q missing from report", name)
+				continue
+			}
+			if len(p.BusyNS) != workers {
+				t.Errorf("phase %q has %d busy slots, want %d", name, len(p.BusyNS), workers)
+				continue
+			}
+			for w, b := range p.BusyNS {
+				if b <= 0 {
+					t.Errorf("phase %q worker %d has no busy time", name, w)
+				}
+			}
+			if p.Imbalance < 1 {
+				t.Errorf("phase %q imbalance %v < 1", name, p.Imbalance)
+			}
+		}
+	})
+
+	t.Run("spawn", func(t *testing.T) {
+		// The legacy core: unfused phases, each with wall and per-worker
+		// busy time — the historical report shape.
+		rep := report(t, sim.DispatchSpawn, want)
+		if rep.Dispatch != "spawn" {
+			t.Errorf("forced spawn resolved as %q", rep.Dispatch)
+		}
+		if _, ok := phaseMap(rep)["bucket_accept"]; ok {
+			t.Error("parallel spawn run reported the sequential bucket_accept phase")
+		}
+		phases := phaseMap(rep)
+		for _, name := range []string{"active_scan", "advertise", "decide", "count",
+			"merge", "scatter", "accept", "partner", "exchange", "end_round", "flush"} {
+			p, ok := phases[name]
+			if !ok {
+				t.Errorf("phase %q missing from report (got %v)", name, rep.Phases)
+				continue
+			}
+			if p.WallNS <= 0 {
+				t.Errorf("phase %q has no wall time", name)
+			}
+			if len(p.BusyNS) != workers {
+				t.Errorf("phase %q has %d busy slots, want %d", name, len(p.BusyNS), workers)
+			}
+			if p.Imbalance < 1 {
+				t.Errorf("phase %q imbalance %v < 1", name, p.Imbalance)
+			}
+		}
+		for _, name := range []string{"scan_advertise", "partner_exchange"} {
+			if _, ok := phases[name]; ok {
+				t.Errorf("spawn core reported fused phase %q", name)
+			}
+		}
+	})
+
+	prof := newProf()
+	if run(prof, obs.NewRing(1<<16), sim.DispatchAuto); len(prof.TopPhases(3)) != 3 {
+		t.Errorf("TopPhases(3) = %v, want 3 entries", prof.TopPhases(3))
 	}
 
 	// An untraced profiled run must not report a flush phase.
-	var ticks2 atomic.Int64
-	prof2 := obs.NewProfiler(func() int64 { return ticks2.Add(1) })
-	run(prof2, nil)
+	prof2 := newProf()
+	run(prof2, nil, sim.DispatchAuto)
 	for _, p := range prof2.Report().Phases {
 		if p.Phase == "flush" {
 			t.Error("untraced run reported a flush phase")
 		}
 	}
+}
+
+// phaseMap indexes a report's phases by wire name.
+func phaseMap(rep obs.ProfReport) map[string]obs.PhaseProfile {
+	m := make(map[string]obs.PhaseProfile, len(rep.Phases))
+	for _, p := range rep.Phases {
+		m[p.Phase] = p
+	}
+	return m
 }
 
 // TestTraceClassicalMode checks the classicalFinish emission path: every

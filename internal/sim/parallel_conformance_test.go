@@ -78,15 +78,24 @@ func conformanceCases(n, maxDegree int) []conformanceCase {
 }
 
 // TestParallelRoundConformanceAcrossWorkers pins the contract behind the
-// parallel round core: Workers is a throughput knob, never a semantic one.
-// Every protocol in the repertoire runs to its stop condition on the paper's
-// line-of-stars topology at worker counts on both sides of the chunking
-// thresholds (1 = inline path, 2 = minimal split, 7 = uneven chunks,
-// 16 > GOMAXPROCS on most CI hosts), and every execution must produce a
-// bit-identical Result, final protocol state, and — with a JSONL sink
-// attached — a byte-identical event trace: per-worker buffers flushed in
-// chunk order must reproduce the sequential ascending-node emission order
+// parallel round core: Workers and Dispatch are throughput knobs, never
+// semantic ones. Every protocol in the repertoire runs to its stop condition
+// on the paper's line-of-stars topology at worker counts on both sides of
+// the chunking thresholds (1 = inline path, 2 = minimal split, 7 = uneven
+// chunks, 16 > GOMAXPROCS on most CI hosts), and every execution must
+// produce a bit-identical Result, final protocol state, and — with a JSONL
+// sink attached — a byte-identical event trace: per-worker buffers flushed
+// in chunk order must reproduce the sequential ascending-node emission order
 // exactly (the contract mtmtrace diff relies on).
+//
+// The sweep is also the cross-core differential for the dispatch rework:
+// forced DispatchPool columns run the fused phases on the persistent worker
+// pool with real goroutines even where DispatchAuto would resolve inline
+// (n below the gate, or a single-P host), and forced DispatchSpawn columns
+// run the historical unfused per-phase goroutine-spawning core. All three
+// cores at all worker counts must agree with the Workers=1 column
+// byte-for-byte — the strongest statement the repo can make that phase
+// fusion and the epoch-published pool changed scheduling, not semantics.
 //
 // The faulted column repeats the sweep with a full-repertoire fault plan
 // (rate churn, a partition with a scheduled heal, corruption bursts, message
@@ -96,7 +105,22 @@ func conformanceCases(n, maxDegree int) []conformanceCase {
 // the fault-free one.
 func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 	f := gen.SqrtLineOfStars(20) // n = 420, Δ = 22: hubs stress degree-balanced chunking
-	workerCounts := []int{1, 2, 7, 16}
+	variants := []struct {
+		name     string
+		workers  int
+		dispatch sim.Dispatch
+	}{
+		{"w1", 1, sim.DispatchAuto},
+		{"w2", 2, sim.DispatchAuto},
+		{"w7", 7, sim.DispatchAuto},
+		{"w16", 16, sim.DispatchAuto},
+		{"w2-pool", 2, sim.DispatchPool},
+		{"w7-pool", 7, sim.DispatchPool},
+		{"w16-pool", 16, sim.DispatchPool},
+		{"w2-spawn", 2, sim.DispatchSpawn},
+		{"w7-spawn", 7, sim.DispatchSpawn},
+		{"w16-spawn", 16, sim.DispatchSpawn},
+	}
 	plan := fault.Plan{
 		Seed: 31, CrashRate: 0.002, RecoverRate: 0.3, MaxDown: f.N() / 8,
 		ProposalLoss: 0.05, ConnLoss: 0.03, TagFlipRate: 0.02,
@@ -113,11 +137,12 @@ func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 				var wantRes sim.Result
 				var wantDigest uint64
 				var wantTrace []byte
-				for i, workers := range workerCounts {
+				for i, v := range variants {
 					protocols := tc.build(f.N())
 					var buf bytes.Buffer
 					cfg := sim.Config{
-						Seed: 29, TagBits: tc.tagBits, Workers: workers, MaxRounds: 2_000_000,
+						Seed: 29, TagBits: tc.tagBits, Workers: v.workers,
+						Dispatch: v.dispatch, MaxRounds: 2_000_000,
 						Sink: obs.NewJSONL(&buf),
 					}
 					if faulted {
@@ -135,8 +160,9 @@ func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 						t.Fatal(err)
 					}
 					res, err := eng.Run(tc.stop)
+					eng.Close()
 					if err != nil {
-						t.Fatalf("Workers=%d: %v", workers, err)
+						t.Fatalf("%s: %v", v.name, err)
 					}
 					digest := tc.digest(protocols)
 					if i == 0 {
@@ -144,12 +170,12 @@ func TestParallelRoundConformanceAcrossWorkers(t *testing.T) {
 						continue
 					}
 					if res != wantRes || digest != wantDigest {
-						t.Fatalf("Workers=%d diverged from Workers=%d: (%+v, %#x) vs (%+v, %#x)",
-							workers, workerCounts[0], res, digest, wantRes, wantDigest)
+						t.Fatalf("%s diverged from %s: (%+v, %#x) vs (%+v, %#x)",
+							v.name, variants[0].name, res, digest, wantRes, wantDigest)
 					}
 					if !bytes.Equal(buf.Bytes(), wantTrace) {
-						t.Fatalf("Workers=%d trace diverged from Workers=%d: %d vs %d bytes (first difference at byte %d)",
-							workers, workerCounts[0], buf.Len(), len(wantTrace), firstDiff(buf.Bytes(), wantTrace))
+						t.Fatalf("%s trace diverged from %s: %d vs %d bytes (first difference at byte %d)",
+							v.name, variants[0].name, buf.Len(), len(wantTrace), firstDiff(buf.Bytes(), wantTrace))
 					}
 				}
 			})

@@ -211,6 +211,14 @@ type Config struct {
 	// identical for any worker count.
 	Workers int
 
+	// Dispatch selects how parallel phases are executed when Workers > 1.
+	// The default (DispatchAuto) uses the persistent worker pool, gated to
+	// inline execution when the network is too small — or the host too
+	// narrow — for parallel dispatch to pay (see DESIGN §14 for the
+	// measured crossover). Results, traces, and digests are identical
+	// across all modes; only throughput differs.
+	Dispatch Dispatch
+
 	// Accept selects how a receiver picks among incoming proposals.
 	// The model (and every analysis in the paper) uses AcceptUniform;
 	// the alternatives exist for the A3 ablation experiment.
@@ -288,6 +296,31 @@ type Config struct {
 	// loop is unchanged.
 	Profiler *obs.Profiler
 }
+
+// Dispatch selects the parallel execution core (Config.Dispatch). Every
+// mode produces bit-identical results; the non-default modes exist for the
+// differential conformance suite and for crossover benchmarking.
+type Dispatch int
+
+const (
+	// DispatchAuto (the default) runs phase dispatches on the persistent
+	// worker pool, falling back to inline execution when n is under the
+	// pool's measured dispatch floor or the host has a single P (with
+	// GOMAXPROCS=1 no second worker can ever run concurrently, so any
+	// dispatch cost is pure loss).
+	DispatchAuto Dispatch = iota
+	// DispatchPool forces pool dispatch for any Workers > 1, ignoring the
+	// inline gate — the mode stress tests and crossover benchmarks use to
+	// exercise the pool regardless of n and GOMAXPROCS.
+	DispatchPool
+	// DispatchSpawn is the historical per-phase goroutine-spawning core
+	// (fresh goroutines plus a WaitGroup per dispatch, inline under 256
+	// nodes), kept as the differential baseline: conformance tests compare
+	// it bit-for-bit against the pool, and the rounds benchmark tier
+	// measures the pool's advantage against it. Phase fusion is disabled
+	// so the mode reproduces the historical execution shape exactly.
+	DispatchSpawn
+)
 
 // AcceptPolicy selects how a receiver chooses among incoming proposals.
 type AcceptPolicy int
@@ -406,6 +439,30 @@ type Engine struct {
 	hist    []int32 // per-worker proposal histograms/cursors, workers rows of n
 	chosen  []int32 // per-receiver accepted sender (or noPartner), parCore only
 
+	// pool is the persistent dispatch core (nil when every dispatch of this
+	// engine resolves inline, or in DispatchSpawn mode); gate is the node
+	// count below which parallelFor runs inline, and inlineAll forces every
+	// dispatch inline regardless of n (Workers == 1, or DispatchAuto on a
+	// single-P host). parExec is the once-resolved conjunction — this engine
+	// ever dispatches in parallel — which also selects the step-4 core: an
+	// engine whose dispatches all resolve inline runs the sequential
+	// counting sort, not the chunk-safe parallel one, because the parallel
+	// core's per-worker histogram discipline is pure overhead with one
+	// executor (the two cores are bit-identical by the conformance
+	// contract). All resolved once in New — see DESIGN §14.
+	pool      *workerPool
+	gate      int
+	inlineAll bool
+	parExec   bool
+
+	// fuseScanAdv/fusePartnerEx enable the fused phase bodies (resolved in
+	// New): scan+advertise fuse on fault-free rounds whose trace emission is
+	// buffered (or absent), partner+exchange fuse in the parallel core when
+	// no OnConnections hook needs the pre-exchange pair list. DispatchSpawn
+	// disables both (it reproduces the historical execution shape).
+	fuseScanAdv   bool
+	fusePartnerEx bool
+
 	// propLost[u] records whether a fault dropped sender u's proposal in
 	// transit this round: written at u by the counting pass, read at u by
 	// the scatter pass (chunk-local in both), replacing the historical
@@ -444,6 +501,8 @@ type Engine struct {
 	phScatter    func(w, lo, hi int)
 	phAccept     func(w, lo, hi int)
 	phPartner    func(w, lo, hi int)
+	phScanAdv    func(w, lo, hi int)
+	phPartnerEx  func(w, lo, hi int)
 	ctxA         []Context // one per worker
 	ctxB         []Context // second context for the pairwise exchange phase
 
@@ -589,10 +648,10 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	// each barrier, so neither forces the engine sequential.
 	e.parCore = workers > 1
 	e.chunks = make([]int, workers+1)
+	e.counters = make([]workerCounters, workers)
 	if e.parCore {
 		e.hist = make([]int32, workers*n)
 		e.chosen = make([]int32, n)
-		e.counters = make([]workerCounters, workers)
 	}
 	if cfg.Faults != nil {
 		e.propLost = make([]bool, n)
@@ -600,8 +659,48 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	if workers > 1 && cfg.Sink != nil {
 		e.wbufs = make([]obs.WorkerBuf, workers)
 	}
+	// Resolve the dispatch core once (see DESIGN §14): the inline gate per
+	// core, whether this engine can ever dispatch in parallel, and — when it
+	// can, outside the legacy spawn mode — the persistent worker pool. A
+	// parked pool holds no engine reference, so the finalizer fires once the
+	// engine is garbage and stops the workers; Close does the same
+	// deterministically.
+	switch cfg.Dispatch {
+	case DispatchSpawn:
+		e.gate = spawnDispatchFloor
+		e.inlineAll = workers == 1
+	case DispatchPool:
+		e.inlineAll = workers == 1
+	default: // DispatchAuto
+		e.gate = poolDispatchFloor
+		e.inlineAll = workers == 1 || runtime.GOMAXPROCS(0) == 1
+	}
+	e.parExec = !e.inlineAll && n >= e.gate
+	if e.parExec && cfg.Dispatch != DispatchSpawn {
+		e.pool = newWorkerPool(workers)
+		runtime.SetFinalizer(e, func(en *Engine) { en.pool.close() })
+	}
+	// Phase fusion (off in spawn mode, which reproduces the historical
+	// execution shape): scan+advertise need fault-free rounds — resets and
+	// churn publication run between them otherwise — and buffered (or
+	// absent) trace emission, so the RoundStart event still precedes the
+	// advertise events in the flushed stream. Partner+exchange need the
+	// parallel core and no OnConnections hook (the hook observes the pair
+	// list before any exchange).
+	e.fuseScanAdv = cfg.Dispatch != DispatchSpawn && cfg.Faults == nil &&
+		(cfg.Sink == nil || e.wbufs != nil)
+	e.fusePartnerEx = cfg.Dispatch != DispatchSpawn && e.parCore && e.parExec &&
+		cfg.OnConnections == nil
 	if cfg.Profiler != nil {
 		cfg.Profiler.Attach(workers)
+		mode := "pool"
+		switch {
+		case cfg.Dispatch == DispatchSpawn && !e.inlineAll:
+			mode = "spawn"
+		case e.pool == nil:
+			mode = "inline"
+		}
+		cfg.Profiler.SetDispatch(mode, e.gate)
 		e.prof = cfg.Profiler
 	}
 	// Method values allocate their receiver binding; do it once here, not
@@ -616,7 +715,21 @@ func New(sched dyngraph.Schedule, protocols []Protocol, cfg Config) (*Engine, er
 	e.phScatter = e.phaseScatter
 	e.phAccept = e.phaseAccept
 	e.phPartner = e.phasePartner
+	e.phScanAdv = e.phaseScanAdvertise
+	e.phPartnerEx = e.phasePartnerExchange
 	return e, nil
+}
+
+// Close stops the engine's worker pool, if any. It is idempotent, safe on
+// engines that never had a pool, and terminal: running more rounds after
+// Close panics. Transient engines (the facade's per-call engines, benchmark
+// sweeps) should Close when done; engines that simply go out of scope are
+// cleaned up by the finalizer instead, just less promptly.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		runtime.SetFinalizer(e, nil)
+	}
 }
 
 // Run executes rounds until the stop condition fires or MaxRounds elapses.
@@ -694,19 +807,26 @@ func (e *Engine) step(r int) RoundStats {
 	return stats
 }
 
+// refreshChunks recomputes the degree-weighted chunk boundaries for a new
+// round graph: hub-skewed topologies (one node of degree n-1) would
+// otherwise put an entire round's scan work into one worker's equal-index
+// chunk. Boundaries depend only on (graph, workers), never on round state,
+// and results are worker-count-independent, so this cannot perturb
+// determinism. The scratch is O(1) per engine — one workers+1 slice reused
+// for every graph a schedule ever produces (churn included), which
+// TestChunkScratchBoundedAcrossTrials pins at zero allocations.
+func (e *Engine) refreshChunks(g *graph.Graph) {
+	g.BalancedChunks(e.workers, e.chunks)
+	e.chunkG = g
+}
+
 // stepCore is the round body shared by profiled and unprofiled runs.
 //
 //mtmlint:hotpath
 func (e *Engine) stepCore(r int) RoundStats {
 	g := e.sched.GraphAt(r)
-	if e.workers > 1 && e.n >= parallelThreshold && g != e.chunkG {
-		// Degree-weighted chunk boundaries for this round's graph: hub-skewed
-		// topologies (one node of degree n-1) would otherwise put an entire
-		// round's scan work into one worker's equal-index chunk. Boundaries
-		// depend only on (graph, workers), never on round state, and results
-		// are worker-count-independent, so this cannot perturb determinism.
-		g.BalancedChunks(e.workers, e.chunks)
-		e.chunkG = g
+	if e.spanWorkers() > 1 && g != e.chunkG {
+		e.refreshChunks(g)
 	}
 	e.curRound, e.curG = r, g
 	var downMask []bool
@@ -717,30 +837,23 @@ func (e *Engine) stepCore(r int) RoundStats {
 		downMask = e.cfg.Faults.DownMask()
 	}
 	e.curDown = downMask
-	activeCount := 0
-	if e.parCore {
-		// The chunked scan reads the published down-mask (e.curDown) per
-		// index; the mask is frozen for the round before the dispatch.
-		e.parallelFor(obs.PhaseActiveScan, e.phActiveScan)
-		for w := 0; w < e.spanWorkers(); w++ {
-			activeCount += int(e.counters[w].active)
-		}
+	// Step 1 + step 2, fused when the round structure allows it: one
+	// barrier computes the active set and runs advertise in the same sweep.
+	// The advertise sweep may not inspect neighbors (the Protocol contract),
+	// so binding its contexts to the still-forming activity array is
+	// unobservable; curAct resolves to its usual value right below, before
+	// anything that may look at neighbors runs. The chunked scan reads the
+	// published down-mask (e.curDown) per index; the mask is frozen for the
+	// round before the dispatch.
+	if e.fuseScanAdv {
+		e.curAct = e.active
+		e.parallelForFused(obs.PhaseScanAdvertise, e.phScanAdv)
 	} else {
-		t0 := e.profStart()
-		for u := 0; u < e.n; u++ {
-			a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
-			if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
-				a = false
-			}
-			if a && downMask != nil && downMask[u] {
-				a = false
-			}
-			e.active[u] = a
-			if a {
-				activeCount++
-			}
-		}
-		e.profEnd(obs.PhaseActiveScan, t0)
+		e.parallelFor(obs.PhaseActiveScan, e.phActiveScan)
+	}
+	activeCount := 0
+	for w := 0; w < e.spanWorkers(); w++ {
+		activeCount += int(e.counters[w].active)
 	}
 	var act []bool
 	if activeCount != e.n {
@@ -761,7 +874,11 @@ func (e *Engine) stepCore(r int) RoundStats {
 	// Steps 2-3: advertise then decide, in parallel over nodes. Each node's
 	// RNG is derived from (seed, node, round) so ordering is irrelevant;
 	// traced parallel runs flush the worker event buffers at each barrier.
-	e.parallelFor(obs.PhaseAdvertise, e.phAdvertise)
+	// A fused round already ran advertise; its emissions were buffered, so
+	// flushing here still puts them behind the RoundStart event.
+	if !e.fuseScanAdv {
+		e.parallelFor(obs.PhaseAdvertise, e.phAdvertise)
+	}
 	e.flushWorkerBufs()
 	if e.cfg.Faults != nil && e.cfg.TagBits > 0 && e.cfg.Faults.TagFlipEnabled() {
 		// Corrupt advertisements between advertise and decide, so deciders
@@ -783,28 +900,34 @@ func (e *Engine) stepCore(r int) RoundStats {
 	// streams: fault draws are node-addressed, so each core evaluates them
 	// at the same per-node points.
 	var proposals, connections, rejects, busyLost, faultLost int
-	if e.parCore {
+	if e.parCore && e.parExec {
 		proposals, connections, rejects, busyLost, faultLost = e.bucketAcceptParallel()
+		// Steps 4b-5: materialize partners, then exchange — fused into one
+		// barrier when no OnConnections hook needs the pair list first.
+		// The fusion is race-free because a chunk's exchange sweep reads
+		// only its own partner entries (written by its own partner sweep)
+		// and pairs are node-disjoint: the peer state an exchange touches
+		// (protocols[v], rngs[v]) is disjoint from the partner/connCount
+		// cells the peer's own worker may still be writing.
+		if e.fusePartnerEx {
+			e.parallelForFused(obs.PhasePartnerExchange, e.phPartnerEx)
+			e.flushWorkerBufs()
+		} else {
+			e.parallelFor(obs.PhasePartner, e.phPartner)
+			e.emitConnections(r)
+			e.parallelFor(obs.PhaseExchange, e.phExchange)
+			e.flushWorkerBufs()
+		}
 	} else {
 		t0 := e.profStart()
 		proposals, connections, rejects, busyLost, faultLost = e.bucketAcceptSequential(r)
 		e.profEnd(obs.PhaseBucketSeq, t0)
+		e.emitConnections(r)
+		// Step 5: exchange over established connections (pairs are
+		// node-disjoint, so the parallel dispatch is race-free).
+		e.parallelFor(obs.PhaseExchange, e.phExchange)
+		e.flushWorkerBufs()
 	}
-
-	if e.cfg.OnConnections != nil {
-		e.pairScratch = e.pairScratch[:0]
-		for u := 0; u < e.n; u++ {
-			if v := e.partner[u]; v != noPartner && int(v) > u {
-				e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
-			}
-		}
-		e.cfg.OnConnections(r, e.pairScratch)
-	}
-
-	// Step 5: exchange over established connections, in parallel over pairs
-	// (pairs are node-disjoint, so this is race-free).
-	e.parallelFor(obs.PhaseExchange, e.phExchange)
-	e.flushWorkerBufs()
 
 	// End of round.
 	e.parallelFor(obs.PhaseEndRound, e.phEndRound)
@@ -997,9 +1120,10 @@ func (e *Engine) bucketAcceptSequential(r int) (proposals, connections, rejects,
 // column-major prefix merge that turns histogram cells into scatter cursor
 // bases, then a parallel scatter), followed by a parallel accept phase —
 // legal because each receiver's choice draws only from its own rngs[v]
-// stream — and a parallel partner/connCount materialization. Worker chunks
-// ascend in sender id, so every inbox comes out in the exact sender order
-// the sequential core produces.
+// stream. Worker chunks ascend in sender id, so every inbox comes out in
+// the exact sender order the sequential core produces. The partner/
+// connCount materialization happens afterwards in stepCore, fused into the
+// exchange dispatch when possible.
 //
 //mtmlint:hotpath
 func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects, busyLost, faultLost int) {
@@ -1032,7 +1156,9 @@ func (e *Engine) bucketAcceptParallel() (proposals, connections, rejects, busyLo
 	e.parallelFor(obs.PhaseScatter, e.phScatter)
 	e.parallelFor(obs.PhaseAccept, e.phAccept)
 	e.flushWorkerBufs()
-	e.parallelFor(obs.PhasePartner, e.phPartner)
+	// The round's accounting is complete after count + accept (partner
+	// materialization touches no counters), so the sums happen here and the
+	// caller is free to fuse the partner sweep into the exchange dispatch.
 	for w := 0; w < span; w++ {
 		c := &e.counters[w]
 		proposals += int(c.proposals)
@@ -1496,6 +1622,139 @@ func (e *Engine) phasePartner(w, lo, hi int) {
 	}
 }
 
+// phaseScanAdvertise is the fused step-1 + step-2 body: one dispatch scans
+// the activity of nodes [lo, hi) into worker w's counter row, then runs the
+// advertise sweep over the same — now cache-warm — chunk, saving a full
+// barrier and a second pass over the chunk every round. Fused rounds are
+// fault-free (New guarantees it), so there is no down-mask to consult. The
+// two sweeps are the bodies of phaseActiveScan and phaseAdvertise verbatim;
+// those remain the unfused (faulted/spawn) phases. Profiled runs self-time
+// the sweeps so busy attribution stays on the constituent phases; the
+// dispatch charges its wall time to obs.PhaseScanAdvertise.
+//
+//mtmlint:hotpath
+func (e *Engine) phaseScanAdvertise(w, lo, hi int) {
+	r := e.curRound
+	var t0 int64
+	if e.prof != nil {
+		t0 = e.prof.Clock()
+	}
+	ctr := &e.counters[w]
+	ctr.active = 0
+	for u := lo; u < hi; u++ {
+		a := e.cfg.Activations == nil || e.cfg.Activations[u] <= r
+		if a && e.cfg.Departures != nil && e.cfg.Departures[u] > 0 && r > e.cfg.Departures[u] {
+			a = false
+		}
+		e.active[u] = a
+		if a {
+			ctr.active++
+		}
+	}
+	if e.prof != nil {
+		t1 := e.prof.Clock()
+		e.prof.AddBusy(obs.PhaseActiveScan, w, t1-t0)
+		t0 = t1
+	}
+	ctx := &e.ctxA[w]
+	e.bindCtx(ctx, w)
+	for u := lo; u < hi; u++ {
+		if !e.active[u] {
+			e.actions[u] = actionInactive
+			e.tags[u] = 0
+			continue
+		}
+		e.rngs[u].Reseed(e.cfg.Seed, uint64(u), uint64(r))
+		ctx.Node = int32(u)
+		ctx.RNG = &e.rngs[u]
+		tag := e.protocols[u].Advertise(ctx)
+		if e.tagLimit != 0 && tag >= e.tagLimit {
+			panic(fmt.Sprintf("sim: node %d advertised tag %d exceeding b=%d bits", u, tag, e.cfg.TagBits))
+		}
+		e.tags[u] = tag
+	}
+	if e.prof != nil {
+		e.prof.AddBusy(obs.PhaseAdvertise, w, e.prof.Clock()-t0)
+	}
+}
+
+// phasePartnerExchange is the fused step-4b + step-5 body: one dispatch
+// materializes partners for nodes [lo, hi) (phasePartner's body verbatim),
+// then exchanges over the chunk's pairs (phaseExchange's body verbatim).
+// The fusion is race-free without a barrier in between because the exchange
+// sweep reads only partner entries its own partner sweep wrote — a pair is
+// handled by the worker owning its smaller endpoint, never by reading the
+// peer's partner cell — and the peer state an exchange touches (protocols,
+// rngs) is disjoint from the partner/connCount cells the peer's own worker
+// may still be writing. Cross-chunk reads of chosen/actions see values
+// frozen at the accept/decide barriers. Profiled runs self-time the sweeps
+// onto the constituent phases, as in phaseScanAdvertise.
+//
+//mtmlint:hotpath
+func (e *Engine) phasePartnerExchange(w, lo, hi int) {
+	var t0 int64
+	if e.prof != nil {
+		t0 = e.prof.Clock()
+	}
+	for u := lo; u < hi; u++ {
+		if c := e.chosen[u]; c != noPartner {
+			e.partner[u] = c
+			e.connCount[u]++
+		} else if t := e.actions[u]; t >= 0 && e.chosen[t] == int32(u) {
+			e.partner[u] = t
+			e.connCount[u]++
+		} else {
+			e.partner[u] = noPartner
+		}
+	}
+	if e.prof != nil {
+		t1 := e.prof.Clock()
+		e.prof.AddBusy(obs.PhasePartner, w, t1-t0)
+		t0 = t1
+	}
+	ctxU, ctxV := &e.ctxA[w], &e.ctxB[w]
+	e.bindCtx(ctxU, w)
+	e.bindCtx(ctxV, w)
+	for u := lo; u < hi; u++ {
+		v := e.partner[u]
+		if v == noPartner || int(v) < u {
+			continue // each pair handled once, by its smaller endpoint
+		}
+		ctxU.Node = int32(u)
+		ctxU.RNG = &e.rngs[u]
+		ctxV.Node = v
+		ctxV.RNG = &e.rngs[v]
+		mu := e.protocols[u].Outgoing(ctxU, v)
+		mv := e.protocols[v].Outgoing(ctxV, int32(u))
+		e.checkMessage(u, mu)
+		e.checkMessage(int(v), mv)
+		e.emitDeliver(ctxU.sink, int32(u), v, mv)
+		e.protocols[u].Deliver(ctxU, v, mv)
+		e.emitDeliver(ctxU.sink, v, int32(u), mu)
+		e.protocols[v].Deliver(ctxV, int32(u), mu)
+	}
+	if e.prof != nil {
+		e.prof.AddBusy(obs.PhaseExchange, w, e.prof.Clock()-t0)
+	}
+}
+
+// emitConnections invokes the OnConnections hook with the round's
+// established pairs as (smaller, larger) node ids in ascending order. No-op
+// without the hook. The hook must observe the pair list before any exchange
+// runs, which is why New disables partner/exchange fusion when it is set.
+func (e *Engine) emitConnections(r int) {
+	if e.cfg.OnConnections == nil {
+		return
+	}
+	e.pairScratch = e.pairScratch[:0]
+	for u := 0; u < e.n; u++ {
+		if v := e.partner[u]; v != noPartner && int(v) > u {
+			e.pairScratch = append(e.pairScratch, [2]int32{int32(u), v})
+		}
+	}
+	e.cfg.OnConnections(r, e.pairScratch)
+}
+
 // classicalFinish completes a round under classical telephone semantics:
 // every proposal is answered (receivers serve unboundedly many incoming
 // connections, and senders can also be called). Exchanges run sequentially
@@ -1588,9 +1847,24 @@ func (e *Engine) checkMessage(u int, m Message) {
 	}
 }
 
-// parallelThreshold is the node count below which parallelFor always runs
-// inline: goroutine dispatch costs more than it saves on tiny networks.
-const parallelThreshold = 256
+// Dispatch gate floors, benchmark-derived per core (see DESIGN §14 for the
+// crossover measurement; the rounds benchmark tier re-measures them).
+// Below the floor a parallel dispatch costs more than the chunked sweep
+// saves, so parallelFor runs the phase inline.
+const (
+	// spawnDispatchFloor is the historical gate of the goroutine-spawning
+	// core (DispatchSpawn): ~9 dispatches per round at `go func` × workers
+	// + WaitGroup each (≈3.7 kB and tens of µs of scheduler work per round
+	// at 8 workers) need chunks of at least a few hundred nodes to
+	// amortize.
+	spawnDispatchFloor = 256
+	// poolDispatchFloor is the pool core's gate. A pool dispatch is one
+	// atomic publish + wake (~1µs end to end at 8 workers), an order of
+	// magnitude cheaper than a spawn dispatch, but per-phase chunk work is
+	// only ~100ns/node — below about a thousand nodes per phase even an
+	// ideal speedup cannot recover ~7 wake/join barriers per round.
+	poolDispatchFloor = 1024
+)
 
 // spanWorkers reports how many worker indices parallelFor actually
 // dispatches — the number of counter/histogram rows holding fresh data.
@@ -1598,7 +1872,7 @@ const parallelThreshold = 256
 //
 //mtmlint:hotpath
 func (e *Engine) spanWorkers() int {
-	if e.workers == 1 || e.n < parallelThreshold {
+	if !e.parExec {
 		return 1
 	}
 	return e.workers
@@ -1608,14 +1882,22 @@ func (e *Engine) spanWorkers() int {
 // e.chunks, passing each chunk its worker index w (for per-worker scratch).
 // Worker 0 runs inline on the caller; every worker index is dispatched even
 // when its chunk is empty, so per-worker counter and histogram rows are
-// freshly written on every call. With Workers == 1 (or a tiny n) it runs
-// inline with w = 0 and allocates nothing.
+// freshly written on every call. Below the dispatch gate (Workers == 1, a
+// node count under the core's floor, or DispatchAuto on a single-P host) it
+// runs inline with w = 0 and allocates nothing.
+//
+// Parallel dispatches go to the persistent worker pool — one atomic publish
+// plus wake, zero allocations, certified on the hot path — except in
+// DispatchSpawn mode, which keeps the historical per-phase goroutine spawn
+// as the differential baseline.
 //
 // ph names the phase for the profiler: profiled runs record the phase's wall
 // time and each worker's busy time (the per-phase imbalance in the
 // mtmprof/v1 report); unprofiled runs never read the clock.
+//
+//mtmlint:hotpath
 func (e *Engine) parallelFor(ph obs.Phase, fn func(w, lo, hi int)) {
-	if e.workers == 1 || e.n < parallelThreshold {
+	if !e.parExec {
 		if e.prof == nil {
 			fn(0, 0, e.n)
 			return
@@ -1625,7 +1907,17 @@ func (e *Engine) parallelFor(ph obs.Phase, fn func(w, lo, hi int)) {
 		e.prof.AddSeq(ph, e.prof.Clock()-t0)
 		return
 	}
-	//mtmlint:hotpath-end goroutine dispatch below only runs with Workers > 1; the pinned zero-alloc configuration takes the inline path above
+	if e.pool != nil {
+		if e.prof == nil {
+			e.pool.dispatch(ph, fn, e.chunks, nil, false)
+			return
+		}
+		t0 := e.prof.Clock()
+		e.pool.dispatch(ph, fn, e.chunks, e.prof, false)
+		e.prof.AddWall(ph, e.prof.Clock()-t0)
+		return
+	}
+	//mtmlint:hotpath-end goroutine dispatch below is the legacy DispatchSpawn core, kept as the differential baseline; the pinned zero-alloc configurations dispatch inline or on the pool above
 	if e.prof == nil {
 		var wg sync.WaitGroup
 		for w := 1; w < e.workers; w++ {
@@ -1656,6 +1948,34 @@ func (e *Engine) parallelFor(ph obs.Phase, fn func(w, lo, hi int)) {
 	prof.AddBusy(ph, 0, prof.Clock()-s)
 	wg.Wait()
 	prof.AddWall(ph, prof.Clock()-t0)
+}
+
+// parallelForFused is parallelFor for fused phase bodies, which self-time
+// their constituent sweeps (AddBusy onto the constituent phases, see
+// phaseScanAdvertise/phasePartnerExchange): the dispatch records only the
+// composite phase's wall time, so no busy nanosecond is counted twice.
+//
+//mtmlint:hotpath
+func (e *Engine) parallelForFused(ph obs.Phase, fn func(w, lo, hi int)) {
+	if !e.parExec {
+		if e.prof == nil {
+			fn(0, 0, e.n)
+			return
+		}
+		t0 := e.prof.Clock()
+		fn(0, 0, e.n)
+		e.prof.AddWall(ph, e.prof.Clock()-t0)
+		return
+	}
+	// Fused bodies never run in DispatchSpawn mode (New disables fusion
+	// there), so a parallel fused dispatch always has the pool.
+	if e.prof == nil {
+		e.pool.dispatch(ph, fn, e.chunks, nil, true)
+		return
+	}
+	t0 := e.prof.Clock()
+	e.pool.dispatch(ph, fn, e.chunks, e.prof, true)
+	e.prof.AddWall(ph, e.prof.Clock()-t0)
 }
 
 // StableFor wraps a stop condition with a realistic stabilization detector:

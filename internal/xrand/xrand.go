@@ -91,6 +91,47 @@ func (r *RNG) Uint64() uint64 {
 // Uint32 returns the next 32 uniformly random bits.
 func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 
+// FillUint64s fills dst with the next len(dst) outputs of the stream —
+// exactly the values len(dst) successive Uint64 calls would return, so
+// batch and per-call consumption are interchangeable draw for draw. The
+// generator state stays in locals across the whole batch, which is the
+// point: one stream consumed in a tight loop (UID generation, bulk test
+// workloads) runs at memory speed instead of paying a state load/store per
+// draw. Never allocates.
+func (r *RNG) FillUint64s(dst []uint64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// FillCoins fills dst with fair coin flips, one per element. Each coin
+// consumes one full Uint64 draw and keeps Bool's low-bit convention, so a
+// batch is bit-identical to len(dst) successive Bool calls on the same
+// stream. Never allocates.
+func (r *RNG) FillCoins(dst []bool) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		dst[i] = (bits.RotateLeft64(s1*5, 7)*9)&1 == 1
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 // It uses Lemire's nearly-divisionless bounded sampling.
 func (r *RNG) Intn(n int) int {

@@ -270,3 +270,66 @@ func BenchmarkReseed(b *testing.B) {
 		r.Reseed(1, uint64(i), 7)
 	}
 }
+
+// TestFillUint64sMatchesPerCallDraws pins the batch API's contract: a fill
+// of any size — including fills split at arbitrary boundaries — produces
+// exactly the values the same number of Uint64 calls would, and leaves the
+// stream in the same state (draws after the batch still agree).
+func TestFillUint64sMatchesPerCallDraws(t *testing.T) {
+	for _, sizes := range [][]int{{0}, {1}, {257}, {3, 0, 64, 1, 9}} {
+		batch, scalar := New(99), New(99)
+		for _, n := range sizes {
+			dst := make([]uint64, n)
+			batch.FillUint64s(dst)
+			for i, got := range dst {
+				if want := scalar.Uint64(); got != want {
+					t.Fatalf("fill sizes %v: value %d = %#x, want per-call %#x", sizes, i, got, want)
+				}
+			}
+		}
+		for i := 0; i < 16; i++ {
+			if got, want := batch.Uint64(), scalar.Uint64(); got != want {
+				t.Fatalf("fill sizes %v: stream diverged %d draws after the batch: %#x vs %#x", sizes, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFillCoinsMatchesPerCallDraws pins the coin batch to Bool: one full
+// draw per coin, low-bit convention, identical continuation state.
+func TestFillCoinsMatchesPerCallDraws(t *testing.T) {
+	batch, scalar := New(1234), New(1234)
+	dst := make([]bool, 513)
+	batch.FillCoins(dst)
+	for i, got := range dst {
+		if want := scalar.Bool(); got != want {
+			t.Fatalf("coin %d = %v, want per-call %v", i, got, want)
+		}
+	}
+	if got, want := batch.Uint64(), scalar.Uint64(); got != want {
+		t.Fatalf("stream diverged after the coin batch: %#x vs %#x", got, want)
+	}
+}
+
+// TestFillZeroAlloc pins both batch fills allocation-free: they exist for
+// tight loops that must not touch the heap.
+func TestFillZeroAlloc(t *testing.T) {
+	r := New(5)
+	words := make([]uint64, 256)
+	coins := make([]bool, 256)
+	if n := testing.AllocsPerRun(100, func() {
+		r.FillUint64s(words)
+		r.FillCoins(coins)
+	}); n != 0 {
+		t.Fatalf("batch fills allocated %v times per run", n)
+	}
+}
+
+func BenchmarkFillUint64s(b *testing.B) {
+	r := New(1)
+	dst := make([]uint64, 1024)
+	b.SetBytes(int64(len(dst) * 8))
+	for i := 0; i < b.N; i++ {
+		r.FillUint64s(dst)
+	}
+}

@@ -583,6 +583,7 @@ func ElectLeader(s Schedule, algo Algorithm, opts Options) (ElectionResult, erro
 	if err != nil {
 		return ElectionResult{}, err
 	}
+	defer eng.Close()
 	stop := sim.StopCondition(sim.AllLeadersEqual)
 	if opts.Faults.mayCrash() {
 		// A crashed device keeps whatever leader it last held, so demanding
@@ -720,6 +721,7 @@ func SpreadRumor(s Schedule, strategy RumorStrategy, sources []int, opts Options
 	if err != nil {
 		return RumorResult{}, err
 	}
+	defer eng.Close()
 	res, err := eng.Run(rumor.AllInformed)
 	if err != nil {
 		return RumorResult{}, err
@@ -875,6 +877,7 @@ func Decide(s Schedule, proposals []uint64, opts Options) (DecisionResult, error
 	if err != nil {
 		return DecisionResult{}, err
 	}
+	defer eng.Close()
 	res, err := eng.Run(consensus.AllAgree)
 	if err != nil {
 		return DecisionResult{}, err
@@ -986,6 +989,7 @@ func Aggregate(s Schedule, kind AggregateKind, inputs []float64, rel float64, op
 	if err != nil {
 		return AggregateResult{}, err
 	}
+	defer eng.Close()
 	res, err := eng.Run(stop)
 	if err != nil {
 		return AggregateResult{}, err
@@ -1026,6 +1030,7 @@ func GossipAll(s Schedule, opts Options) (GossipResult, error) {
 	if err != nil {
 		return GossipResult{}, err
 	}
+	defer eng.Close()
 	res, err := eng.Run(gossip.AllComplete)
 	if err != nil {
 		return GossipResult{}, err
